@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dfdbg/internal/h264"
+)
+
+func TestScriptedSession(t *testing.T) {
+	p := h264.Params{W: 16, H: 16, QP: 8, Seed: 7}
+	script := strings.Join([]string{
+		"graph",
+		"filter pipe catch work",
+		"continue",
+		"info filters",
+		"delete catch 1",
+		"continue",
+		"quit",
+	}, "\n")
+	var out strings.Builder
+	if err := run(p, "none", strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{
+		"dfdbg: dataflow debugger on the H.264 case study (16x16, 16 macroblocks, bug=none)",
+		"actors and 13 links reconstructed",
+		"(gdb) ",
+		"pipe work method triggered",
+		"program finished",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("session missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestTraceCommands(t *testing.T) {
+	p := h264.Params{W: 16, H: 16, QP: 8, Seed: 7}
+	script := strings.Join([]string{
+		"continue",
+		"trace",
+		"trace 5",
+		"trace balance",
+		"trace activity",
+		"quit",
+	}, "\n")
+	var out strings.Builder
+	if err := run(p, "none", strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "push") || !strings.Contains(s, "events") {
+		t.Errorf("trace output missing:\n%s", s)
+	}
+}
+
+func TestSessionWithInjectedBug(t *testing.T) {
+	p := h264.Params{W: 16, H: 16, QP: 8, Seed: 7}
+	var out strings.Builder
+	err := run(p, "swapped-mb-inputs", strings.NewReader("continue\nquit\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "bug=swapped-mb-inputs") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestParseBug(t *testing.T) {
+	for name, want := range map[string]h264.Bug{
+		"none": h264.BugNone, "swapped-mb-inputs": h264.BugSwapMBInputs,
+		"rate-stall": h264.BugRateStall, "bad-dc": h264.BugBadDC,
+	} {
+		got, err := parseBug(name)
+		if err != nil || got != want {
+			t.Errorf("parseBug(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseBug("bogus"); err == nil {
+		t.Error("bogus bug accepted")
+	}
+	var out strings.Builder
+	if err := run(h264.Params{W: 16, H: 16, QP: 8}, "bogus", strings.NewReader(""), &out); err == nil {
+		t.Error("run with bogus bug accepted")
+	}
+}

@@ -1,0 +1,37 @@
+// Command experiments regenerates the paper's figures and evaluated
+// claims (see DESIGN.md §5 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments [-quick] [-run F4]
+//
+// Without -run, every experiment executes in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dfdbg/internal/experiments"
+)
+
+func main() {
+	var (
+		runID = flag.String("run", "", "experiment id to run (default: all of "+
+			fmt.Sprint(experiments.All())+")")
+		quick = flag.Bool("quick", false, "shrink workloads for a fast pass")
+	)
+	flag.Parse()
+	r := &experiments.Runner{W: os.Stdout, Quick: *quick}
+	var err error
+	if *runID == "" {
+		err = r.RunAll()
+	} else {
+		err = r.Run(*runID)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

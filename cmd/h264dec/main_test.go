@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dfdbg/internal/h264"
+)
+
+func TestDecodeMatchesReference(t *testing.T) {
+	var out strings.Builder
+	p := h264.Params{W: 16, H: 16, QP: 8, Seed: 7}
+	if err := decode(p, "", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "reference comparison: 0/256 pixels differ") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestDecodeWritesPGM(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.pgm")
+	var out strings.Builder
+	p := h264.Params{W: 16, H: 16, QP: 8, Seed: 7}
+	if err := decode(p, path, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "P5\n16 16\n255\n") {
+		t.Errorf("PGM header wrong: %q", data[:20])
+	}
+	if len(data) != len("P5\n16 16\n255\n")+256 {
+		t.Errorf("PGM size = %d", len(data))
+	}
+}
+
+func TestDecodeRejectsBadParams(t *testing.T) {
+	var out strings.Builder
+	if err := decode(h264.Params{W: 15, H: 16, QP: 8}, "", &out); err == nil {
+		t.Error("invalid params accepted")
+	}
+}

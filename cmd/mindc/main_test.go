@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompileAModuleTestdata(t *testing.T) {
+	dot, err := compile("../../testdata/amodule/amodule.adl", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		`label="AModule";`,
+		`"filter_1" -> "filter_2";`,
+		`"AModule_controller" -> "filter_1" [style=dotted];`,
+	} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, dot)
+		}
+	}
+}
+
+func TestCompileExplicitTop(t *testing.T) {
+	if _, err := compile("../../testdata/amodule/amodule.adl", "AModule", "../../testdata/amodule"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compile("../../testdata/amodule/amodule.adl", "Nope", ""); err == nil {
+		t.Error("unknown top accepted")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := compile("/nonexistent.adl", "", ""); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := compile("../../testdata/amodule/the_source.c", "", ""); err == nil {
+		t.Error("non-ADL file accepted")
+	}
+	if _, err := compile("../../testdata/amodule/amodule.adl", "", "/nonexistent-dir"); err == nil {
+		t.Error("missing source dir accepted")
+	}
+}

@@ -1,0 +1,14 @@
+// Package dfdbg is a complete Go reproduction of "Interactive Debugging
+// of Dynamic Dataflow Embedded Applications" (Pouget, Santana, López
+// Cueva, Méhaut; IPDPS Workshops 2013): a dataflow-aware interactive
+// debugger built on a GDB-like low-level debugger, together with every
+// substrate the paper's stack needs — a deterministic discrete-event
+// simulation kernel, a P2012-like MPSoC model, the PEDF dynamic dataflow
+// framework, a restricted-C filter interpreter, the MIND architecture
+// description language, and the H.264-style decoder case study.
+//
+// The root package holds the benchmark harness (one benchmark family per
+// reproduced figure/experiment); the implementation lives under
+// internal/ and the runnable entry points under cmd/ and examples/. See
+// README.md, DESIGN.md and EXPERIMENTS.md.
+package dfdbg

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestMultiratePipelineMatchesReference(t *testing.T) {
+	got, want, err := RunPipeline(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 16 || len(want) != 16 {
+		t.Fatalf("lengths: got %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sample %d: %d != %d", i, got[i], want[i])
+		}
+	}
+	// The signal must be non-trivial (not all zeros).
+	nonzero := false
+	for _, v := range got {
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Error("output is all zeros")
+	}
+}

@@ -1,0 +1,3 @@
+module dfdbg
+
+go 1.22

@@ -1,0 +1,924 @@
+// Package cli implements the interactive command interpreter of the
+// proof-of-concept debugger: a GDB-style command line where the classic
+// low-level commands (break, watch, step, next, finish, print, list,
+// backtrace, info threads) coexist with the dataflow commands of the
+// paper's case study (Section VI):
+//
+//	graph
+//	filter <name> catch work
+//	filter <name> catch <iface>=<n>[,<iface>=<n>] | catch *in=<n>
+//	filter <name> catch scheduled
+//	filter <name> configure splitter|joiner|map
+//	filter <name> info last_token
+//	filter <name> print last_token
+//	module <name> catch step [end]
+//	iface <actor>::<port> record | norecord | print
+//	step_both [<actor>::<port>]
+//	inject | drop | replace | peek (token alteration)
+//	info filters | links | scheduling <module> | breakpoints | threads
+//	set data-breakpoints on|off (intrusiveness mitigation option 1)
+//
+// Names used in commands autocomplete from the reconstructed graph, as
+// the paper highlights.
+package cli
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dfdbg/internal/core"
+	"dfdbg/internal/filterc"
+	"dfdbg/internal/lowdbg"
+	"dfdbg/internal/sim"
+	"dfdbg/internal/trace"
+)
+
+// CLI is one interactive debugging session.
+type CLI struct {
+	D   *core.Debugger
+	Low *lowdbg.Debugger
+	Out io.Writer
+	// Rec, when set, enables the `trace` commands (offline event-trace
+	// analysis alongside the interactive session).
+	Rec *trace.Recorder
+
+	lastStop *lowdbg.StopEvent
+	curProc  *sim.Proc
+	vals     []filterc.Value // $1, $2, ... convenience value history
+	quit     bool
+}
+
+// New creates a session writing its output to out.
+func New(d *core.Debugger, out io.Writer) *CLI {
+	return &CLI{D: d, Low: d.Low, Out: out}
+}
+
+// Quit reports whether the user asked to leave.
+func (c *CLI) Quit() bool { return c.quit }
+
+func (c *CLI) printf(format string, args ...any) {
+	fmt.Fprintf(c.Out, format, args...)
+}
+
+// Run reads commands from r until EOF or quit, printing the "(gdb)"
+// prompt the paper's transcripts use.
+func (c *CLI) Run(r io.Reader) {
+	sc := bufio.NewScanner(r)
+	for {
+		c.printf("(gdb) ")
+		if !sc.Scan() {
+			c.printf("\n")
+			return
+		}
+		if err := c.Execute(sc.Text()); err != nil {
+			c.printf("error: %v\n", err)
+		}
+		if c.quit {
+			return
+		}
+	}
+}
+
+// Execute runs a single command line.
+func (c *CLI) Execute(line string) error {
+	words := strings.Fields(line)
+	if len(words) == 0 {
+		return nil
+	}
+	cmd, rest := words[0], words[1:]
+	switch cmd {
+	case "quit", "q":
+		c.quit = true
+		return nil
+	case "help":
+		c.printHelp()
+		return nil
+	case "continue", "c":
+		return c.reportStop(c.Low.Continue())
+	case "step", "s":
+		return c.stepCmd(c.Low.Step)
+	case "next", "n":
+		return c.stepCmd(c.Low.Next)
+	case "finish":
+		return c.stepCmd(c.Low.FinishStep)
+	case "break", "b":
+		return c.breakCmd(rest, false)
+	case "tbreak":
+		return c.breakCmd(rest, true)
+	case "watch":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: watch <data-symbol>")
+		}
+		w, err := c.Low.Watch(rest[0])
+		if err != nil {
+			return err
+		}
+		c.printf("Watchpoint %d: %s\n", w.ID, w.Sym)
+		return nil
+	case "delete":
+		return c.deleteCmd(rest)
+	case "print", "p":
+		return c.printCmd(strings.Join(rest, " "))
+	case "list", "l":
+		return c.listCmd(rest)
+	case "backtrace", "bt":
+		return c.backtraceCmd()
+	case "thread":
+		return c.threadCmd(rest)
+	case "info":
+		return c.infoCmd(rest)
+	case "graph":
+		c.printf("%s", c.D.GraphDOT())
+		return nil
+	case "filter":
+		return c.filterCmd(rest)
+	case "module":
+		return c.moduleCmd(rest)
+	case "iface":
+		return c.ifaceCmd(rest)
+	case "step_both":
+		return c.stepBothCmd(rest)
+	case "inject":
+		return c.injectCmd(rest)
+	case "drop":
+		return c.dropCmd(rest)
+	case "replace":
+		return c.replaceCmd(rest)
+	case "peek":
+		return c.peekCmd(rest)
+	case "catchpoints":
+		for _, cp := range c.D.Catchpoints() {
+			c.printf("%s\n", cp)
+		}
+		return nil
+	case "enable":
+		return c.enableCmd(rest, true)
+	case "disable":
+		return c.enableCmd(rest, false)
+	case "set":
+		return c.setCmd(rest)
+	case "trace":
+		return c.traceCmd(rest)
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+func (c *CLI) printHelp() {
+	c.printf(`Low-level commands:
+  continue | step | next | finish        execution control
+  break <sym> | break <file>:<line>      breakpoints (tbreak = temporary)
+  watch <data-symbol>                    software watchpoint
+  print <expr>                           print a local, object or $N value
+  list [<file>:<line>]                   show source
+  backtrace | info threads | thread <n>  context inspection
+  delete <id> | info breakpoints
+Dataflow commands:
+  graph                                  dump the reconstructed graph (DOT)
+  filter <f> catch work                  stop when <f>'s WORK fires
+  filter <f> catch <if>=<n>,...          stop on received/sent token counts
+  filter <f> catch *in=<n> | *out=<n>    wildcard over all interfaces
+  filter <f> catch scheduled             stop when the controller starts <f>
+  filter <f> configure <behavior>        splitter | joiner | map
+  filter <f> info last_token | state     token path / full actor state
+  filter <f> print last_token            token value (two-level debugging)
+  filter <f> watch <data>                watchpoint on private data/attribute
+  filter <f> freeze | thaw               block / release one execution path
+  module <m> catch step [end]            stop at step boundaries
+  iface <a>::<p> record|norecord|print   token content recording
+  iface <a>::<p> catch [<field>=]<v>     stop on matching token content
+  info iface <a>::<p>                    one interface's counters
+  step_both [<a>::<p>]                   double breakpoint on a link
+  inject <a>::<p> <value>                insert a token (untie deadlocks)
+  drop <a>::<p> <idx> | replace ... <v>  delete / modify pending tokens
+  peek <a>::<p> <idx>                    read a pending token
+  info filters|links|scheduling <m>      dataflow state overview
+  catchpoints | delete catch <id>        manage dataflow catchpoints
+  enable|disable [catch] <id>            toggle break/watch/catchpoints
+  set data-breakpoints on|off            mitigation option 1
+  trace [n | balance | activity]         offline event-trace analysis
+`)
+}
+
+// reportStop prints a stop event and the dataflow layer's announcements.
+func (c *CLI) reportStop(ev *lowdbg.StopEvent) error {
+	for _, l := range c.D.DrainLog() {
+		c.printf("%s\n", l)
+	}
+	c.lastStop = ev
+	if ev == nil {
+		return nil
+	}
+	if ev.Proc != nil {
+		c.curProc = ev.Proc
+	}
+	c.printf("%s\n", ev.Reason)
+	if ev.Pos.Line > 0 {
+		if src := c.Low.SourceLine(ev.Pos.File, ev.Pos.Line); src != "" {
+			c.printf("%d\t%s\n", ev.Pos.Line, src)
+		}
+	}
+	return nil
+}
+
+func (c *CLI) stepCmd(fn func(*sim.Proc) *lowdbg.StopEvent) error {
+	if c.curProc == nil {
+		return fmt.Errorf("no current execution context (continue first)")
+	}
+	return c.reportStop(fn(c.curProc))
+}
+
+func (c *CLI) breakCmd(rest []string, temp bool) error {
+	if len(rest) != 1 {
+		return fmt.Errorf("usage: break <symbol> | break <file>:<line>")
+	}
+	loc := rest[0]
+	if file, line, ok := splitLoc(loc); ok {
+		var bp *lowdbg.Breakpoint
+		var err error
+		if temp {
+			bp, err = c.Low.BreakLineTemporary(file, line)
+		} else {
+			bp, err = c.Low.BreakLine(file, line)
+		}
+		if err != nil {
+			return err
+		}
+		c.printf("Breakpoint %d at %s:%d\n", bp.ID, bp.File, bp.Line)
+		return nil
+	}
+	bp, err := c.Low.BreakFunc(loc)
+	if err != nil {
+		return err
+	}
+	bp.Temporary = temp
+	c.printf("Breakpoint %d at %s\n", bp.ID, bp.Sym)
+	return nil
+}
+
+func splitLoc(loc string) (string, int, bool) {
+	i := strings.LastIndex(loc, ":")
+	if i <= 0 {
+		return "", 0, false
+	}
+	line, err := strconv.Atoi(loc[i+1:])
+	if err != nil {
+		return "", 0, false
+	}
+	return loc[:i], line, true
+}
+
+func (c *CLI) deleteCmd(rest []string) error {
+	if len(rest) == 2 && rest[0] == "catch" {
+		id, err := strconv.Atoi(rest[1])
+		if err != nil {
+			return fmt.Errorf("bad catchpoint id %q", rest[1])
+		}
+		return c.D.DeleteCatch(id)
+	}
+	if len(rest) != 1 {
+		return fmt.Errorf("usage: delete <id> | delete catch <id>")
+	}
+	id, err := strconv.Atoi(rest[0])
+	if err != nil {
+		return fmt.Errorf("bad breakpoint id %q", rest[0])
+	}
+	if err := c.Low.DeleteBp(id); err == nil {
+		return nil
+	}
+	return c.Low.DeleteWatch(id)
+}
+
+func (c *CLI) printCmd(expr string) error {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return fmt.Errorf("usage: print <expr>")
+	}
+	// $N history reference.
+	if strings.HasPrefix(expr, "$") {
+		n, err := strconv.Atoi(expr[1:])
+		if err != nil || n < 1 || n > len(c.vals) {
+			return fmt.Errorf("no value %s", expr)
+		}
+		c.storeVal(c.vals[n-1])
+		return nil
+	}
+	v, err := c.Low.PrintExpr(c.curProc, expr)
+	if err != nil {
+		return err
+	}
+	c.storeVal(v)
+	return nil
+}
+
+// storeVal appends to the $ history and prints "$N = value".
+func (c *CLI) storeVal(v filterc.Value) {
+	c.vals = append(c.vals, v)
+	c.printf("$%d = %s\n", len(c.vals), formatValue(v))
+}
+
+func formatValue(v filterc.Value) string {
+	if v.Type != nil && v.Type.Kind == filterc.KStruct {
+		return "(" + v.Type.Name + ")" + v.String()
+	}
+	if v.Type != nil && v.Type.Kind == filterc.KScalar && v.IsScalar() {
+		return fmt.Sprintf("(%s) %d", v.Type.Base, v.I)
+	}
+	return v.String()
+}
+
+func (c *CLI) listCmd(rest []string) error {
+	var file string
+	var line int
+	switch {
+	case len(rest) == 1:
+		var ok bool
+		if file, line, ok = splitLoc(rest[0]); !ok {
+			return fmt.Errorf("usage: list <file>:<line>")
+		}
+	case c.lastStop != nil && c.lastStop.Pos.Line > 0:
+		file, line = c.lastStop.Pos.File, c.lastStop.Pos.Line
+	default:
+		return fmt.Errorf("no source context; use list <file>:<line>")
+	}
+	printed := false
+	for l := line - 2; l <= line+3; l++ {
+		if l < 1 {
+			continue
+		}
+		src := c.Low.SourceLine(file, l)
+		if src == "" && l > line {
+			break // past the end of the file
+		}
+		c.printf("%d\t%s\n", l, src)
+		printed = true
+	}
+	if !printed {
+		return fmt.Errorf("no source registered for %s", file)
+	}
+	return nil
+}
+
+func (c *CLI) backtraceCmd() error {
+	if c.curProc == nil {
+		return fmt.Errorf("no current execution context")
+	}
+	frames := c.Low.FramesFor(c.curProc)
+	if len(frames) == 0 {
+		c.printf("no source-level frames for %s\n", c.curProc.Name())
+		return nil
+	}
+	for i, fr := range frames {
+		c.printf("#%d  %s () at line %d\n", i, fr.FuncName(), fr.Line)
+	}
+	return nil
+}
+
+func (c *CLI) threadCmd(rest []string) error {
+	if len(rest) != 1 {
+		return fmt.Errorf("usage: thread <id>")
+	}
+	id, err := strconv.Atoi(rest[0])
+	if err != nil {
+		return fmt.Errorf("bad thread id %q", rest[0])
+	}
+	for _, p := range c.Low.Threads() {
+		if p.ID() == id {
+			c.curProc = p
+			c.printf("[Switching to %s]\n", p)
+			return nil
+		}
+	}
+	return fmt.Errorf("no thread %d", id)
+}
+
+func (c *CLI) infoCmd(rest []string) error {
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: info filters|links|tokens|scheduling <m>|breakpoints|threads")
+	}
+	switch rest[0] {
+	case "filters":
+		for _, fi := range c.D.InfoFilters() {
+			blocked := ""
+			if fi.BlockedOn != "" {
+				blocked = "  blocked on " + fi.BlockedOn
+			}
+			line := ""
+			if fi.Line > 0 {
+				line = fmt.Sprintf("  line %d", fi.Line)
+			}
+			c.printf("%-10s %-16s %-14s firings=%-5d%s%s\n",
+				fi.Kind, fi.Name, fi.State, fi.Firings, line, blocked)
+		}
+		return nil
+	case "links", "tokens":
+		c.printf("%s", c.D.TokensReport())
+		return nil
+	case "scheduling":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: info scheduling <module>")
+		}
+		rep, err := c.D.SchedulingReport(rest[1])
+		if err != nil {
+			return err
+		}
+		c.printf("%s", rep)
+		return nil
+	case "iface":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: info iface <actor>::<port>")
+		}
+		conn, err := c.D.Connection(rest[1])
+		if err != nil {
+			return err
+		}
+		c.printf("%s\n", conn)
+		c.printf("  received=%d sent=%d recording=%v\n", conn.Received, conn.Sent, conn.Recording)
+		if conn.Link != nil {
+			c.printf("  link: %s\n", conn.Link)
+		}
+		if conn.LastToken != nil {
+			c.printf("  last token: %s\n", conn.LastToken.Hop.String())
+		}
+		return nil
+	case "breakpoints":
+		for _, bp := range c.Low.Breakpoints() {
+			c.printf("%s\n", bp)
+		}
+		for _, w := range c.Low.Watchpoints() {
+			c.printf("%s\n", w)
+		}
+		for _, cp := range c.D.Catchpoints() {
+			c.printf("%s\n", cp)
+		}
+		return nil
+	case "threads":
+		for _, p := range c.Low.Threads() {
+			cur := " "
+			if p == c.curProc {
+				cur = "*"
+			}
+			c.printf("%s %d  %-24s %s\n", cur, p.ID(), p.Name(), p.State())
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown info topic %q", rest[0])
+	}
+}
+
+func (c *CLI) filterCmd(rest []string) error {
+	if len(rest) < 2 {
+		return fmt.Errorf("usage: filter <name> catch|configure|info|print ...")
+	}
+	name := rest[0]
+	switch rest[1] {
+	case "catch":
+		if len(rest) < 3 {
+			return fmt.Errorf("usage: filter %s catch work|scheduled|<iface>=<n>,...", name)
+		}
+		spec := strings.Join(rest[2:], "")
+		switch spec {
+		case "work":
+			cp, err := c.D.CatchWorkOf(name)
+			if err != nil {
+				return err
+			}
+			c.printf("Catchpoint %d (work of filter %s)\n", cp.ID, name)
+			return nil
+		case "scheduled":
+			cp, err := c.D.CatchScheduledOf(name)
+			if err != nil {
+				return err
+			}
+			c.printf("Catchpoint %d (scheduling of filter %s)\n", cp.ID, name)
+			return nil
+		default:
+			conds, err := parseTokenConds(spec)
+			if err != nil {
+				return err
+			}
+			cp, err := c.D.CatchTokensOf(name, conds)
+			if err != nil {
+				return err
+			}
+			c.printf("Catchpoint %d (%s tokens of filter %s: %s)\n", cp.ID, cp.Kind, name, cp.Spec)
+			return nil
+		}
+	case "configure":
+		if len(rest) != 3 {
+			return fmt.Errorf("usage: filter %s configure splitter|joiner|map", name)
+		}
+		b, err := core.ParseBehavior(rest[2])
+		if err != nil {
+			return err
+		}
+		if err := c.D.ConfigureBehavior(name, b); err != nil {
+			return err
+		}
+		c.printf("Filter %s configured as %s\n", name, b)
+		return nil
+	case "info":
+		if len(rest) == 3 && rest[2] == "state" {
+			rep, err := c.D.ActorReport(name)
+			if err != nil {
+				return err
+			}
+			c.printf("%s", rep)
+			return nil
+		}
+		if len(rest) != 3 || rest[2] != "last_token" {
+			return fmt.Errorf("usage: filter %s info last_token|state", name)
+		}
+		tok, err := c.D.LastToken(name)
+		if err != nil {
+			return err
+		}
+		c.printf("%s", tok.FormatPath())
+		return nil
+	case "freeze":
+		if err := c.D.FreezeActor(name); err != nil {
+			return err
+		}
+		for _, l := range c.D.DrainLog() {
+			c.printf("%s\n", l)
+		}
+		return nil
+	case "thaw":
+		if err := c.D.ThawActor(name); err != nil {
+			return err
+		}
+		for _, l := range c.D.DrainLog() {
+			c.printf("%s\n", l)
+		}
+		return nil
+	case "watch":
+		if len(rest) != 3 {
+			return fmt.Errorf("usage: filter %s watch <data-or-attribute>", name)
+		}
+		sym, err := c.D.DataSymbolFor(name, rest[2])
+		if err != nil {
+			return err
+		}
+		w, err := c.Low.Watch(sym)
+		if err != nil {
+			return err
+		}
+		c.printf("Watchpoint %d: %s (%s.%s)\n", w.ID, sym, name, rest[2])
+		return nil
+	case "print":
+		if len(rest) != 3 || rest[2] != "last_token" {
+			return fmt.Errorf("usage: filter %s print last_token", name)
+		}
+		tok, err := c.D.LastToken(name)
+		if err != nil {
+			return err
+		}
+		c.storeVal(tok.Hop.Val)
+		return nil
+	default:
+		return fmt.Errorf("unknown filter subcommand %q", rest[1])
+	}
+}
+
+// parseTokenConds parses "Pipe_in=1,Hwcfg_in=1" or "*in=1".
+func parseTokenConds(spec string) (map[string]uint64, error) {
+	conds := make(map[string]uint64)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		n := uint64(1)
+		if len(kv) == 2 {
+			v, err := strconv.ParseUint(kv[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("bad token count %q", kv[1])
+			}
+			n = v
+		}
+		conds[kv[0]] = n
+	}
+	if len(conds) == 0 {
+		return nil, fmt.Errorf("empty token condition")
+	}
+	return conds, nil
+}
+
+func (c *CLI) moduleCmd(rest []string) error {
+	if len(rest) < 3 || rest[1] != "catch" || rest[2] != "step" {
+		return fmt.Errorf("usage: module <name> catch step [end]")
+	}
+	atEnd := len(rest) == 4 && rest[3] == "end"
+	cp, err := c.D.CatchStepOf(rest[0], atEnd)
+	if err != nil {
+		return err
+	}
+	c.printf("Catchpoint %d (%s of module %s)\n", cp.ID, cp.Spec, rest[0])
+	return nil
+}
+
+func (c *CLI) ifaceCmd(rest []string) error {
+	if len(rest) < 2 {
+		return fmt.Errorf("usage: iface <actor>::<port> record|norecord|print|catch <cond>")
+	}
+	q := rest[0]
+	if rest[1] == "catch" {
+		return c.ifaceCatchContent(q, rest[2:])
+	}
+	if len(rest) != 2 {
+		return fmt.Errorf("usage: iface <actor>::<port> record|norecord|print|catch <cond>")
+	}
+	switch rest[1] {
+	case "record":
+		if err := c.D.SetRecording(q, true); err != nil {
+			return err
+		}
+		c.printf("Recording tokens on %s\n", q)
+		return nil
+	case "norecord":
+		if err := c.D.SetRecording(q, false); err != nil {
+			return err
+		}
+		c.printf("Stopped recording on %s\n", q)
+		return nil
+	case "print":
+		out, err := c.D.FormatRecorded(q)
+		if err != nil {
+			return err
+		}
+		c.printf("%s", out)
+		return nil
+	default:
+		return fmt.Errorf("unknown iface subcommand %q", rest[1])
+	}
+}
+
+// ifaceCatchContent implements `iface <q> catch [<field>=]<value>`: a
+// token-content condition on a received token (Section III's conditional
+// breakpoints on token content). Scalar tokens match on their value;
+// struct tokens on the named field.
+func (c *CLI) ifaceCatchContent(q string, rest []string) error {
+	if len(rest) != 1 {
+		return fmt.Errorf("usage: iface %s catch [<field>=]<value>", q)
+	}
+	spec := rest[0]
+	field := ""
+	valText := spec
+	if i := strings.Index(spec, "="); i > 0 {
+		field = spec[:i]
+		valText = spec[i+1:]
+	} else if i == 0 {
+		valText = spec[1:]
+	}
+	want, err := strconv.ParseInt(valText, 0, 64)
+	if err != nil {
+		return fmt.Errorf("bad content value %q", valText)
+	}
+	pred := func(v filterc.Value) bool {
+		if field == "" {
+			return v.IsScalar() && v.I == want
+		}
+		if v.Type == nil || v.Type.Kind != filterc.KStruct {
+			return false
+		}
+		fi := v.Type.FieldIndex(field)
+		return fi >= 0 && v.Elems[fi].IsScalar() && v.Elems[fi].I == want
+	}
+	cp, err := c.D.CatchContentOf(q, spec, pred)
+	if err != nil {
+		return err
+	}
+	c.printf("Catchpoint %d (content %s on %s)\n", cp.ID, spec, q)
+	return nil
+}
+
+func (c *CLI) stepBothCmd(rest []string) error {
+	var err error
+	if len(rest) == 1 {
+		err = c.D.StepBoth(rest[0])
+	} else {
+		err = c.D.StepBothAuto(c.lastStop)
+	}
+	if err != nil {
+		return err
+	}
+	for _, l := range c.D.DrainLog() {
+		c.printf("%s\n", l)
+	}
+	return nil
+}
+
+// parseTokenValue parses an integer token payload with an optional type
+// prefix, e.g. "41" or "u16:41".
+func parseTokenValue(s string) (filterc.Value, error) {
+	base := filterc.U32
+	if i := strings.Index(s, ":"); i > 0 {
+		b, ok := filterc.BaseTypeByName(s[:i])
+		if !ok {
+			return filterc.Value{}, fmt.Errorf("unknown token type %q", s[:i])
+		}
+		base = b
+		s = s[i+1:]
+	}
+	n, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return filterc.Value{}, fmt.Errorf("bad token value %q", s)
+	}
+	return filterc.Int(base, n), nil
+}
+
+func (c *CLI) injectCmd(rest []string) error {
+	if len(rest) != 2 {
+		return fmt.Errorf("usage: inject <actor>::<port> <value>")
+	}
+	v, err := parseTokenValue(rest[1])
+	if err != nil {
+		return err
+	}
+	if err := c.D.InjectToken(rest[0], v); err != nil {
+		return err
+	}
+	for _, l := range c.D.DrainLog() {
+		c.printf("%s\n", l)
+	}
+	return nil
+}
+
+func (c *CLI) dropCmd(rest []string) error {
+	if len(rest) != 2 {
+		return fmt.Errorf("usage: drop <actor>::<port> <index>")
+	}
+	idx, err := strconv.Atoi(rest[1])
+	if err != nil {
+		return fmt.Errorf("bad index %q", rest[1])
+	}
+	if err := c.D.DropToken(rest[0], idx); err != nil {
+		return err
+	}
+	for _, l := range c.D.DrainLog() {
+		c.printf("%s\n", l)
+	}
+	return nil
+}
+
+func (c *CLI) replaceCmd(rest []string) error {
+	if len(rest) != 3 {
+		return fmt.Errorf("usage: replace <actor>::<port> <index> <value>")
+	}
+	idx, err := strconv.Atoi(rest[1])
+	if err != nil {
+		return fmt.Errorf("bad index %q", rest[1])
+	}
+	v, err := parseTokenValue(rest[2])
+	if err != nil {
+		return err
+	}
+	if err := c.D.ReplaceToken(rest[0], idx, v); err != nil {
+		return err
+	}
+	for _, l := range c.D.DrainLog() {
+		c.printf("%s\n", l)
+	}
+	return nil
+}
+
+func (c *CLI) peekCmd(rest []string) error {
+	if len(rest) != 2 {
+		return fmt.Errorf("usage: peek <actor>::<port> <index>")
+	}
+	idx, err := strconv.Atoi(rest[1])
+	if err != nil {
+		return fmt.Errorf("bad index %q", rest[1])
+	}
+	v, err := c.D.PeekToken(rest[0], idx)
+	if err != nil {
+		return err
+	}
+	c.storeVal(v)
+	return nil
+}
+
+// enableCmd toggles a breakpoint, watchpoint or catchpoint by id.
+func (c *CLI) enableCmd(rest []string, on bool) error {
+	verb := "disable"
+	if on {
+		verb = "enable"
+	}
+	if len(rest) == 2 && rest[0] == "catch" {
+		id, err := strconv.Atoi(rest[1])
+		if err != nil {
+			return fmt.Errorf("bad catchpoint id %q", rest[1])
+		}
+		if err := c.D.SetCatchEnabled(id, on); err != nil {
+			return err
+		}
+		c.printf("Catchpoint %d %sd\n", id, verb)
+		return nil
+	}
+	if len(rest) != 1 {
+		return fmt.Errorf("usage: %s <id> | %s catch <id>", verb, verb)
+	}
+	id, err := strconv.Atoi(rest[0])
+	if err != nil {
+		return fmt.Errorf("bad id %q", rest[0])
+	}
+	for _, bp := range c.Low.Breakpoints() {
+		if bp.ID == id {
+			bp.Enabled = on
+			c.printf("Breakpoint %d %sd\n", id, verb)
+			return nil
+		}
+	}
+	for _, w := range c.Low.Watchpoints() {
+		if w.ID == id {
+			w.Enabled = on
+			c.printf("Watchpoint %d %sd\n", id, verb)
+			return nil
+		}
+	}
+	return fmt.Errorf("no breakpoint or watchpoint #%d", id)
+}
+
+func (c *CLI) setCmd(rest []string) error {
+	if len(rest) != 2 || rest[0] != "data-breakpoints" {
+		return fmt.Errorf("usage: set data-breakpoints on|off")
+	}
+	switch rest[1] {
+	case "on":
+		c.Low.DataBreakpointsEnabled = true
+	case "off":
+		c.Low.DataBreakpointsEnabled = false
+	default:
+		return fmt.Errorf("usage: set data-breakpoints on|off")
+	}
+	c.printf("Data exchange breakpoints: %s\n", rest[1])
+	return nil
+}
+
+// traceCmd exposes the offline trace recorder: `trace [n]` dumps the
+// last n events, `trace balance` shows per-link push/pop imbalance,
+// `trace activity` per-actor event counts.
+func (c *CLI) traceCmd(rest []string) error {
+	if c.Rec == nil {
+		return fmt.Errorf("no trace recorder attached to this session")
+	}
+	if len(rest) == 0 {
+		c.printf("%s", c.Rec.Dump(20))
+		return nil
+	}
+	switch rest[0] {
+	case "balance":
+		for link, bal := range c.Rec.LinkBalance() {
+			if bal != 0 {
+				c.printf("link#%d  +%d tokens in flight\n", link, bal)
+			}
+		}
+		return nil
+	case "activity":
+		for actor, n := range c.Rec.ActorActivity() {
+			c.printf("%-16s %d events\n", actor, n)
+		}
+		return nil
+	default:
+		n, err := strconv.Atoi(rest[0])
+		if err != nil {
+			return fmt.Errorf("usage: trace [n | balance | activity]")
+		}
+		c.printf("%s", c.Rec.Dump(n))
+		return nil
+	}
+}
+
+// CompleteLine offers completions for the last word of a partial command
+// line, drawing on the reconstructed graph (actor and interface names)
+// and the symbol table.
+func (c *CLI) CompleteLine(partial string) []string {
+	words := strings.Fields(partial)
+	last := ""
+	if len(words) > 0 && !strings.HasSuffix(partial, " ") {
+		last = words[len(words)-1]
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(s string) {
+		if !seen[s] && strings.HasPrefix(s, last) {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, s := range c.D.Complete(last) {
+		add(s)
+	}
+	if c.Low.Syms != nil {
+		for _, s := range c.Low.Syms.Complete(last) {
+			add(s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+
+	"dfdbg/internal/dot"
+)
+
+// GraphDOT renders the *reconstructed* application graph in the paper's
+// Figure 2/4 style: one cluster per module, green rectangular
+// controllers, round filters, plain data arrows, dotted control arrows,
+// dashed DMA-assisted arrows, and arc labels showing the number of
+// tokens currently held (only when non-zero, as in Figure 4).
+//
+// Unlike mind.GraphDOT, which reads the framework's ground truth, this
+// rendering is built purely from intercepted initialization calls and
+// push/pop events — it is the debugger's own belief about the
+// application (and experiment F3 checks the two agree).
+func (d *Debugger) GraphDOT() string {
+	g := dot.NewGraph("dataflow")
+	for _, a := range d.actorList {
+		switch a.Kind {
+		case KindModule:
+			// Modules render as clusters, created on demand below.
+		case KindController:
+			g.AddNode(a.Module, dot.Node{ID: a.Name, Label: a.Name, Shape: "box", Color: "palegreen"})
+		case KindEnv:
+			g.AddNode("", dot.Node{ID: a.Name, Label: a.Name, Shape: "cds"})
+		default:
+			g.AddNode(a.Module, dot.Node{ID: a.Name, Label: a.Name, Shape: "ellipse"})
+		}
+	}
+	for _, mi := range d.moduleList {
+		g.AddCluster(mi.Actor.Name, mi.Actor.Name)
+	}
+	for _, l := range d.linkList {
+		style := "solid"
+		switch l.Kind {
+		case "control":
+			style = "dotted"
+		case "dma":
+			style = "dashed"
+		}
+		label := ""
+		if occ := l.Occupancy(); occ > 0 {
+			label = fmt.Sprintf("%d", occ)
+		}
+		for _, end := range []*Connection{l.Src, l.Dst} {
+			if !g.HasNode(end.Actor.Name) {
+				g.AddNode("", dot.Node{ID: end.Actor.Name, Label: end.Actor.Name, Shape: "cds"})
+			}
+		}
+		g.AddEdge(dot.Edge{From: l.Src.Actor.Name, To: l.Dst.Actor.Name, Label: label, Style: style})
+	}
+	return g.String()
+}

@@ -1,0 +1,158 @@
+// Package dot renders dataflow graphs in Graphviz DOT format — the
+// paper's debugger plots the reconstructed graph "with Graphviz DOT
+// format" (Section VI-A); Figures 2 and 4 are such renderings.
+//
+// The package is a deterministic writer: node, cluster and edge order is
+// exactly insertion order, so identical graphs serialize identically
+// (important for golden tests and experiment reproducibility).
+package dot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is one graph vertex.
+type Node struct {
+	ID    string
+	Label string
+	Shape string // e.g. "box", "ellipse"; empty uses Graphviz default
+	Color string // fill color; empty for unfilled
+}
+
+// Edge is one directed edge.
+type Edge struct {
+	From  string
+	To    string
+	Label string
+	Style string // "solid" (default), "dotted", "dashed"
+}
+
+// Cluster is a subgraph (a PEDF module in Figures 2/4).
+type Cluster struct {
+	Name  string // cluster key, unique
+	Label string
+	nodes []string
+}
+
+// Graph is a directed graph under construction.
+type Graph struct {
+	Name     string
+	clusters []*Cluster
+	byName   map[string]*Cluster
+	nodes    []Node
+	nodeSet  map[string]bool
+	edges    []Edge
+}
+
+// NewGraph creates an empty digraph.
+func NewGraph(name string) *Graph {
+	return &Graph{
+		Name:    name,
+		byName:  make(map[string]*Cluster),
+		nodeSet: make(map[string]bool),
+	}
+}
+
+// AddCluster declares (or returns the existing) cluster.
+func (g *Graph) AddCluster(name, label string) *Cluster {
+	if c, ok := g.byName[name]; ok {
+		return c
+	}
+	c := &Cluster{Name: name, Label: label}
+	g.byName[name] = c
+	g.clusters = append(g.clusters, c)
+	return c
+}
+
+// AddNode adds a node, optionally inside a cluster (empty cluster name
+// puts it at top level). Duplicate IDs are ignored.
+func (g *Graph) AddNode(cluster string, n Node) {
+	if g.nodeSet[n.ID] {
+		return
+	}
+	g.nodeSet[n.ID] = true
+	g.nodes = append(g.nodes, n)
+	if cluster != "" {
+		g.AddCluster(cluster, cluster).nodes = append(g.byName[cluster].nodes, n.ID)
+	}
+}
+
+// HasNode reports whether the node ID exists.
+func (g *Graph) HasNode(id string) bool { return g.nodeSet[id] }
+
+// AddEdge adds a directed edge.
+func (g *Graph) AddEdge(e Edge) {
+	g.edges = append(g.edges, e)
+}
+
+// Nodes returns the node count.
+func (g *Graph) Nodes() int { return len(g.nodes) }
+
+// Edges returns the edge count.
+func (g *Graph) Edges() int { return len(g.edges) }
+
+// quote escapes a string for a DOT quoted identifier.
+func quote(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return `"` + s + `"`
+}
+
+// String renders the graph as DOT text.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", quote(g.Name))
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [fontsize=10];\n")
+
+	inCluster := make(map[string]bool)
+	for _, c := range g.clusters {
+		for _, id := range c.nodes {
+			inCluster[id] = true
+		}
+	}
+	nodeLine := func(n Node, indent string) {
+		attrs := []string{fmt.Sprintf("label=%s", quote(n.Label))}
+		if n.Shape != "" {
+			attrs = append(attrs, "shape="+n.Shape)
+		}
+		if n.Color != "" {
+			attrs = append(attrs, "style=filled", "fillcolor="+quote(n.Color))
+		}
+		fmt.Fprintf(&b, "%s%s [%s];\n", indent, quote(n.ID), strings.Join(attrs, ", "))
+	}
+	byID := make(map[string]Node, len(g.nodes))
+	for _, n := range g.nodes {
+		byID[n.ID] = n
+	}
+	for i, c := range g.clusters {
+		fmt.Fprintf(&b, "  subgraph %s {\n", quote(fmt.Sprintf("cluster_%d", i)))
+		fmt.Fprintf(&b, "    label=%s;\n", quote(c.Label))
+		for _, id := range c.nodes {
+			nodeLine(byID[id], "    ")
+		}
+		b.WriteString("  }\n")
+	}
+	for _, n := range g.nodes {
+		if !inCluster[n.ID] {
+			nodeLine(n, "  ")
+		}
+	}
+	for _, e := range g.edges {
+		attrs := []string{}
+		if e.Label != "" {
+			attrs = append(attrs, "label="+quote(e.Label))
+		}
+		if e.Style != "" && e.Style != "solid" {
+			attrs = append(attrs, "style="+e.Style)
+		}
+		if len(attrs) > 0 {
+			fmt.Fprintf(&b, "  %s -> %s [%s];\n", quote(e.From), quote(e.To), strings.Join(attrs, ", "))
+		} else {
+			fmt.Fprintf(&b, "  %s -> %s;\n", quote(e.From), quote(e.To))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderSimpleGraph(t *testing.T) {
+	g := NewGraph("AModule")
+	g.AddNode("AModule", Node{ID: "controller", Label: "controller", Shape: "box", Color: "palegreen"})
+	g.AddNode("AModule", Node{ID: "filter_1", Label: "filter_1", Shape: "ellipse"})
+	g.AddNode("AModule", Node{ID: "filter_2", Label: "filter_2", Shape: "ellipse"})
+	g.AddNode("", Node{ID: "env", Label: "env"})
+	g.AddEdge(Edge{From: "controller", To: "filter_1", Style: "dotted"})
+	g.AddEdge(Edge{From: "filter_1", To: "filter_2", Label: "3"})
+	g.AddEdge(Edge{From: "env", To: "filter_1", Style: "dashed"})
+	out := g.String()
+	for _, frag := range []string{
+		`digraph "AModule"`,
+		`subgraph "cluster_0"`,
+		`label="AModule";`,
+		`"controller" [label="controller", shape=box, style=filled, fillcolor="palegreen"];`,
+		`"filter_1" -> "filter_2" [label="3"];`,
+		`"controller" -> "filter_1" [style=dotted];`,
+		`"env" -> "filter_1" [style=dashed];`,
+		`"env" [label="env"];`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+	if g.Nodes() != 4 || g.Edges() != 3 {
+		t.Errorf("counts = %d nodes %d edges", g.Nodes(), g.Edges())
+	}
+}
+
+func TestDuplicateNodesIgnored(t *testing.T) {
+	g := NewGraph("g")
+	g.AddNode("", Node{ID: "a", Label: "a"})
+	g.AddNode("", Node{ID: "a", Label: "other"})
+	if g.Nodes() != 1 {
+		t.Errorf("nodes = %d, want 1", g.Nodes())
+	}
+	if !g.HasNode("a") || g.HasNode("b") {
+		t.Error("HasNode wrong")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	build := func() string {
+		g := NewGraph("g")
+		g.AddNode("m1", Node{ID: "x", Label: "x"})
+		g.AddNode("m2", Node{ID: "y", Label: "y"})
+		g.AddEdge(Edge{From: "x", To: "y"})
+		g.AddEdge(Edge{From: "y", To: "x", Label: "back"})
+		return g.String()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Error("non-deterministic DOT output")
+	}
+}
+
+func TestQuoting(t *testing.T) {
+	g := NewGraph(`we"ird`)
+	g.AddNode("", Node{ID: `n"1`, Label: `l\bl`})
+	out := g.String()
+	if !strings.Contains(out, `digraph "we\"ird"`) {
+		t.Errorf("graph name not escaped: %s", out)
+	}
+	if !strings.Contains(out, `"n\"1" [label="l\\bl"];`) {
+		t.Errorf("node not escaped: %s", out)
+	}
+}
+
+func TestClusterReuse(t *testing.T) {
+	g := NewGraph("g")
+	c1 := g.AddCluster("m", "Module M")
+	c2 := g.AddCluster("m", "ignored")
+	if c1 != c2 {
+		t.Error("AddCluster created duplicate")
+	}
+	g.AddNode("m", Node{ID: "a", Label: "a"})
+	g.AddNode("m", Node{ID: "b", Label: "b"})
+	out := g.String()
+	if strings.Count(out, "subgraph") != 1 {
+		t.Errorf("want exactly one subgraph:\n%s", out)
+	}
+	if !strings.Contains(out, `label="Module M";`) {
+		t.Errorf("first label should win:\n%s", out)
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// run executes one experiment in quick mode and returns its report.
+func run(t *testing.T, id string) string {
+	t.Helper()
+	var out strings.Builder
+	r := &Runner{W: &out, Quick: true}
+	if err := r.Run(id); err != nil {
+		t.Fatalf("%s: %v\noutput so far:\n%s", id, err, out.String())
+	}
+	return out.String()
+}
+
+func TestF1(t *testing.T) {
+	out := run(t, "F1")
+	for _, frag := range []string{"host + 4 cluster(s)", "intra-cluster (L1)",
+		"host->fabric (DMA+L3)", "DMA transfers=100"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("F1 missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestF2(t *testing.T) {
+	out := run(t, "F2")
+	for _, frag := range []string{`label="AModule"`, `"filter_1" -> "filter_2"`,
+		"style=dotted", "outputs: 2 12 22 32"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("F2 missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestF3(t *testing.T) {
+	out := run(t, "F3")
+	if !strings.Contains(out, "all kinds match") ||
+		!strings.Contains(out, "occupancy model == framework") {
+		t.Errorf("F3 output:\n%s", out)
+	}
+}
+
+func TestF4(t *testing.T) {
+	out := run(t, "F4")
+	if !strings.Contains(out, "occupancy(pipe->ipf) == 20") {
+		t.Errorf("F4 missing the condition stop:\n%s", out)
+	}
+	// The congested link shows 20 held tokens in the table.
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "pipe::pipe_ipf_out -> ipf::pipe_in") &&
+			strings.Contains(line, "held=20") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("F4 snapshot lacks pipe->ipf held=20:\n%s", out)
+	}
+}
+
+func TestC1(t *testing.T) {
+	out := run(t, "C1")
+	for _, frag := range []string{
+		"(gdb) filter pipe catch work",
+		"pipe work method triggered",
+		"(gdb) filter ipred catch Pipe_in=1,Hwcfg_in=1",
+		"Stopped after receiving token from `ipred::",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("C1 missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestC2(t *testing.T) {
+	out := run(t, "C2")
+	for _, frag := range []string{
+		"(gdb) step_both",
+		"Temporary breakpoint inserted after input interface `ipf::Add2Dblock_ipred_in'",
+		"Temporary breakpoint inserted after output interface `ipred::Add2Dblock_ipf_out'",
+		"Stopped after",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("C2 missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestC3(t *testing.T) {
+	out := run(t, "C3")
+	for _, frag := range []string{
+		"Recording tokens on hwcfg::pipe_MbType_out",
+		"#1 (U16) ",
+		"#1 red -> pipe (CbCrMB_t)",
+		"#2 bh -> red (I32)",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("C3 missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestC4(t *testing.T) {
+	out := run(t, "C4")
+	for _, frag := range []string{
+		"$1 = (CbCrMB_t){Addr = 0",
+		"$2 = (CbCrMB_t){Addr = 0",
+		"running",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("C4 missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestQ1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := run(t, "Q1")
+	if !strings.Contains(out, "fewer operations") {
+		t.Errorf("Q1 output:\n%s", out)
+	}
+	if strings.Contains(out, "NOT localized") {
+		t.Errorf("Q1 has failed sessions:\n%s", out)
+	}
+}
+
+func TestP1(t *testing.T) {
+	out := run(t, "P1")
+	for _, frag := range []string{"native (no debugger)", "full dataflow layer",
+		"option 1", "option 2"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("P1 missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestP2(t *testing.T) {
+	out := run(t, "P2")
+	for seed := 1; seed <= 3; seed++ {
+		if !strings.Contains(out, "token sequences identical=true, output frames identical=true") {
+			t.Fatalf("P2 output:\n%s", out)
+		}
+	}
+}
+
+func TestRunAllAndUnknown(t *testing.T) {
+	var out strings.Builder
+	r := &Runner{W: &out, Quick: true}
+	if err := r.Run("ZZ"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if len(All()) != 11 {
+		t.Errorf("All() = %v", All())
+	}
+}

@@ -1,0 +1,241 @@
+package filterc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString
+	tPunct // operators and delimiters; the Text field disambiguates
+)
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%s:%d", p.File, p.Line) }
+
+// token is one lexical token.
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	pos  Pos
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "EOF"
+	case tNumber:
+		return fmt.Sprintf("number %d", t.num)
+	case tString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// Error is a lexical or syntax error with position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// multi-character operators, longest first so maximal munch works.
+var punctuators = []string{
+	"<<=", ">>=",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+	"+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+	"(", ")", "[", "]", "{", "}", ";", ",", ".", "?", ":",
+}
+
+// lexer tokenizes filterc source.
+type lexer struct {
+	file string
+	src  string
+	off  int
+	line int
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{file: file, src: src, line: 1}
+}
+
+func (l *lexer) pos() Pos { return Pos{File: l.file, Line: l.line} }
+
+func (l *lexer) errf(format string, args ...any) *Error {
+	return &Error{Pos: l.pos(), Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexAll produces the full token stream (terminated by tEOF).
+func (l *lexer) lexAll() ([]token, error) {
+	var toks []token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.kind == tEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	if l.off >= len(l.src) {
+		return token{kind: tEOF, pos: l.pos()}, nil
+	}
+	c := l.src[l.off]
+	switch {
+	case isIdentStart(c):
+		return l.lexIdent(), nil
+	case c >= '0' && c <= '9':
+		return l.lexNumber()
+	case c == '"':
+		return l.lexString()
+	default:
+		return l.lexPunct()
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		switch {
+		case c == '\n':
+			l.line++
+			l.off++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.off++
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.off++
+			}
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '*':
+			l.off += 2
+			for l.off+1 < len(l.src) && !(l.src[l.off] == '*' && l.src[l.off+1] == '/') {
+				if l.src[l.off] == '\n' {
+					l.line++
+				}
+				l.off++
+			}
+			l.off += 2
+			if l.off > len(l.src) {
+				l.off = len(l.src)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (l *lexer) lexIdent() token {
+	start := l.off
+	for l.off < len(l.src) && isIdentCont(l.src[l.off]) {
+		l.off++
+	}
+	return token{kind: tIdent, text: l.src[start:l.off], pos: l.pos()}
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.off
+	base := 10
+	if strings.HasPrefix(l.src[l.off:], "0x") || strings.HasPrefix(l.src[l.off:], "0X") {
+		base = 16
+		l.off += 2
+	}
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		if (c >= '0' && c <= '9') ||
+			(base == 16 && ((c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F'))) {
+			l.off++
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.off]
+	digits := text
+	if base == 16 {
+		digits = text[2:]
+		if digits == "" {
+			return token{}, l.errf("malformed hex literal %q", text)
+		}
+	}
+	n, err := strconv.ParseUint(digits, base, 64)
+	if err != nil {
+		return token{}, l.errf("malformed number %q: %v", text, err)
+	}
+	return token{kind: tNumber, num: int64(n), pos: l.pos()}, nil
+}
+
+func (l *lexer) lexString() (token, error) {
+	l.off++ // opening quote
+	var b strings.Builder
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		switch c {
+		case '"':
+			l.off++
+			return token{kind: tString, text: b.String(), pos: l.pos()}, nil
+		case '\n':
+			return token{}, l.errf("newline in string literal")
+		case '\\':
+			l.off++
+			if l.off >= len(l.src) {
+				return token{}, l.errf("unterminated escape")
+			}
+			switch l.src[l.off] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			default:
+				return token{}, l.errf("unknown escape \\%c", l.src[l.off])
+			}
+			l.off++
+		default:
+			b.WriteByte(c)
+			l.off++
+		}
+	}
+	return token{}, l.errf("unterminated string literal")
+}
+
+func (l *lexer) lexPunct() (token, error) {
+	rest := l.src[l.off:]
+	for _, p := range punctuators {
+		if strings.HasPrefix(rest, p) {
+			l.off += len(p)
+			return token{kind: tPunct, text: p, pos: l.pos()}, nil
+		}
+	}
+	return token{}, l.errf("unexpected character %q", l.src[l.off])
+}

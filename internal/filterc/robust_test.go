@@ -1,0 +1,65 @@
+package filterc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the parser returns an error or a program for ANY input —
+// it never panics, loops forever or indexes out of range.
+func TestQuickParserNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("parser panicked on %q: %v", src, r)
+				ok = false
+			}
+		}()
+		_, _ = Parse("fuzz.c", src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Adversarial fragments that once looked risky.
+	for _, src := range []string{
+		"", "{", "}", ";", "void", "void f", "void f(", "void f(){",
+		"void f() { pedf. }", "void f() { pedf.io }", "void f() { pedf.io. }",
+		"void f() { x[ }", "void f() { a.b.c.d.e; }", "struct", "struct S",
+		"struct S {", "struct S { u32 }", "void f() { switch }",
+		"void f() { switch (1) }", "void f() { for (", "void f() { 0x }",
+		"void f() { \"", "void f() { /*", "i32 f() { return (((((1; }",
+		"void f() { x ()()()()(); }",
+	} {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("parser panicked on %q: %v", src, r)
+				}
+			}()
+			_, _ = Parse("fuzz.c", src)
+		}()
+	}
+}
+
+// Property: a program that parses twice yields the same statement line
+// table (parsing is deterministic).
+func TestQuickParseDeterministic(t *testing.T) {
+	srcs := []string{
+		"void work() { u32 x = 1; if (x) { x = 2; } while (x < 9) x++; }",
+		"i32 f(i32 n) { switch (n) { case 1: return 1; default: return 0; } }",
+		"struct S { i32 a; }; void work() { S s; s.a = 3; }",
+	}
+	for _, src := range srcs {
+		a := MustParse("t.c", src).StmtLines()
+		b := MustParse("t.c", src).StmtLines()
+		if len(a) != len(b) {
+			t.Fatalf("nondeterministic line tables for %q", src)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("nondeterministic line tables for %q", src)
+			}
+		}
+	}
+}

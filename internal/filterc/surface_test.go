@@ -1,0 +1,222 @@
+package filterc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBaseTypeStringsAndBits(t *testing.T) {
+	cases := map[BaseType]string{
+		U8: "U8", U16: "U16", U32: "U32", I8: "I8", I16: "I16", I32: "I32",
+		Bool: "bool", Str: "string", Void: "void",
+	}
+	for b, want := range cases {
+		if b.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(b), b.String(), want)
+		}
+	}
+	bits := map[BaseType]int{U8: 8, I8: 8, U16: 16, I16: 16, U32: 32, I32: 32, Bool: 1}
+	for b, want := range bits {
+		if b.Bits() != want {
+			t.Errorf("%v.Bits() = %d, want %d", b, b.Bits(), want)
+		}
+	}
+	if !I8.Signed() || !I16.Signed() || !I32.Signed() || U8.Signed() || U32.Signed() {
+		t.Error("Signed() wrong")
+	}
+}
+
+func TestBaseTypeByNameSpellings(t *testing.T) {
+	for name, want := range map[string]BaseType{
+		"u8": U8, "U8": U8, "u16": U16, "U32": U32,
+		"i8": I8, "I16": I16, "i32": I32, "int": I32, "void": Void,
+	} {
+		got, ok := BaseTypeByName(name)
+		if !ok || got != want {
+			t.Errorf("BaseTypeByName(%q) = %v %v", name, got, ok)
+		}
+	}
+	if _, ok := BaseTypeByName("float"); ok {
+		t.Error("float accepted")
+	}
+}
+
+func TestValueConvert(t *testing.T) {
+	v, err := Int(U32, 300).Convert(U8)
+	if err != nil || v.I != 44 {
+		t.Errorf("Convert = %v %v", v, err)
+	}
+	st := &Type{Kind: KStruct, Name: "S"}
+	if _, err := Zero(st).Convert(U8); err == nil {
+		t.Error("struct Convert accepted")
+	}
+}
+
+func TestErrorAndPosStrings(t *testing.T) {
+	e := &Error{Pos: Pos{File: "a.c", Line: 3}, Msg: "boom"}
+	if e.Error() != "a.c:3: boom" {
+		t.Errorf("error = %q", e.Error())
+	}
+	re := &RuntimeError{Pos: Pos{File: "b.c", Line: 9}, Msg: "bad"}
+	if re.Error() != "b.c:9: bad" {
+		t.Errorf("runtime error = %q", re.Error())
+	}
+}
+
+func TestTokenStrings(t *testing.T) {
+	toks, err := newLexer("t.c", `name 42 "s" +`).lexAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []string{`"name"`, "number 42", `string "s"`, `"+"`, "EOF"}
+	for i, w := range wants {
+		if toks[i].String() != w {
+			t.Errorf("token %d string = %q, want %q", i, toks[i].String(), w)
+		}
+	}
+}
+
+func TestFrameParent(t *testing.T) {
+	prog := MustParse("t.c", `i32 g() { return 1; }
+i32 f() { return g(); }`)
+	in := New(prog, nil)
+	var sawParent bool
+	in.Hooks = &funcHooks{onStmt: func(fr *Frame, pos Pos) {
+		if fr.FuncName() == "g" {
+			if fr.Parent() == nil || fr.Parent().FuncName() != "f" {
+				t.Error("Parent() wrong")
+			}
+			sawParent = true
+		}
+	}}
+	if _, err := in.CallFunc("f", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !sawParent {
+		t.Error("never entered g")
+	}
+}
+
+func TestAggregateEquality(t *testing.T) {
+	// Deep == / != on structs and arrays.
+	v := run(t, `
+struct P { i32 x; i32 y; };
+i32 f() {
+	P a;
+	P b;
+	a.x = 1; a.y = 2;
+	b.x = 1; b.y = 2;
+	i32 r = 0;
+	if (a == b) r = r + 1;
+	b.y = 3;
+	if (a != b) r = r + 10;
+	return r;
+}`, nil, "f")
+	if v.I != 11 {
+		t.Errorf("aggregate equality = %d, want 11", v.I)
+	}
+}
+
+func TestTernaryNesting(t *testing.T) {
+	v := run(t, `i32 f(i32 x) { return x < 0 ? 0 - 1 : x == 0 ? 0 : 1; }`,
+		nil, "f", Int(I32, -5))
+	if v.I != -1 {
+		t.Errorf("sign(-5) = %d", v.I)
+	}
+	v = run(t, `i32 f(i32 x) { return x < 0 ? 0 - 1 : x == 0 ? 0 : 1; }`,
+		nil, "f", Int(I32, 0))
+	if v.I != 0 {
+		t.Errorf("sign(0) = %d", v.I)
+	}
+}
+
+func TestWhileWithoutBracesAndEmptyFor(t *testing.T) {
+	v := run(t, `i32 f() {
+	i32 i = 0;
+	while (i < 5) i++;
+	for (;;) { i++; if (i > 8) break; }
+	return i;
+}`, nil, "f")
+	if v.I != 9 {
+		t.Errorf("loops = %d, want 9", v.I)
+	}
+}
+
+func TestParseForVariants(t *testing.T) {
+	// for with expression-init, missing cond, missing post.
+	v := run(t, `i32 f() {
+	i32 s = 0;
+	i32 i = 0;
+	for (i = 2; ; i++) { if (i >= 5) break; s += i; }
+	for (i = 0; i < 3;) { s += 100; i++; }
+	return s;
+}`, nil, "f")
+	if v.I != 2+3+4+300 {
+		t.Errorf("for variants = %d, want %d", v.I, 2+3+4+300)
+	}
+}
+
+func TestStringValueRendering(t *testing.T) {
+	if StringVal("x").String() != `"x"` {
+		t.Error("string rendering wrong")
+	}
+	if VoidVal().String() != "void" {
+		t.Error("void rendering wrong")
+	}
+	var nilV Value
+	if nilV.String() != "<nil>" {
+		t.Error("nil value rendering wrong")
+	}
+}
+
+func TestLogicalOperatorsShortCircuit(t *testing.T) {
+	// The right side must not evaluate when short-circuited: a division
+	// by zero there would otherwise fail.
+	v := run(t, `i32 f() {
+	i32 z = 0;
+	if (z != 0 && 10 / z > 1) return 1;
+	if (z == 0 || 10 / z > 1) return 2;
+	return 3;
+}`, nil, "f")
+	if v.I != 2 {
+		t.Errorf("short circuit = %d, want 2", v.I)
+	}
+}
+
+func TestStructArgumentPassing(t *testing.T) {
+	v := run(t, `
+struct P { i32 x; i32 y; };
+i32 take(P p) { p.x = 99; return p.x + p.y; }
+i32 f() {
+	P a;
+	a.x = 1; a.y = 2;
+	i32 r = take(a);
+	return r * 100 + a.x;
+}`, nil, "f")
+	// take returns 101; a.x unchanged (pass by value) → 10101.
+	if v.I != 101*100+1 {
+		t.Errorf("struct arg = %d, want %d", v.I, 101*100+1)
+	}
+}
+
+func TestWrongStructArgumentRejected(t *testing.T) {
+	err := runErr(t, `
+struct P { i32 x; };
+struct Q { i32 x; };
+i32 take(P p) { return p.x; }
+i32 f() { Q q; return take(q); }`, nil, "f")
+	if !strings.Contains(err.Error(), "cannot pass") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestNestedArrayTypesInStructString(t *testing.T) {
+	st := &Type{Kind: KStruct, Name: "B", Fields: []Field{
+		{Name: "Pix", Type: ArrayOf(Scalar(I32), 2)},
+	}}
+	v := Zero(st)
+	v.Elems[0].Elems[1] = Int(I32, 7)
+	if got := v.String(); got != "{Pix = [0, 7]}" {
+		t.Errorf("render = %q", got)
+	}
+}

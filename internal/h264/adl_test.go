@@ -1,0 +1,140 @@
+package h264
+
+import (
+	"testing"
+
+	"dfdbg/internal/mach"
+	"dfdbg/internal/pedf"
+	"dfdbg/internal/sim"
+)
+
+func TestADLDecoderMatchesReference(t *testing.T) {
+	p := Params{W: 16, H: 16, QP: 8, Seed: 7}
+	k := sim.NewKernel()
+	m := mach.New(k, mach.Config{})
+	rt := pedf.NewRuntime(k, m, nil)
+	bits, err := Encode(GenerateFrame(p), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := BuildFromADL(rt, p, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Front == nil || app.Pred == nil {
+		t.Fatal("front/pred modules not found")
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := k.Run()
+	if err != nil || st != sim.RunIdle {
+		t.Fatalf("run = %v %v", st, err)
+	}
+	if dl := k.Blocked(); dl != nil {
+		t.Fatalf("deadlock: %v", dl)
+	}
+	got, err := app.OutputFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReferenceDecode(bits, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pixel %d: ADL-built decoder %d != reference %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestADLAndProgrammaticBuildsAgree(t *testing.T) {
+	p := Params{W: 16, H: 16, QP: 8, Seed: 7}
+	bits, err := Encode(GenerateFrame(p), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	linkSet := func(rt *pedf.Runtime) map[string]string {
+		out := make(map[string]string)
+		for _, l := range rt.Links() {
+			out[l.Src.Qualified()+" -> "+l.Dst.Qualified()] = l.Kind.String()
+		}
+		return out
+	}
+
+	// Programmatic build.
+	k1 := sim.NewKernel()
+	rt1 := pedf.NewRuntime(k1, mach.New(k1, mach.Config{}), nil)
+	if _, err := Build(rt1, p, bits, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// ADL build.
+	k2 := sim.NewKernel()
+	rt2 := pedf.NewRuntime(k2, mach.New(k2, mach.Config{}), nil)
+	if _, err := BuildFromADL(rt2, p, bits); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt2.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	prog, adl := linkSet(rt1), linkSet(rt2)
+	// Identical actor-level links modulo the environment port naming
+	// (feed_stream_in vs feed_stream etc. depend on the module port name).
+	if len(prog) != len(adl) {
+		t.Fatalf("link counts differ: programmatic %d vs ADL %d\nprog: %v\nadl: %v",
+			len(prog), len(adl), prog, adl)
+	}
+	for key, kind := range prog {
+		if akind, ok := adl[key]; ok && akind != kind {
+			t.Errorf("link %s kind differs: %s vs %s", key, kind, akind)
+		}
+	}
+	// Non-env links must match exactly.
+	for key, kind := range prog {
+		if containsEnv(key) {
+			continue
+		}
+		if adl[key] != kind {
+			t.Errorf("ADL build missing link %s (%s)", key, kind)
+		}
+	}
+}
+
+func containsEnv(key string) bool {
+	return len(key) >= 3 && (key[:3] == "env" || key[len(key)-3:] == "env" ||
+		// qualified names: env::...
+		(len(key) > 5 && (key[:5] == "env::" || contains(key, "env::"))))
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDecoderADLParsesForVariousShapes(t *testing.T) {
+	for _, p := range []Params{
+		{W: 16, H: 16, QP: 1, Seed: 1},
+		{W: 32, H: 16, QP: 8, Seed: 2},
+		{W: 48, H: 48, QP: 12, Seed: 3},
+	} {
+		if _, err := BuildFromADL(
+			pedf.NewRuntime(sim.NewKernel(), mach.New(sim.NewKernel(), mach.Config{}), nil),
+			p, []byte{0}); err == nil {
+			// Wrong-length bitstreams are fine at build time; decoding
+			// would fail later. We only check elaboration here.
+			continue
+		} else {
+			t.Errorf("%+v: %v", p, err)
+		}
+	}
+}

@@ -1,0 +1,611 @@
+// Package h264 provides the paper's case study (Section VI): an
+// H.264-style intra video decoder implemented as a PEDF dataflow
+// application with the Figure 4 actors — module front (bh, hwcfg, pipe)
+// and module pred (red, ipred, ipf, mb) — plus, as ground truth, a pure
+// Go encoder and reference decoder for the same simplified codec.
+//
+// The codec is deliberately small but real: 4x4 intra prediction with
+// DC/horizontal/vertical modes chosen by the encoder, flat quantization
+// of the residual, zigzag+LEB128 entropy coding, and an in-loop deblock
+// filter on vertical block edges. The PEDF decoder must reproduce the
+// reference decoder's output bit-exactly — that is the case study's
+// correctness oracle.
+package h264
+
+import "fmt"
+
+// Block edge length in pixels.
+const B = 4
+
+// Intra prediction modes.
+const (
+	// ModeDC predicts the block average of available neighbours.
+	ModeDC = 0
+	// ModeH propagates the left neighbour column.
+	ModeH = 1
+	// ModeV propagates the top neighbour row.
+	ModeV = 2
+)
+
+// MbTypeCode maps a prediction mode to the MbType token value hwcfg
+// emits — 5, 10, 15 for DC/H/V, the values the paper's `iface
+// hwcfg::pipe_MbType_out print` transcript records.
+func MbTypeCode(mode int) int { return 5 * (mode + 1) }
+
+// Params describes a stream.
+type Params struct {
+	W, H   int   // frame size in pixels, multiples of 4 (of 8 with chroma)
+	QP     int   // quantization step, >= 1
+	Seed   int64 // synthetic-content seed
+	Frames int   // frames in the sequence (0 means 1)
+	// Chroma enables 4:2:0 YCbCr: each frame carries a luma plane plus
+	// two quarter-size chroma planes, all flowing through the same
+	// block pipeline (the paper's CbCrMB_t tokens).
+	Chroma bool
+}
+
+// FrameCount returns the number of frames in the sequence (at least 1).
+func (p Params) FrameCount() int {
+	if p.Frames <= 0 {
+		return 1
+	}
+	return p.Frames
+}
+
+// chromaParams derives the geometry of one chroma plane.
+func (p Params) chromaParams() Params {
+	c := p
+	c.W, c.H = p.W/2, p.H/2
+	c.Chroma = false
+	c.Frames = 0
+	return c
+}
+
+// NumBlocksC returns the block count of ONE chroma plane (0 without
+// chroma).
+func (p Params) NumBlocksC() int {
+	if !p.Chroma {
+		return 0
+	}
+	c := p.chromaParams()
+	return c.NumBlocks()
+}
+
+// BlocksPerFrame returns the total blocks of one frame across planes.
+func (p Params) BlocksPerFrame() int { return p.NumBlocks() + 2*p.NumBlocksC() }
+
+// FramePlanes is one decoded frame: a luma plane plus (with chroma)
+// two quarter-size chroma planes.
+type FramePlanes struct {
+	Y      []int
+	Cb, Cr []int // nil without chroma
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.W <= 0 || p.H <= 0 || p.W%B != 0 || p.H%B != 0 {
+		return fmt.Errorf("h264: frame %dx%d must be positive multiples of %d", p.W, p.H, B)
+	}
+	if p.Chroma && (p.W%(2*B) != 0 || p.H%(2*B) != 0) {
+		return fmt.Errorf("h264: chroma requires %dx%d to be multiples of %d", p.W, p.H, 2*B)
+	}
+	if p.QP < 1 {
+		return fmt.Errorf("h264: QP %d must be >= 1", p.QP)
+	}
+	return nil
+}
+
+// BlocksPerRow returns the number of 4x4 blocks per row.
+func (p Params) BlocksPerRow() int { return p.W / B }
+
+// NumBlocks returns the total macroblock count.
+func (p Params) NumBlocks() int { return (p.W / B) * (p.H / B) }
+
+// GenerateFrame produces deterministic synthetic content: a diagonal
+// gradient with superimposed rectangles and a pseudo-random dither, so
+// different regions favour different prediction modes.
+func GenerateFrame(p Params) []int {
+	frame := make([]int, p.W*p.H)
+	state := uint64(p.Seed)*6364136223846793005 + 1442695040888963407
+	rnd := func() int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int(state>>33) & 0xFF
+	}
+	for y := 0; y < p.H; y++ {
+		for x := 0; x < p.W; x++ {
+			v := (x*3 + y*5) % 256
+			// Horizontal band: strongly favours ModeH.
+			if y >= p.H/4 && y < p.H/2 {
+				v = (y * 7) % 256
+			}
+			// Vertical band: strongly favours ModeV.
+			if x >= p.W/2 && x < 3*p.W/4 {
+				v = (x * 11) % 256
+			}
+			// Flat square: favours ModeDC.
+			if x < p.W/4 && y >= p.H/2 {
+				v = 200
+			}
+			v += rnd() % 5
+			frame[y*p.W+x] = clampPix(v)
+		}
+	}
+	return frame
+}
+
+func clampPix(v int) int {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}
+
+// predState is the intra-prediction neighbour state shared by the
+// encoder and the reference decoder: the running top-row buffer (bottom
+// rows of the blocks of the previous block row) and the left column of
+// the previous block in the current row. Prediction uses *pre-deblock*
+// reconstructed pixels, as ipred does in the dataflow app.
+type predState struct {
+	p      Params
+	topbuf []int // W pixels
+	left   []int // B pixels, right column of the previous block
+}
+
+func newPredState(p Params) *predState {
+	return &predState{p: p, topbuf: make([]int, p.W), left: make([]int, B)}
+}
+
+// predict computes the prediction block for block (bx,by) under mode.
+func (s *predState) predict(mode, bx, by int) [B * B]int {
+	var top, left [B]int
+	topAvail := by > 0
+	leftAvail := bx > 0
+	for j := 0; j < B; j++ {
+		if topAvail {
+			top[j] = s.topbuf[bx*B+j]
+		} else {
+			top[j] = 128
+		}
+	}
+	for i := 0; i < B; i++ {
+		if leftAvail {
+			left[i] = s.left[i]
+		} else {
+			left[i] = 128
+		}
+	}
+	var out [B * B]int
+	switch mode {
+	case ModeH:
+		for i := 0; i < B; i++ {
+			for j := 0; j < B; j++ {
+				out[i*B+j] = left[i]
+			}
+		}
+	case ModeV:
+		for i := 0; i < B; i++ {
+			for j := 0; j < B; j++ {
+				out[i*B+j] = top[j]
+			}
+		}
+	default: // ModeDC
+		dc := 128
+		switch {
+		case topAvail && leftAvail:
+			sum := 0
+			for j := 0; j < B; j++ {
+				sum += top[j] + left[j]
+			}
+			dc = (sum + B) / (2 * B)
+		case topAvail:
+			sum := 0
+			for j := 0; j < B; j++ {
+				sum += top[j]
+			}
+			dc = (sum + B/2) / B
+		case leftAvail:
+			sum := 0
+			for i := 0; i < B; i++ {
+				sum += left[i]
+			}
+			dc = (sum + B/2) / B
+		}
+		for k := range out {
+			out[k] = dc
+		}
+	}
+	return out
+}
+
+// update stores a reconstructed block's bottom row and right column for
+// the following blocks' predictions.
+func (s *predState) update(bx int, recon [B * B]int) {
+	for j := 0; j < B; j++ {
+		s.topbuf[bx*B+j] = recon[(B-1)*B+j]
+	}
+	for i := 0; i < B; i++ {
+		s.left[i] = recon[i*B+B-1]
+	}
+}
+
+// quantize rounds res/qp half away from zero.
+func quantize(res, qp int) int {
+	if res >= 0 {
+		return (res + qp/2) / qp
+	}
+	return -((-res + qp/2) / qp)
+}
+
+// zigzag maps a signed level to an unsigned LEB128-friendly code.
+func zigzag(n int) uint64 {
+	return uint64((n << 1) ^ (n >> 63))
+}
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int {
+	return int((u >> 1) ^ -(u & 1))
+}
+
+// appendVarint appends a LEB128 varint.
+func appendVarint(b []byte, u uint64) []byte {
+	for u >= 0x80 {
+		b = append(b, byte(u)|0x80)
+		u >>= 7
+	}
+	return append(b, byte(u))
+}
+
+// readVarint reads a LEB128 varint, returning the value and the number
+// of bytes consumed (0 on truncation).
+func readVarint(b []byte) (uint64, int) {
+	var u uint64
+	var shift uint
+	for i := 0; i < len(b); i++ {
+		u |= uint64(b[i]&0x7F) << shift
+		if b[i]&0x80 == 0 {
+			return u, i + 1
+		}
+		shift += 7
+		if shift > 63 {
+			return 0, 0
+		}
+	}
+	return 0, 0
+}
+
+// Encode compresses a frame. The bitstream is a sequence of per-block
+// records: one mode byte followed by 16 zigzag/LEB128 coefficients.
+func Encode(frame []int, p Params) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(frame) != p.W*p.H {
+		return nil, fmt.Errorf("h264: frame has %d pixels, want %d", len(frame), p.W*p.H)
+	}
+	st := newPredState(p)
+	bpr := p.BlocksPerRow()
+	var out []byte
+	for by := 0; by < p.H/B; by++ {
+		for bx := 0; bx < bpr; bx++ {
+			var orig [B * B]int
+			for i := 0; i < B; i++ {
+				for j := 0; j < B; j++ {
+					orig[i*B+j] = frame[(by*B+i)*p.W+bx*B+j]
+				}
+			}
+			// Pick the mode with the lowest quantized-residual energy.
+			bestMode, bestCost := ModeDC, 1<<30
+			var bestLvl [B * B]int
+			for mode := ModeDC; mode <= ModeV; mode++ {
+				pred := st.predict(mode, bx, by)
+				cost := 0
+				var lvl [B * B]int
+				for k := 0; k < B*B; k++ {
+					lvl[k] = quantize(orig[k]-pred[k], p.QP)
+					rec := clampPix(pred[k] + lvl[k]*p.QP)
+					d := rec - orig[k]
+					if d < 0 {
+						d = -d
+					}
+					cost += d
+				}
+				if cost < bestCost {
+					bestMode, bestCost, bestLvl = mode, cost, lvl
+				}
+			}
+			// Reconstruct exactly like the decoder to keep states in sync.
+			pred := st.predict(bestMode, bx, by)
+			var recon [B * B]int
+			for k := 0; k < B*B; k++ {
+				recon[k] = clampPix(pred[k] + bestLvl[k]*p.QP)
+			}
+			st.update(bx, recon)
+			out = append(out, byte(bestMode))
+			for k := 0; k < B*B; k++ {
+				out = appendVarint(out, zigzag(bestLvl[k]))
+			}
+		}
+	}
+	return out, nil
+}
+
+// deblockState applies the in-loop filter on vertical block edges: the
+// left column of each block is smoothed against the previous (already
+// deblocked) block's right column when the step is small enough.
+type deblockState struct {
+	qp   int
+	rcol [B]int // right column of the previous deblocked block
+}
+
+// apply deblocks a reconstructed block in place. strength comes from the
+// pipe filter's per-block configuration token.
+func (d *deblockState) apply(bx, strength int, blk *[B * B]int) {
+	if bx > 0 {
+		thr := strength * d.qp
+		for i := 0; i < B; i++ {
+			p0 := d.rcol[i]
+			q0 := blk[i*B]
+			diff := p0 - q0
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff <= thr {
+				blk[i*B] = (p0 + 3*q0 + 2) / 4
+			}
+		}
+	}
+	for i := 0; i < B; i++ {
+		d.rcol[i] = blk[i*B+B-1]
+	}
+}
+
+// DeblockStrength is pipe's per-block filter configuration: DC blocks
+// get a weaker filter than directional ones.
+func DeblockStrength(mode int) int {
+	if mode == ModeDC {
+		return 1
+	}
+	return 2
+}
+
+// decodeFrame decodes one frame's records starting at bits[off:],
+// returning the frame and the new offset.
+func decodeFrame(bits []byte, off int, p Params) ([]int, int, error) {
+	st := newPredState(p)
+	frame := make([]int, p.W*p.H)
+	bpr := p.BlocksPerRow()
+	var dbl deblockState
+	for by := 0; by < p.H/B; by++ {
+		dbl = deblockState{qp: p.QP} // vertical edges filter within a row
+		for bx := 0; bx < bpr; bx++ {
+			if off >= len(bits) {
+				return nil, off, fmt.Errorf("h264: truncated stream at block (%d,%d)", bx, by)
+			}
+			mode := int(bits[off])
+			off++
+			if mode < ModeDC || mode > ModeV {
+				return nil, off, fmt.Errorf("h264: bad mode %d at block (%d,%d)", mode, bx, by)
+			}
+			var lvl [B * B]int
+			for k := 0; k < B*B; k++ {
+				u, n := readVarint(bits[off:])
+				if n == 0 {
+					return nil, off, fmt.Errorf("h264: truncated coefficient at block (%d,%d)", bx, by)
+				}
+				off += n
+				lvl[k] = unzigzag(u)
+			}
+			pred := st.predict(mode, bx, by)
+			var recon [B * B]int
+			for k := 0; k < B*B; k++ {
+				recon[k] = clampPix(pred[k] + lvl[k]*p.QP)
+			}
+			st.update(bx, recon)
+			// In-loop filter on the output path only.
+			out := recon
+			dbl.apply(bx, DeblockStrength(mode), &out)
+			for i := 0; i < B; i++ {
+				for j := 0; j < B; j++ {
+					frame[(by*B+i)*p.W+bx*B+j] = out[i*B+j]
+				}
+			}
+		}
+	}
+	return frame, off, nil
+}
+
+// ReferenceDecode decodes a single-frame bitstream with the plain Go
+// decoder — the oracle the PEDF application is compared against.
+func ReferenceDecode(bits []byte, p Params) ([]int, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	frame, off, err := decodeFrame(bits, 0, p)
+	if err != nil {
+		return nil, err
+	}
+	if off != len(bits) {
+		return nil, fmt.Errorf("h264: %d trailing byte(s)", len(bits)-off)
+	}
+	return frame, nil
+}
+
+// GenerateVideo produces a deterministic synthetic sequence: the content
+// bands drift across frames (each frame remains intra-coded, as in the
+// paper's all-intra case study).
+func GenerateVideo(p Params) [][]int {
+	frames := make([][]int, p.FrameCount())
+	for f := range frames {
+		fp := p
+		fp.Seed = p.Seed + int64(f)*7919
+		frame := GenerateFrame(fp)
+		// Horizontal drift: rotate each row by 2 pixels per frame.
+		shift := (2 * f) % p.W
+		if shift != 0 {
+			moved := make([]int, len(frame))
+			for y := 0; y < p.H; y++ {
+				row := frame[y*p.W : (y+1)*p.W]
+				for x := 0; x < p.W; x++ {
+					moved[y*p.W+(x+shift)%p.W] = row[x]
+				}
+			}
+			frame = moved
+		}
+		frames[f] = frame
+	}
+	return frames
+}
+
+// EncodeVideo compresses a frame sequence: each frame is intra-coded
+// independently and the per-frame streams are concatenated.
+func EncodeVideo(frames [][]int, p Params) ([]byte, error) {
+	if len(frames) != p.FrameCount() {
+		return nil, fmt.Errorf("h264: %d frames for FrameCount %d", len(frames), p.FrameCount())
+	}
+	var out []byte
+	for f, frame := range frames {
+		bits, err := Encode(frame, p)
+		if err != nil {
+			return nil, fmt.Errorf("h264: frame %d: %w", f, err)
+		}
+		out = append(out, bits...)
+	}
+	return out, nil
+}
+
+// ReferenceDecodeVideo decodes a multi-frame bitstream.
+func ReferenceDecodeVideo(bits []byte, p Params) ([][]int, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	frames := make([][]int, p.FrameCount())
+	off := 0
+	for f := range frames {
+		frame, newOff, err := decodeFrame(bits, off, p)
+		if err != nil {
+			return nil, fmt.Errorf("h264: frame %d: %w", f, err)
+		}
+		frames[f] = frame
+		off = newOff
+	}
+	if off != len(bits) {
+		return nil, fmt.Errorf("h264: %d trailing byte(s)", len(bits)-off)
+	}
+	return frames, nil
+}
+
+// GenerateSequence produces a deterministic synthetic YCbCr sequence
+// (chroma planes are smooth drifting gradients; luma as GenerateVideo).
+// Without chroma the Cb/Cr planes are nil.
+func GenerateSequence(p Params) []FramePlanes {
+	lumas := GenerateVideo(p)
+	out := make([]FramePlanes, len(lumas))
+	cw, ch := p.W/2, p.H/2
+	for f := range out {
+		out[f].Y = lumas[f]
+		if !p.Chroma {
+			continue
+		}
+		cb := make([]int, cw*ch)
+		cr := make([]int, cw*ch)
+		for y := 0; y < ch; y++ {
+			for x := 0; x < cw; x++ {
+				cb[y*cw+x] = clampPix(96 + (x*5+y*2+f*3)%64)
+				cr[y*cw+x] = clampPix(160 - (x*3+y*4+f*5)%64)
+			}
+		}
+		out[f].Cb, out[f].Cr = cb, cr
+	}
+	return out
+}
+
+// EncodeSequence compresses a YCbCr sequence: per frame, the luma plane
+// followed by Cb and Cr, each plane intra-coded with the shared block
+// codec.
+func EncodeSequence(frames []FramePlanes, p Params) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(frames) != p.FrameCount() {
+		return nil, fmt.Errorf("h264: %d frames for FrameCount %d", len(frames), p.FrameCount())
+	}
+	lumaP := p
+	lumaP.Frames = 0
+	lumaP.Chroma = false
+	chromaP := p.chromaParams()
+	var out []byte
+	for f, fr := range frames {
+		bits, err := Encode(fr.Y, lumaP)
+		if err != nil {
+			return nil, fmt.Errorf("h264: frame %d luma: %w", f, err)
+		}
+		out = append(out, bits...)
+		if !p.Chroma {
+			continue
+		}
+		for i, plane := range [][]int{fr.Cb, fr.Cr} {
+			bits, err := Encode(plane, chromaP)
+			if err != nil {
+				return nil, fmt.Errorf("h264: frame %d chroma %d: %w", f, i, err)
+			}
+			out = append(out, bits...)
+		}
+	}
+	return out, nil
+}
+
+// ReferenceDecodeSequence decodes a (possibly chroma) multi-frame
+// bitstream with the plain Go decoder.
+func ReferenceDecodeSequence(bits []byte, p Params) ([]FramePlanes, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	lumaP := p
+	lumaP.Frames = 0
+	lumaP.Chroma = false
+	chromaP := p.chromaParams()
+	frames := make([]FramePlanes, p.FrameCount())
+	off := 0
+	for f := range frames {
+		var err error
+		frames[f].Y, off, err = decodeFrame(bits, off, lumaP)
+		if err != nil {
+			return nil, fmt.Errorf("h264: frame %d luma: %w", f, err)
+		}
+		if !p.Chroma {
+			continue
+		}
+		frames[f].Cb, off, err = decodeFrame(bits, off, chromaP)
+		if err != nil {
+			return nil, fmt.Errorf("h264: frame %d Cb: %w", f, err)
+		}
+		frames[f].Cr, off, err = decodeFrame(bits, off, chromaP)
+		if err != nil {
+			return nil, fmt.Errorf("h264: frame %d Cr: %w", f, err)
+		}
+	}
+	if off != len(bits) {
+		return nil, fmt.Errorf("h264: %d trailing byte(s)", len(bits)-off)
+	}
+	return frames, nil
+}
+
+// PSNRish returns the mean absolute error between two frames (0 means
+// identical) — a cheap quality measure for tests and experiments.
+func PSNRish(a, b []int) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 1 << 20
+	}
+	sum := 0
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return float64(sum) / float64(len(a))
+}

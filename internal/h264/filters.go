@@ -1,0 +1,277 @@
+package h264
+
+import "dfdbg/internal/filterc"
+
+// Shared token struct types. Each filterc source that manipulates these
+// declares an identical struct; PEDF matches struct tokens by type name.
+
+// CbCrMBType is the paper's CbCrMB_t macroblock token (red → pipe →
+// ipred), extended with the dequantized residual payload.
+var CbCrMBType = &filterc.Type{Kind: filterc.KStruct, Name: "CbCrMB_t", Fields: []filterc.Field{
+	{Name: "Addr", Type: filterc.Scalar(filterc.U32)},
+	{Name: "InterNotIntra", Type: filterc.Scalar(filterc.U32)},
+	{Name: "Izz", Type: filterc.Scalar(filterc.I32)},
+	{Name: "Res", Type: filterc.ArrayOf(filterc.Scalar(filterc.I32), 16)},
+}}
+
+// BlkType carries a reconstructed (or deblocked) 4x4 pixel block.
+var BlkType = &filterc.Type{Kind: filterc.KStruct, Name: "Blk_t", Fields: []filterc.Field{
+	{Name: "Addr", Type: filterc.Scalar(filterc.U32)},
+	{Name: "Pix", Type: filterc.ArrayOf(filterc.Scalar(filterc.I32), 16)},
+}}
+
+// structDecls is prepended to every filter source that uses the token
+// structs.
+const structDecls = `struct CbCrMB_t { u32 Addr; u32 InterNotIntra; i32 Izz; i32 Res[16]; };
+struct Blk_t { u32 Addr; i32 Pix[16]; };
+`
+
+// bhSrc — bitstream handler (module front): parses one macroblock record
+// per firing from the byte stream: a mode byte to hwcfg, then 16
+// zigzag/LEB128 coefficients to red.
+const bhSrc = `void work() {
+	u32 k = 0;
+	u32 mode = pedf.io.stream_in[k];
+	k = k + 1;
+	pedf.io.Hdr_hwcfg_out[0] = mode;
+	for (i32 c = 0; c < 16; c++) {
+		u32 u = 0;
+		u32 shift = 0;
+		u32 b = 128;
+		while ((b & 128) != 0) {
+			b = pedf.io.stream_in[k];
+			k = k + 1;
+			u = u | ((b & 127) << shift);
+			shift = shift + 7;
+		}
+		i32 lvl = (u >> 1) ^ (0 - (u & 1));
+		pedf.io.Coef_red_out[c] = lvl;
+	}
+	pedf.data.mbs_parsed = pedf.data.mbs_parsed + 1;
+}
+`
+
+// hwcfgSrc — hardware configuration (module front): turns the header
+// into the MbType code for pipe (5/10/15, the values of the paper's
+// recording transcript) and the raw prediction mode for ipred.
+const hwcfgSrc = `void work() {
+	u32 mode = pedf.io.Hdr_in[0];
+	pedf.io.pipe_MbType_out[0] = 5 * (mode + 1);
+	pedf.io.ipred_Mode_out[0] = mode;
+}
+`
+
+// redSrc — residual decoder (module pred): a *splitter* in the paper's
+// terminology. It consumes the 16 quantized coefficients of one block,
+// dequantizes them, and emits derived data on every outbound interface:
+// the CbCrMB_t work item to pipe and the residual energy to mb.
+const redSrc = structDecls + `void work() {
+	u32 qp = pedf.attribute.qp;
+	CbCrMB_t m;
+	// Block addresses are plane-relative; a frame carries the luma
+	// plane's blocks first, then (with chroma) the Cb and Cr planes'.
+	u32 c = pedf.data.next_addr % pedf.attribute.blocks_per_frame;
+	pedf.data.next_addr = pedf.data.next_addr + 1;
+	u32 a = c;
+	if (c >= pedf.attribute.n_y) {
+		a = c - pedf.attribute.n_y;
+		if (a >= pedf.attribute.n_c) {
+			a = a - pedf.attribute.n_c;
+		}
+	}
+	m.Addr = a;
+	m.InterNotIntra = 0;
+	i32 izz = 0;
+	for (i32 k = 0; k < 16; k++) {
+		i32 c = pedf.io.bh_in[k];
+		i32 r = c * qp;
+		m.Res[k] = r;
+		izz = izz + abs(r);
+	}
+	m.Izz = izz;
+	pedf.io.Red2PipeCbMB_out[0] = m;
+	pedf.io.Izz_mb_out[0] = izz;
+}
+`
+
+// pipeSrc — pipeline dispatcher (module front): pairs the MbType
+// configuration with red's work item, forwards the work item to ipred
+// and a per-block deblock strength to ipf.
+const pipeSrc = structDecls + `void work() {
+	u32 mbtype = pedf.io.MbType_in[0];
+	CbCrMB_t m = pedf.io.Red2PipeCbMB_in[0];
+	pedf.io.Pipe_ipred_out[0] = m;
+	u32 strength = 2;
+	if (mbtype == 5) {
+		strength = 1;
+	}
+	pedf.io.pipe_ipf_out[0] = strength;
+}
+`
+
+// ipredSrc — intra prediction (module pred): reconstructs a block from
+// its residual and the unfiltered neighbours kept in private data
+// (running top-row buffer + previous block's right column). Line 24
+// (`pedf.io.Add2Dblock_ipf_out[...] = ...`) is the dataflow assignment
+// of the paper's step_both walkthrough.
+const ipredSrc = structDecls + `void work() {
+	u32 mode = pedf.io.Hwcfg_in[0];
+	CbCrMB_t w = pedf.io.Pipe_in[0];
+	// Geometry follows the plane this block belongs to, tracked by the
+	// filter's own position counter (luma first, then Cb, then Cr).
+	u32 pos = pedf.data.cnt % pedf.attribute.blocks_per_frame;
+	pedf.data.cnt = pedf.data.cnt + 1;
+	u32 bpr = pedf.attribute.bpr;
+	if (pos >= pedf.attribute.n_y) {
+		bpr = pedf.attribute.bpr_c;
+	}
+	u32 bx = w.Addr % bpr;
+	u32 by = w.Addr / bpr;
+	i32 top[4];
+	i32 left[4];
+	for (i32 j = 0; j < 4; j++) {
+		if (by > 0) { top[j] = pedf.data.topbuf[bx * 4 + j]; } else { top[j] = 128; }
+		if (bx > 0) { left[j] = pedf.data.leftbuf[j]; } else { left[j] = 128; }
+	}
+	i32 pred[16];
+	if (mode == 1) {
+		for (i32 i = 0; i < 4; i++)
+			for (i32 j = 0; j < 4; j++)
+				pred[i * 4 + j] = left[i];
+	} else if (mode == 2) {
+		for (i32 i = 0; i < 4; i++)
+			for (i32 j = 0; j < 4; j++)
+				pred[i * 4 + j] = top[j];
+	} else {
+		i32 dc = 128;
+		i32 s = 0;
+		if (by > 0 && bx > 0) {
+			for (i32 j = 0; j < 4; j++) s = s + top[j] + left[j];
+			dc = (s + 4) / 8;
+		} else if (by > 0) {
+			for (i32 j = 0; j < 4; j++) s = s + top[j];
+			dc = (s + 2) / 4;
+		} else if (bx > 0) {
+			for (i32 j = 0; j < 4; j++) s = s + left[j];
+			dc = (s + 2) / 4;
+		}
+		for (i32 k = 0; k < 16; k++) pred[k] = dc;
+	}
+	Blk_t r;
+	r.Addr = w.Addr;
+	for (i32 k = 0; k < 16; k++) {
+		r.Pix[k] = clamp(pred[k] + w.Res[k], 0, 255);
+	}
+	for (i32 j = 0; j < 4; j++) {
+		pedf.data.topbuf[bx * 4 + j] = r.Pix[12 + j];
+		pedf.data.leftbuf[j] = r.Pix[j * 4 + 3];
+	}
+	// push reconstructed block to ipf
+	pedf.io.Add2Dblock_ipf_out[0] = r;
+	pedf.io.Add2Dblock_MB_out[0] = w.Addr;
+}
+`
+
+// ipfSrc — in-loop deblocking filter (module pred): smooths the left
+// edge of each block against the previous deblocked block of the row,
+// using pipe's per-block strength configuration.
+const ipfSrc = structDecls + `void work() {
+	u32 strength = pedf.io.pipe_in[0];
+	Blk_t b = pedf.io.Add2Dblock_ipred_in[0];
+	u32 pos = pedf.data.cnt % pedf.attribute.blocks_per_frame;
+	pedf.data.cnt = pedf.data.cnt + 1;
+	u32 bpr = pedf.attribute.bpr;
+	if (pos >= pedf.attribute.n_y) {
+		bpr = pedf.attribute.bpr_c;
+	}
+	u32 qp = pedf.attribute.qp;
+	u32 bx = b.Addr % bpr;
+	if (bx > 0) {
+		i32 thr = strength * qp;
+		for (i32 i = 0; i < 4; i++) {
+			i32 p0 = pedf.data.rcol[i];
+			i32 q0 = b.Pix[i * 4];
+			if (abs(p0 - q0) <= thr) {
+				b.Pix[i * 4] = (p0 + 3 * q0 + 2) / 4;
+			}
+		}
+	}
+	for (i32 i = 0; i < 4; i++) {
+		pedf.data.rcol[i] = b.Pix[i * 4 + 3];
+	}
+	pedf.io.Dblk_mb_out[0] = b;
+}
+`
+
+// mbSrc — macroblock assembly (module pred): joins the three per-block
+// streams (energy from red, address from ipred, deblocked pixels from
+// ipf), cross-checks their consistency, and emits the output block.
+const mbSrc = structDecls + `void work() {
+	u32 izz = pedf.io.Izz_in[0];
+	u32 addr = pedf.io.Addr_in[0];
+	Blk_t b = pedf.io.Blk_in[0];
+	if (addr != b.Addr) {
+		pedf.data.addr_mismatch = pedf.data.addr_mismatch + 1;
+	}
+	pedf.data.izz_total = pedf.data.izz_total + izz;
+	pedf.io.frame_out[0] = b;
+}
+`
+
+// frontCtlSrc — module front's controller: fires bh, hwcfg and pipe once
+// per step, one macroblock per step.
+const frontCtlSrc = `u32 work() {
+	ACTOR_START("bh");
+	ACTOR_START("hwcfg");
+	ACTOR_START("pipe");
+	WAIT_FOR_ACTOR_INIT();
+	ACTOR_SYNC("bh");
+	ACTOR_SYNC("hwcfg");
+	ACTOR_SYNC("pipe");
+	WAIT_FOR_ACTOR_SYNC();
+	if (STEP_INDEX() + 1 >= pedf.attribute.n_mbs) return 0;
+	return 1;
+}
+`
+
+// predCtlSrc — module pred's controller: fires red, ipred, ipf and mb
+// once per step.
+const predCtlSrc = `u32 work() {
+	ACTOR_START("red");
+	ACTOR_START("ipred");
+	ACTOR_START("ipf");
+	ACTOR_START("mb");
+	WAIT_FOR_ACTOR_INIT();
+	ACTOR_SYNC("red");
+	ACTOR_SYNC("ipred");
+	ACTOR_SYNC("ipf");
+	ACTOR_SYNC("mb");
+	WAIT_FOR_ACTOR_SYNC();
+	if (STEP_INDEX() + 1 >= pedf.attribute.n_mbs) return 0;
+	return 1;
+}
+`
+
+// predCtlStallSrc — the rate-mismatch variant used by experiment F4
+// (Figure 4's token accumulation): PEDF's predicated scheduling fires
+// the consumer side (ipf, mb) only on odd steps, so the pipe → ipf link
+// accumulates tokens while the producers keep running.
+const predCtlStallSrc = `u32 work() {
+	ACTOR_START("red");
+	ACTOR_START("ipred");
+	if (STEP_INDEX() % 2 == 1) {
+		ACTOR_START("ipf");
+		ACTOR_START("mb");
+	}
+	WAIT_FOR_ACTOR_INIT();
+	ACTOR_SYNC("red");
+	ACTOR_SYNC("ipred");
+	if (STEP_INDEX() % 2 == 1) {
+		ACTOR_SYNC("ipf");
+		ACTOR_SYNC("mb");
+	}
+	WAIT_FOR_ACTOR_SYNC();
+	if (STEP_INDEX() + 1 >= pedf.attribute.n_mbs) return 0;
+	return 1;
+}
+`

@@ -1,0 +1,536 @@
+package h264
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dfdbg/internal/mach"
+	"dfdbg/internal/pedf"
+	"dfdbg/internal/sim"
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{W: 16, H: 16, QP: 8}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	for _, bad := range []Params{
+		{W: 0, H: 16, QP: 8}, {W: 15, H: 16, QP: 8}, {W: 16, H: 10, QP: 8},
+		{W: 16, H: 16, QP: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", bad)
+		}
+	}
+	if good.NumBlocks() != 16 || good.BlocksPerRow() != 4 {
+		t.Error("block math wrong")
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	f := func(n int32) bool {
+		return unzigzag(zigzag(int(n))) == int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	f := func(u uint64) bool {
+		b := appendVarint(nil, u)
+		got, n := readVarint(b)
+		return n == len(b) && got == u
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	if _, n := readVarint(nil); n != 0 {
+		t.Error("empty varint accepted")
+	}
+	if _, n := readVarint([]byte{0x80, 0x80}); n != 0 {
+		t.Error("truncated varint accepted")
+	}
+}
+
+func TestQuantizeSymmetry(t *testing.T) {
+	for _, qp := range []int{1, 4, 8, 16} {
+		for res := -300; res <= 300; res++ {
+			if quantize(res, qp) != -quantize(-res, qp) {
+				t.Fatalf("asymmetric quantize(%d, %d)", res, qp)
+			}
+			// Reconstruction error bounded by qp/2.
+			err := res - quantize(res, qp)*qp
+			if err < 0 {
+				err = -err
+			}
+			if err > qp/2+1 {
+				t.Fatalf("quantize(%d,%d) error %d too large", res, qp, err)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeLosslessAtQP1(t *testing.T) {
+	p := Params{W: 16, H: 16, QP: 1, Seed: 3}
+	frame := GenerateFrame(p)
+	bits, err := Encode(frame, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ReferenceDecode(bits, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// QP=1 is lossless up to the deblock filter; prediction+residual is
+	// exact, so only deblocked edge pixels may differ.
+	if mae := PSNRish(frame, dec); mae > 2.0 {
+		t.Errorf("QP=1 mean absolute error = %.2f, want small", mae)
+	}
+}
+
+func TestReferenceDecodeQuality(t *testing.T) {
+	p := Params{W: 32, H: 32, QP: 8, Seed: 7}
+	frame := GenerateFrame(p)
+	bits, err := Encode(frame, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ReferenceDecode(bits, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae := PSNRish(frame, dec); mae > float64(p.QP) {
+		t.Errorf("mean absolute error %.2f exceeds QP %d", mae, p.QP)
+	}
+}
+
+func TestReferenceDecodeErrors(t *testing.T) {
+	p := Params{W: 16, H: 16, QP: 8, Seed: 1}
+	frame := GenerateFrame(p)
+	bits, _ := Encode(frame, p)
+	if _, err := ReferenceDecode(bits[:3], p); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	if _, err := ReferenceDecode(append(bits, 0), p); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	bad := append([]byte(nil), bits...)
+	bad[0] = 9 // invalid mode
+	if _, err := ReferenceDecode(bad, p); err == nil {
+		t.Error("invalid mode accepted")
+	}
+	if _, err := Encode(frame[:5], p); err == nil {
+		t.Error("short frame accepted")
+	}
+}
+
+func TestEncoderUsesAllModes(t *testing.T) {
+	p := Params{W: 32, H: 32, QP: 8, Seed: 7}
+	bits, err := Encode(GenerateFrame(p), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count mode bytes by re-walking the stream.
+	modes := map[int]int{}
+	off := 0
+	for off < len(bits) {
+		modes[int(bits[off])]++
+		off++
+		for k := 0; k < B*B; k++ {
+			_, n := readVarint(bits[off:])
+			off += n
+		}
+	}
+	for m := ModeDC; m <= ModeV; m++ {
+		if modes[m] == 0 {
+			t.Errorf("mode %d never chosen; content not diverse enough: %v", m, modes)
+		}
+	}
+}
+
+func TestMbTypeCodes(t *testing.T) {
+	// 5, 10, 15 — the paper's recorded MbType values.
+	if MbTypeCode(ModeDC) != 5 || MbTypeCode(ModeH) != 10 || MbTypeCode(ModeV) != 15 {
+		t.Error("MbType codes wrong")
+	}
+}
+
+func TestIpredAssignLine(t *testing.T) {
+	line := IpredAssignLine()
+	if line == 0 {
+		t.Fatal("dataflow assignment line not found")
+	}
+}
+
+// buildApp constructs the PEDF decoder on a fresh stack.
+func buildApp(t *testing.T, p Params, stall bool) *App {
+	t.Helper()
+	k := sim.NewKernel()
+	m := mach.New(k, mach.Config{Clusters: 4, PEsPerCluster: 4})
+	rt := pedf.NewRuntime(k, m, nil)
+	frame := GenerateFrame(p)
+	bits, err := Encode(frame, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Build(rt, p, bits, stall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func TestPEDFDecoderMatchesReference(t *testing.T) {
+	p := Params{W: 16, H: 16, QP: 8, Seed: 7}
+	app := buildApp(t, p, false)
+	if err := app.RT.Start(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := app.RT.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != sim.RunIdle {
+		t.Fatalf("run = %v", st)
+	}
+	if dl := app.RT.K.Blocked(); dl != nil {
+		t.Fatalf("deadlock: %v", dl)
+	}
+	got, err := app.OutputFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReferenceDecode(app.Bits, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pixel %d: PEDF %d != reference %d", i, got[i], want[i])
+		}
+	}
+	// Internal consistency counters.
+	mb := app.RT.ActorByName("mb")
+	if v, _ := mb.DataVal("addr_mismatch"); v.I != 0 {
+		t.Errorf("mb observed %d address mismatches", v.I)
+	}
+	bh := app.RT.ActorByName("bh")
+	if v, _ := bh.DataVal("mbs_parsed"); v.I != int64(p.NumBlocks()) {
+		t.Errorf("bh parsed %d MBs, want %d", v.I, p.NumBlocks())
+	}
+}
+
+func TestPEDFDecoderLargerFrame(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := Params{W: 32, H: 24, QP: 6, Seed: 99}
+	app := buildApp(t, p, false)
+	if err := app.RT.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := app.RT.K.Run(); err != nil || st != sim.RunIdle {
+		t.Fatalf("run = %v %v", st, err)
+	}
+	got, err := app.OutputFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ReferenceDecode(app.Bits, p)
+	mismatches := 0
+	for i := range want {
+		if got[i] != want[i] {
+			mismatches++
+		}
+	}
+	if mismatches != 0 {
+		t.Errorf("%d/%d pixels differ from reference", mismatches, len(want))
+	}
+}
+
+func TestVideoRoundTrip(t *testing.T) {
+	p := Params{W: 16, H: 16, QP: 8, Seed: 7, Frames: 3}
+	frames := GenerateVideo(p)
+	if len(frames) != 3 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	// Frames differ (content drifts).
+	same := true
+	for i := range frames[0] {
+		if frames[0][i] != frames[1][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("video frames identical")
+	}
+	bits, err := EncodeVideo(frames, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ReferenceDecodeVideo(bits, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range frames {
+		if mae := PSNRish(frames[f], dec[f]); mae > float64(p.QP) {
+			t.Errorf("frame %d mae = %.2f", f, mae)
+		}
+	}
+	// Error paths.
+	if _, err := EncodeVideo(frames[:2], p); err == nil {
+		t.Error("frame count mismatch accepted")
+	}
+	if _, err := ReferenceDecodeVideo(bits[:9], p); err == nil {
+		t.Error("truncated video accepted")
+	}
+	if _, err := ReferenceDecodeVideo(append(bits, 0), p); err == nil {
+		t.Error("trailing video bytes accepted")
+	}
+}
+
+func TestPEDFDecodesVideoSequence(t *testing.T) {
+	p := Params{W: 16, H: 16, QP: 8, Seed: 7, Frames: 3}
+	k := sim.NewKernel()
+	m := mach.New(k, mach.Config{})
+	rt := pedf.NewRuntime(k, m, nil)
+	frames := GenerateVideo(p)
+	bits, err := EncodeVideo(frames, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Build(rt, p, bits, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := k.Run()
+	if err != nil || st != sim.RunIdle {
+		t.Fatalf("run = %v %v", st, err)
+	}
+	if dl := k.Blocked(); dl != nil {
+		t.Fatalf("deadlock: %v", dl)
+	}
+	got, err := app.OutputFrames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReferenceDecodeVideo(bits, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range want {
+		for i := range want[f] {
+			if got[f][i] != want[f][i] {
+				t.Fatalf("frame %d pixel %d: PEDF %d != reference %d", f, i, got[f][i], want[f][i])
+			}
+		}
+	}
+	// OutputFrame on a sequence must refuse.
+	if _, err := app.OutputFrame(); err == nil {
+		t.Error("OutputFrame accepted a multi-frame decode")
+	}
+}
+
+func TestChromaSequenceRoundTrip(t *testing.T) {
+	p := Params{W: 16, H: 16, QP: 8, Seed: 7, Frames: 2, Chroma: true}
+	seq := GenerateSequence(p)
+	if len(seq) != 2 || seq[0].Cb == nil || seq[0].Cr == nil {
+		t.Fatalf("sequence shape wrong: %d frames", len(seq))
+	}
+	if len(seq[0].Cb) != 8*8 {
+		t.Fatalf("chroma plane size = %d", len(seq[0].Cb))
+	}
+	bits, err := EncodeSequence(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ReferenceDecodeSequence(bits, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range seq {
+		for name, pair := range map[string][2][]int{
+			"Y": {seq[f].Y, dec[f].Y}, "Cb": {seq[f].Cb, dec[f].Cb}, "Cr": {seq[f].Cr, dec[f].Cr},
+		} {
+			if mae := PSNRish(pair[0], pair[1]); mae > float64(p.QP) {
+				t.Errorf("frame %d plane %s mae = %.2f", f, name, mae)
+			}
+		}
+	}
+	// Validation.
+	if err := (Params{W: 12, H: 12, QP: 8, Chroma: true}).Validate(); err == nil {
+		t.Error("chroma with 12x12 accepted (needs multiples of 8)")
+	}
+	if _, err := ReferenceDecodeSequence(bits[:5], p); err == nil {
+		t.Error("truncated chroma stream accepted")
+	}
+}
+
+func TestPEDFDecodesChromaSequence(t *testing.T) {
+	p := Params{W: 16, H: 16, QP: 8, Seed: 7, Frames: 2, Chroma: true}
+	k := sim.NewKernel()
+	m := mach.New(k, mach.Config{})
+	rt := pedf.NewRuntime(k, m, nil)
+	seq := GenerateSequence(p)
+	bits, err := EncodeSequence(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Build(rt, p, bits, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := k.Run()
+	if err != nil || st != sim.RunIdle {
+		t.Fatalf("run = %v %v", st, err)
+	}
+	if dl := k.Blocked(); dl != nil {
+		t.Fatalf("deadlock: %v", dl)
+	}
+	got, err := app.OutputSequence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReferenceDecodeSequence(bits, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range want {
+		planes := map[string][2][]int{
+			"Y": {got[f].Y, want[f].Y}, "Cb": {got[f].Cb, want[f].Cb}, "Cr": {got[f].Cr, want[f].Cr},
+		}
+		for name, pair := range planes {
+			for i := range pair[1] {
+				if pair[0][i] != pair[1][i] {
+					t.Fatalf("frame %d plane %s pixel %d: PEDF %d != reference %d",
+						f, name, i, pair[0][i], pair[1][i])
+				}
+			}
+		}
+	}
+}
+
+func TestPEDFDecodesChromaViaADL(t *testing.T) {
+	p := Params{W: 16, H: 16, QP: 6, Seed: 3, Chroma: true}
+	k := sim.NewKernel()
+	m := mach.New(k, mach.Config{})
+	rt := pedf.NewRuntime(k, m, nil)
+	seq := GenerateSequence(p)
+	bits, err := EncodeSequence(seq, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := BuildFromADL(rt, p, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := k.Run(); err != nil || st != sim.RunIdle {
+		t.Fatalf("run = %v %v", st, err)
+	}
+	got, err := app.OutputSequence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReferenceDecodeSequence(bits, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want[0].Cb {
+		if got[0].Cb[i] != want[0].Cb[i] || got[0].Cr[i] != want[0].Cr[i] {
+			t.Fatalf("chroma pixel %d differs (ADL build)", i)
+		}
+	}
+}
+
+func TestStallVariantAccumulatesTokens(t *testing.T) {
+	p := Params{W: 32, H: 32, QP: 8, Seed: 7}
+	app := buildApp(t, p, true)
+	if err := app.RT.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Run a bounded slice of simulated time; the consumer-rate mismatch
+	// must have backed tokens up on pipe -> ipf.
+	if _, err := app.RT.K.RunUntil(2 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	pipe := app.RT.ActorByName("pipe")
+	l := pipe.Out("pipe_ipf_out").Link()
+	if l.Occupancy() < 2 {
+		t.Errorf("pipe->ipf occupancy = %d, want accumulation", l.Occupancy())
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	k := sim.NewKernel()
+	m := mach.New(k, mach.Config{Clusters: 1, PEsPerCluster: 4})
+	rt := pedf.NewRuntime(k, m, nil)
+	if _, err := Build(rt, Params{W: 15, H: 16, QP: 8}, nil, false); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestOutputFrameErrors(t *testing.T) {
+	p := Params{W: 16, H: 16, QP: 8, Seed: 7}
+	app := buildApp(t, p, false)
+	if _, err := app.OutputFrame(); err == nil {
+		t.Error("OutputFrame before run accepted")
+	}
+}
+
+func TestGenerateFrameDeterministic(t *testing.T) {
+	p := Params{W: 16, H: 16, QP: 8, Seed: 42}
+	a := GenerateFrame(p)
+	b := GenerateFrame(p)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("GenerateFrame not deterministic")
+		}
+		if a[i] < 0 || a[i] > 255 {
+			t.Fatalf("pixel %d out of range: %d", i, a[i])
+		}
+	}
+	c := GenerateFrame(Params{W: 16, H: 16, QP: 8, Seed: 43})
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical frames")
+	}
+}
+
+// Property: encode→reference-decode is stable (idempotent re-encode of
+// the decoded frame decodes to itself exactly, since the decoder output
+// is representable).
+func TestQuickEncodeDecodeStability(t *testing.T) {
+	f := func(seed uint8) bool {
+		p := Params{W: 16, H: 16, QP: 4, Seed: int64(seed)}
+		frame := GenerateFrame(p)
+		bits, err := Encode(frame, p)
+		if err != nil {
+			return false
+		}
+		dec, err := ReferenceDecode(bits, p)
+		if err != nil {
+			return false
+		}
+		return PSNRish(frame, dec) <= float64(p.QP)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

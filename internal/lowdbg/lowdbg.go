@@ -1,0 +1,447 @@
+// Package lowdbg is the low-level interactive debugger the dataflow layer
+// builds on — the stand-in for GDB (plus the CPU's breakpoint mechanism)
+// in the paper's Figure 3 architecture.
+//
+// It owns the simulation kernel's run loop and provides:
+//
+//   - function breakpoints on (mangled) symbols, with optional attached
+//     actions — the paper's "function breakpoints" that carry the semantic
+//     definition of the operation they monitor;
+//   - finish breakpoints catching a function's return value, the concept
+//     the authors contributed to GDB's Python API;
+//   - source-line breakpoints, single-step / next / finish execution
+//     control at filterc statement granularity;
+//   - software watchpoints on registered data objects;
+//   - frame and variable inspection while the world is stopped.
+//
+// The target program (the PEDF runtime and the filterc interpreters)
+// reports function entries/exits and statement executions to the
+// debugger; with no breakpoints planted the fast path is a map lookup,
+// and the intrusiveness experiments (P1) measure exactly this surface.
+package lowdbg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dfdbg/internal/dbginfo"
+	"dfdbg/internal/filterc"
+	"dfdbg/internal/sim"
+)
+
+// Arg is one named argument of an intercepted function call.
+type Arg struct {
+	Name string
+	Val  any // string, int64, filterc.Value
+}
+
+func (a Arg) String() string { return fmt.Sprintf("%s=%v", a.Name, a.Val) }
+
+// ArgVal extracts a named argument from a call's argument list.
+func ArgVal(args []Arg, name string) (any, bool) {
+	for _, a := range args {
+		if a.Name == name {
+			return a.Val, true
+		}
+	}
+	return nil, false
+}
+
+// ArgString returns a string-typed argument ("" if absent).
+func ArgString(args []Arg, name string) string {
+	v, _ := ArgVal(args, name)
+	s, _ := v.(string)
+	return s
+}
+
+// ArgInt returns an int64-typed argument (0 if absent).
+func ArgInt(args []Arg, name string) int64 {
+	v, _ := ArgVal(args, name)
+	switch n := v.(type) {
+	case int64:
+		return n
+	case int:
+		return int64(n)
+	default:
+		return 0
+	}
+}
+
+// StopKind classifies why execution stopped.
+type StopKind int
+
+const (
+	// StopBreakpoint: a user-visible breakpoint was hit.
+	StopBreakpoint StopKind = iota
+	// StopStep: a step/next/finish request completed.
+	StopStep
+	// StopWatchpoint: a watched object changed.
+	StopWatchpoint
+	// StopAction: a breakpoint action requested a stop (dataflow layer).
+	StopAction
+	// StopDone: the program ran to completion (or deadlocked; see Deadlock).
+	StopDone
+	// StopError: a runtime error surfaced.
+	StopError
+)
+
+func (k StopKind) String() string {
+	switch k {
+	case StopBreakpoint:
+		return "breakpoint"
+	case StopStep:
+		return "step"
+	case StopWatchpoint:
+		return "watchpoint"
+	case StopAction:
+		return "action"
+	case StopDone:
+		return "done"
+	case StopError:
+		return "error"
+	default:
+		return fmt.Sprintf("StopKind(%d)", int(k))
+	}
+}
+
+// StopEvent describes a stop delivered to the debugger driver.
+type StopEvent struct {
+	Kind     StopKind
+	Reason   string // human-oriented announcement
+	Proc     *sim.Proc
+	Fn       string      // function symbol at the stop site ("" if n/a)
+	Pos      filterc.Pos // source position (zero if n/a)
+	Bp       *Breakpoint // the breakpoint hit, if any
+	Args     []Arg       // call arguments, for function stops
+	Ret      any         // return value, for finish stops
+	IsReturn bool        // true when stopped at a function's return
+	Err      error       // for StopError
+	Deadlock *sim.DeadlockInfo
+}
+
+func (e *StopEvent) String() string {
+	if e == nil {
+		return "<running>"
+	}
+	return fmt.Sprintf("[%s] %s", e.Kind, e.Reason)
+}
+
+// stepMode is the pending step request kind.
+type stepMode int
+
+const (
+	stepNone stepMode = iota
+	stepInto          // stop at next statement, entering calls
+	stepOver          // stop at next statement at same or shallower depth
+	stepOut           // stop after the current function returns
+)
+
+// Debugger is the low-level debugger instance.
+type Debugger struct {
+	K    *sim.Kernel
+	Syms *dbginfo.Table
+
+	nextBpID int
+	bps      map[int]*Breakpoint
+	funcBPs  map[string][]*Breakpoint
+	lineBPs  map[string][]*Breakpoint // key: file:line
+
+	watchpoints []*Watchpoint
+
+	objects map[string]*filterc.Value // registered data objects by symbol
+	interps map[*sim.Proc]*filterc.Interp
+	sources map[string][]string // file → lines, for the `list` command
+	// targetFns models GDB's ability to call functions in the inferior
+	// (the runtime registers helpers; higher layers invoke them).
+	targetFns map[string]func(args ...any) (any, error)
+
+	// step request state
+	stepProc  *sim.Proc
+	stepKind  stepMode
+	stepDepth int
+	stepLine  int
+	stepFile  string
+
+	pendingStop *StopEvent
+	resumeEv    *sim.Event
+
+	// HookCalls counts every EnterFunc/statement hook crossing — the
+	// debugger-attachment overhead measured by experiment P1.
+	HookCalls uint64
+	// DataBreakpointsEnabled gates data-exchange function breakpoints
+	// (the paper's mitigation option 1 disables them wholesale).
+	DataBreakpointsEnabled bool
+}
+
+// New creates a debugger attached to a kernel.
+func New(k *sim.Kernel, syms *dbginfo.Table) *Debugger {
+	return &Debugger{
+		K:                      k,
+		Syms:                   syms,
+		bps:                    make(map[int]*Breakpoint),
+		funcBPs:                make(map[string][]*Breakpoint),
+		lineBPs:                make(map[string][]*Breakpoint),
+		objects:                make(map[string]*filterc.Value),
+		interps:                make(map[*sim.Proc]*filterc.Interp),
+		sources:                make(map[string][]string),
+		targetFns:              make(map[string]func(args ...any) (any, error)),
+		resumeEv:               k.NewEvent("debugger.resume"),
+		DataBreakpointsEnabled: true,
+	}
+}
+
+// RegisterTargetFunc exposes a callable function of the target program
+// to the debugger (GDB's `call` on an inferior function). The runtime
+// registers helpers such as token injection here.
+func (d *Debugger) RegisterTargetFunc(name string, fn func(args ...any) (any, error)) {
+	d.targetFns[name] = fn
+}
+
+// CallTarget invokes a registered target function. Only meaningful while
+// the target is stopped (the cooperative kernel guarantees quiescence).
+func (d *Debugger) CallTarget(name string, args ...any) (any, error) {
+	fn, ok := d.targetFns[name]
+	if !ok {
+		return nil, fmt.Errorf("lowdbg: no target function %q", name)
+	}
+	return fn(args...)
+}
+
+// AddSource registers a source file's text (for listing and line tables).
+func (d *Debugger) AddSource(file, src string) {
+	d.sources[file] = strings.Split(src, "\n")
+}
+
+// SourceLine returns one line of a registered file ("" if unknown).
+func (d *Debugger) SourceLine(file string, line int) string {
+	lines := d.sources[file]
+	if line < 1 || line > len(lines) {
+		return ""
+	}
+	return lines[line-1]
+}
+
+// RegisterObject exposes a data object (filter private data, attribute)
+// under its mangled symbol for printing and watchpoints.
+func (d *Debugger) RegisterObject(sym string, v *filterc.Value) {
+	d.objects[sym] = v
+}
+
+// Object returns a registered data object.
+func (d *Debugger) Object(sym string) (*filterc.Value, bool) {
+	v, ok := d.objects[sym]
+	return v, ok
+}
+
+// ObjectNames returns the sorted registered object symbols.
+func (d *Debugger) ObjectNames() []string {
+	out := make([]string, 0, len(d.objects))
+	for n := range d.objects {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AttachInterp binds a filterc interpreter to its simulation process and
+// installs the debugger's statement hooks on it.
+func (d *Debugger) AttachInterp(p *sim.Proc, in *filterc.Interp) {
+	d.interps[p] = in
+	prev := in.Hooks
+	in.Hooks = &interpHooks{d: d, p: p, chain: prev}
+}
+
+// InterpFor returns the interpreter bound to a process (nil if none).
+func (d *Debugger) InterpFor(p *sim.Proc) *filterc.Interp {
+	return d.interps[p]
+}
+
+// Stopped reports whether the target is currently stopped.
+func (d *Debugger) Stopped() bool { return d.pendingStop != nil }
+
+// LastStop returns the most recent stop event (nil while running).
+func (d *Debugger) LastStop() *StopEvent { return d.pendingStop }
+
+// stopWorld parks the calling process and pauses the kernel, recording
+// the stop event for the driver. It returns when the driver resumes.
+func (d *Debugger) stopWorld(p *sim.Proc, ev *StopEvent) {
+	d.pendingStop = ev
+	d.K.Pause()
+	p.Wait(d.resumeEv)
+}
+
+// run resumes the kernel until the next stop, completion, or error.
+func (d *Debugger) run() *StopEvent {
+	d.pendingStop = nil
+	d.K.Resume()
+	d.resumeEv.Notify()
+	for {
+		st, err := d.K.Run()
+		switch st {
+		case sim.RunPaused:
+			if d.pendingStop != nil {
+				return d.pendingStop
+			}
+			// Spurious pause; keep going.
+			d.K.Resume()
+		case sim.RunError:
+			d.pendingStop = &StopEvent{Kind: StopError, Reason: err.Error(), Err: err}
+			return d.pendingStop
+		default: // RunIdle
+			ev := &StopEvent{Kind: StopDone, Reason: "program finished"}
+			if dl := d.K.Blocked(); dl != nil {
+				ev.Reason = dl.String()
+				ev.Deadlock = dl
+			}
+			d.pendingStop = ev
+			return ev
+		}
+	}
+}
+
+// Continue resumes execution until the next stop.
+func (d *Debugger) Continue() *StopEvent {
+	d.clearStep()
+	return d.run()
+}
+
+// Step executes until the next statement of p's program, entering calls.
+func (d *Debugger) Step(p *sim.Proc) *StopEvent {
+	return d.stepCommon(p, stepInto)
+}
+
+// Next executes until the next statement at the same or shallower depth.
+func (d *Debugger) Next(p *sim.Proc) *StopEvent {
+	return d.stepCommon(p, stepOver)
+}
+
+// FinishStep runs until the current function of p returns.
+func (d *Debugger) FinishStep(p *sim.Proc) *StopEvent {
+	return d.stepCommon(p, stepOut)
+}
+
+func (d *Debugger) stepCommon(p *sim.Proc, mode stepMode) *StopEvent {
+	in := d.interps[p]
+	d.stepProc = p
+	d.stepKind = mode
+	d.stepDepth = 0
+	d.stepLine = 0
+	d.stepFile = ""
+	if in != nil {
+		d.stepDepth = in.Depth()
+		if fr := in.CurrentFrame(); fr != nil {
+			d.stepLine = fr.Line
+			d.stepFile = in.Prog.File
+		}
+	}
+	if d.stepDepth == 0 && mode != stepOut {
+		// Stopped at a function's entry (no frame yet), e.g. at a
+		// function breakpoint: `next` degenerates to `step`, landing on
+		// the first statement — GDB behaves the same way.
+		d.stepKind = stepInto
+	}
+	return d.run()
+}
+
+func (d *Debugger) clearStep() {
+	d.stepProc = nil
+	d.stepKind = stepNone
+}
+
+// Threads lists the simulation processes (the debugger's thread view).
+func (d *Debugger) Threads() []*sim.Proc { return d.K.Procs() }
+
+// FramesFor returns the call stack of a process, innermost first.
+func (d *Debugger) FramesFor(p *sim.Proc) []*filterc.Frame {
+	if in := d.interps[p]; in != nil {
+		return in.Stack()
+	}
+	return nil
+}
+
+// PrintExpr resolves a simple expression while stopped: a frame-local
+// variable of the stopped process, a registered object symbol, or a
+// member path into either (dot/index syntax, e.g. "tok.Addr" or "a[3]").
+func (d *Debugger) PrintExpr(p *sim.Proc, expr string) (filterc.Value, error) {
+	base, path := splitPath(expr)
+	var root *filterc.Value
+	if p != nil {
+		if in := d.interps[p]; in != nil {
+			if fr := in.CurrentFrame(); fr != nil {
+				if v, ok := fr.Lookup(base); ok {
+					root = v
+				}
+			}
+		}
+	}
+	if root == nil {
+		if v, ok := d.objects[base]; ok {
+			root = v
+		}
+	}
+	if root == nil {
+		return filterc.Value{}, fmt.Errorf("no symbol %q in current context", base)
+	}
+	return resolvePath(*root, path)
+}
+
+// splitPath separates "a.b[2].c" into base "a" and path elements.
+func splitPath(expr string) (string, []string) {
+	expr = strings.TrimSpace(expr)
+	var parts []string
+	cur := strings.Builder{}
+	flush := func() {
+		if cur.Len() > 0 {
+			parts = append(parts, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range expr {
+		switch r {
+		case '.':
+			flush()
+		case '[':
+			flush()
+			cur.WriteByte('[')
+		case ']':
+			cur.WriteByte(']')
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	if len(parts) == 0 {
+		return expr, nil
+	}
+	return parts[0], parts[1:]
+}
+
+func resolvePath(v filterc.Value, path []string) (filterc.Value, error) {
+	for _, el := range path {
+		if strings.HasPrefix(el, "[") && strings.HasSuffix(el, "]") {
+			if v.Type == nil || v.Type.Kind != filterc.KArray {
+				return filterc.Value{}, fmt.Errorf("indexing non-array %s", v.Type)
+			}
+			var idx int
+			if _, err := fmt.Sscanf(el, "[%d]", &idx); err != nil {
+				return filterc.Value{}, fmt.Errorf("bad index %q", el)
+			}
+			if idx < 0 || idx >= len(v.Elems) {
+				return filterc.Value{}, fmt.Errorf("index %d out of range", idx)
+			}
+			v = v.Elems[idx]
+			continue
+		}
+		if v.Type == nil || v.Type.Kind != filterc.KStruct {
+			return filterc.Value{}, fmt.Errorf("member %q of non-struct %s", el, v.Type)
+		}
+		fi := v.Type.FieldIndex(el)
+		if fi < 0 {
+			return filterc.Value{}, fmt.Errorf("no field %q in %s", el, v.Type.Name)
+		}
+		v = v.Elems[fi]
+	}
+	return v, nil
+}

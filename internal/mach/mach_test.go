@@ -1,0 +1,184 @@
+package mach
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dfdbg/internal/sim"
+)
+
+func TestDefaultShapeMatchesP2012(t *testing.T) {
+	m := New(sim.NewKernel(), Config{})
+	if len(m.Clusters) != 4 {
+		t.Errorf("clusters = %d, want 4", len(m.Clusters))
+	}
+	if len(m.PEs()) != 64 {
+		t.Errorf("PEs = %d, want 64", len(m.PEs()))
+	}
+	if !m.Host.IsHost() || m.Host.String() != "host" {
+		t.Errorf("host wrong: %v", m.Host)
+	}
+	if m.PEs()[0].String() != "cluster0.pe0" {
+		t.Errorf("pe name = %q", m.PEs()[0].String())
+	}
+}
+
+func TestConfigDefaultsFillZeroFields(t *testing.T) {
+	m := New(sim.NewKernel(), Config{Clusters: 2})
+	if m.Cfg.PEsPerCluster != 16 || m.Cfg.L1Latency == 0 || m.Cfg.DMASetup == 0 {
+		t.Errorf("defaults not applied: %+v", m.Cfg)
+	}
+	if len(m.Clusters) != 2 {
+		t.Errorf("clusters = %d, want 2", len(m.Clusters))
+	}
+}
+
+func TestPEByID(t *testing.T) {
+	m := New(sim.NewKernel(), Config{Clusters: 2, PEsPerCluster: 2})
+	if m.PEByID(-1) != m.Host {
+		t.Error("PEByID(-1) != host")
+	}
+	pe := m.PEByID(3)
+	if pe == nil || pe.Cluster.ID != 1 {
+		t.Errorf("PEByID(3) = %v", pe)
+	}
+	if m.PEByID(99) != nil {
+		t.Error("PEByID(99) should be nil")
+	}
+}
+
+func TestMapNextInterleavesClusters(t *testing.T) {
+	m := New(sim.NewKernel(), Config{Clusters: 2, PEsPerCluster: 2})
+	got := []string{
+		m.MapNext().String(), m.MapNext().String(),
+		m.MapNext().String(), m.MapNext().String(),
+		m.MapNext().String(), // wraps around
+	}
+	want := []string{"cluster0.pe0", "cluster1.pe2", "cluster0.pe1", "cluster1.pe3", "cluster0.pe0"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MapNext order = %v, want %v", got, want)
+		}
+	}
+	if m.PEByID(0).Assigned != 2 {
+		t.Errorf("pe0 assigned = %d, want 2", m.PEByID(0).Assigned)
+	}
+}
+
+func TestTransferClassification(t *testing.T) {
+	m := New(sim.NewKernel(), Config{Clusters: 2, PEsPerCluster: 2})
+	sameCluster := m.TransferCost(m.PEByID(0), m.PEByID(1), 10)
+	crossCluster := m.TransferCost(m.PEByID(0), m.PEByID(3), 10)
+	hostFabric := m.TransferCost(m.Host, m.PEByID(0), 10)
+	if !(sameCluster < crossCluster && crossCluster < hostFabric) {
+		t.Errorf("cost ordering violated: L1=%v L2=%v DMA=%v", sameCluster, crossCluster, hostFabric)
+	}
+	cfg := m.Cfg
+	if sameCluster != 10*cfg.L1Latency {
+		t.Errorf("L1 cost = %v, want %v", sameCluster, 10*cfg.L1Latency)
+	}
+	if hostFabric != cfg.DMASetup+10*(cfg.DMAPerWord+cfg.L3Latency) {
+		t.Errorf("DMA cost = %v", hostFabric)
+	}
+}
+
+func TestTransferChargesTimeAndCounters(t *testing.T) {
+	k := sim.NewKernel()
+	m := New(k, Config{Clusters: 2, PEsPerCluster: 2})
+	m.SpawnOn(m.PEByID(0), "mover", func(p *sim.Proc) {
+		m.Transfer(p, m.PEByID(0), m.PEByID(1), 4) // L1
+		m.Transfer(p, m.PEByID(0), m.PEByID(3), 2) // L2
+		m.Transfer(p, m.Host, m.PEByID(0), 8)      // DMA/L3
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 4*m.Cfg.L1Latency + 2*m.Cfg.L2Latency +
+		m.Cfg.DMASetup + 8*(m.Cfg.DMAPerWord+m.Cfg.L3Latency)
+	if k.Now() != want {
+		t.Errorf("elapsed = %v, want %v", k.Now(), want)
+	}
+	if m.Clusters[0].L1m.Reads != 4 || m.Clusters[0].L1m.Writes != 4 {
+		t.Errorf("L1 counters = %+v", m.Clusters[0].L1m)
+	}
+	if m.L2m.Reads != 2 {
+		t.Errorf("L2 reads = %d", m.L2m.Reads)
+	}
+	if m.L3m.Writes != 8 || m.DMA.Transfers != 1 || m.DMA.Words != 8 {
+		t.Errorf("L3/DMA = %+v / %+v", m.L3m, m.DMA)
+	}
+}
+
+func TestComputeChargesCycles(t *testing.T) {
+	k := sim.NewKernel()
+	m := New(k, Config{Clusters: 1, PEsPerCluster: 1})
+	m.SpawnOn(m.PEByID(0), "worker", func(p *sim.Proc) {
+		m.Compute(p, 100)
+		m.Compute(p, 0) // free
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 100*m.Cfg.CycleTime {
+		t.Errorf("elapsed = %v, want %v", k.Now(), 100*m.Cfg.CycleTime)
+	}
+}
+
+func TestSpawnOnTagsProcess(t *testing.T) {
+	k := sim.NewKernel()
+	m := New(k, Config{Clusters: 1, PEsPerCluster: 1})
+	pe := m.PEByID(0)
+	p := m.SpawnOn(pe, "tagged", func(p *sim.Proc) {})
+	if p.Tag != pe {
+		t.Error("process not tagged with its PE")
+	}
+}
+
+func TestDescribeAndMemStats(t *testing.T) {
+	m := New(sim.NewKernel(), Config{Clusters: 2, PEsPerCluster: 4})
+	d := m.Describe()
+	for _, frag := range []string{"host + 2 cluster(s) x 4 PE(s)", "cluster 0", "cluster 1", "L1", "DMA"} {
+		if !strings.Contains(d, frag) {
+			t.Errorf("Describe missing %q:\n%s", frag, d)
+		}
+	}
+	stats := m.MemStats()
+	if len(stats) != 4 { // 2 L1s + L2 + L3
+		t.Errorf("MemStats len = %d, want 4", len(stats))
+	}
+	if stats[2].Level != L2 || stats[3].Level != L3 {
+		t.Errorf("MemStats order wrong: %v %v", stats[2].Level, stats[3].Level)
+	}
+}
+
+func TestMemLevelString(t *testing.T) {
+	if L1.String() != "L1" || L2.String() != "L2" || L3.String() != "L3" {
+		t.Error("MemLevel strings wrong")
+	}
+}
+
+// Property: transfer cost is monotone in word count for every class.
+func TestQuickTransferMonotone(t *testing.T) {
+	m := New(sim.NewKernel(), Config{Clusters: 2, PEsPerCluster: 2})
+	pairs := [][2]*PE{
+		{m.PEByID(0), m.PEByID(1)},
+		{m.PEByID(0), m.PEByID(3)},
+		{m.Host, m.PEByID(0)},
+	}
+	f := func(a, b uint16) bool {
+		w1, w2 := int(a%1000)+1, int(b%1000)+1
+		if w1 > w2 {
+			w1, w2 = w2, w1
+		}
+		for _, pr := range pairs {
+			if m.TransferCost(pr[0], pr[1], w1) > m.TransferCost(pr[0], pr[1], w2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,273 @@
+package mind
+
+import (
+	"fmt"
+
+	"dfdbg/internal/dot"
+	"dfdbg/internal/filterc"
+	"dfdbg/internal/pedf"
+)
+
+// Elaborator instantiates a parsed ADL architecture into a PEDF runtime,
+// playing the role of the MIND compilation tool-chain (which, in the
+// paper, generates C++ from the descriptions).
+type Elaborator struct {
+	// Sources resolves the `source xyz.c;` clauses to filterc code.
+	Sources map[string]string
+	// Types resolves non-scalar type names (e.g. CbCrMB_t) to filterc
+	// struct types.
+	Types map[string]*filterc.Type
+}
+
+// Instantiate creates the composite named topType as a top-level module
+// (instance name = composite name) inside rt.
+func (e *Elaborator) Instantiate(rt *pedf.Runtime, f *File, topType string) (*pedf.Module, error) {
+	def, ok := f.Composites[topType]
+	if !ok {
+		return nil, fmt.Errorf("mind: no composite %q in %s", topType, f.Name)
+	}
+	return e.instComposite(rt, f, def, def.Name, nil)
+}
+
+func (e *Elaborator) resolveType(tr TypeRef) (*filterc.Type, error) {
+	var t *filterc.Type
+	if b, ok := filterc.BaseTypeByName(tr.Name); ok {
+		t = filterc.Scalar(b)
+	} else if e.Types != nil {
+		if reg, ok := e.Types[tr.Name]; ok {
+			t = reg
+		}
+	}
+	if t == nil {
+		return nil, &Error{Pos: tr.Pos, Msg: fmt.Sprintf("unknown type %q", tr)}
+	}
+	if tr.ArrayLen > 0 {
+		t = filterc.ArrayOf(t, tr.ArrayLen)
+	}
+	return t, nil
+}
+
+func (e *Elaborator) resolveSource(name string, at Pos) (string, error) {
+	if name == "" {
+		return "", &Error{Pos: at, Msg: "missing source clause"}
+	}
+	src, ok := e.Sources[name]
+	if !ok {
+		return "", &Error{Pos: at, Msg: fmt.Sprintf("no source file %q in the registry", name)}
+	}
+	return src, nil
+}
+
+func (e *Elaborator) varSpecs(decls []VarDecl) ([]pedf.VarSpec, error) {
+	var out []pedf.VarSpec
+	for _, d := range decls {
+		t, err := e.resolveType(d.Type)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pedf.VarSpec{Name: d.Name, Type: t, Init: d.Init})
+	}
+	return out, nil
+}
+
+func (e *Elaborator) portSpecs(decls []PortDecl) ([]pedf.PortSpec, error) {
+	var out []pedf.PortSpec
+	for _, d := range decls {
+		t, err := e.resolveType(d.Type)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pedf.PortSpec{Name: d.Name, Type: t})
+	}
+	return out, nil
+}
+
+// instComposite recursively instantiates a composite definition.
+func (e *Elaborator) instComposite(rt *pedf.Runtime, f *File, def *CompositeDef,
+	instName string, parent *pedf.Module) (*pedf.Module, error) {
+
+	mod, err := rt.NewModule(instName, parent)
+	if err != nil {
+		return nil, err
+	}
+	for _, pd := range def.Ports {
+		t, err := e.resolveType(pd.Type)
+		if err != nil {
+			return nil, err
+		}
+		dir := pedf.Out
+		if pd.IsIn {
+			dir = pedf.In
+		}
+		if _, err := mod.AddPort(pd.Name, dir, t); err != nil {
+			return nil, err
+		}
+	}
+
+	// Instance name → port resolver.
+	scope := make(map[string]resolver)
+
+	filterResolver := func(fl *pedf.Filter) resolver {
+		return func(port string) (*pedf.Port, error) {
+			if p := fl.In(port); p != nil {
+				return p, nil
+			}
+			if p := fl.Out(port); p != nil {
+				return p, nil
+			}
+			return nil, fmt.Errorf("mind: %s has no port %q", fl.Name, port)
+		}
+	}
+	moduleResolver := func(m *pedf.Module) resolver {
+		return func(port string) (*pedf.Port, error) {
+			if p := m.Port(port); p != nil {
+				return p, nil
+			}
+			return nil, fmt.Errorf("mind: module %s has no port %q", m.Name, port)
+		}
+	}
+
+	for _, inst := range def.Contains {
+		if _, dup := scope[inst.Name]; dup {
+			return nil, &Error{Pos: inst.Pos, Msg: fmt.Sprintf("instance %q redefined", inst.Name)}
+		}
+		if prim, ok := f.Primitives[inst.TypeName]; ok {
+			src, err := e.resolveSource(prim.Source, prim.Pos)
+			if err != nil {
+				return nil, err
+			}
+			data, err := e.varSpecs(prim.Data)
+			if err != nil {
+				return nil, err
+			}
+			attrs, err := e.varSpecs(prim.Attrs)
+			if err != nil {
+				return nil, err
+			}
+			ins, err := e.portSpecs(prim.Inputs)
+			if err != nil {
+				return nil, err
+			}
+			outs, err := e.portSpecs(prim.Outputs)
+			if err != nil {
+				return nil, err
+			}
+			fl, err := rt.NewFilter(mod, pedf.FilterSpec{
+				Name: inst.Name, Source: src, SourceFile: prim.Source,
+				Data: data, Attrs: attrs, Inputs: ins, Outputs: outs,
+			})
+			if err != nil {
+				return nil, err
+			}
+			scope[inst.Name] = filterResolver(fl)
+			continue
+		}
+		if comp, ok := f.Composites[inst.TypeName]; ok {
+			sub, err := e.instComposite(rt, f, comp, inst.Name, mod)
+			if err != nil {
+				return nil, err
+			}
+			scope[inst.Name] = moduleResolver(sub)
+			continue
+		}
+		return nil, &Error{Pos: inst.Pos,
+			Msg: fmt.Sprintf("unknown component type %q for instance %q", inst.TypeName, inst.Name)}
+	}
+
+	if def.Controller != nil {
+		ctlDef := def.Controller
+		src, err := e.resolveSource(ctlDef.Source, ctlDef.Pos)
+		if err != nil {
+			return nil, err
+		}
+		data, err := e.varSpecs(ctlDef.Data)
+		if err != nil {
+			return nil, err
+		}
+		attrs, err := e.varSpecs(ctlDef.Attrs)
+		if err != nil {
+			return nil, err
+		}
+		ins, err := e.portSpecs(ctlDef.Inputs)
+		if err != nil {
+			return nil, err
+		}
+		outs, err := e.portSpecs(ctlDef.Outputs)
+		if err != nil {
+			return nil, err
+		}
+		ctl, err := rt.SetController(mod, pedf.ControllerSpec{
+			Source: src, SourceFile: ctlDef.Source,
+			Data: data, Attrs: attrs, Inputs: ins, Outputs: outs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		scope["controller"] = filterResolver(ctl)
+	}
+	scope["this"] = moduleResolver(mod)
+
+	for _, b := range def.Binds {
+		from, err := resolveQRef(scope, b.From)
+		if err != nil {
+			return nil, &Error{Pos: b.Pos, Msg: err.Error()}
+		}
+		to, err := resolveQRef(scope, b.To)
+		if err != nil {
+			return nil, &Error{Pos: b.Pos, Msg: err.Error()}
+		}
+		if err := rt.Bind(from, to); err != nil {
+			return nil, &Error{Pos: b.Pos, Msg: err.Error()}
+		}
+	}
+	return mod, nil
+}
+
+// resolver maps a port name to the port of one instance in scope.
+type resolver func(port string) (*pedf.Port, error)
+
+func resolveQRef(scope map[string]resolver, q QRef) (*pedf.Port, error) {
+	r, ok := scope[q.Actor]
+	if !ok {
+		return nil, fmt.Errorf("mind: unknown instance %q in binding %s", q.Actor, q)
+	}
+	return r(q.Port)
+}
+
+// GraphDOT renders a PEDF runtime's elaborated application as the
+// paper's Figure 2/4 style DOT graph: one cluster per module, green
+// rectangular controllers, round filters, plain data arrows, dotted
+// control arrows, dashed DMA-assisted arrows, and arc labels carrying
+// the current link occupancy (when non-zero).
+func GraphDOT(rt *pedf.Runtime) string {
+	g := dot.NewGraph("pedf")
+	for _, a := range rt.Actors() {
+		n := dot.Node{ID: a.Name, Label: a.Name, Shape: "ellipse"}
+		if a.Role == pedf.RoleController {
+			n.Shape = "box"
+			n.Color = "palegreen"
+		}
+		g.AddNode(a.Module.Name, n)
+	}
+	for _, l := range rt.Links() {
+		src, dst := l.Src.ActorName, l.Dst.ActorName
+		for _, id := range []string{src, dst} {
+			if !g.HasNode(id) {
+				g.AddNode("", dot.Node{ID: id, Label: id, Shape: "cds"})
+			}
+		}
+		style := "solid"
+		switch l.Kind {
+		case pedf.ControlLink:
+			style = "dotted"
+		case pedf.DMALink:
+			style = "dashed"
+		}
+		label := ""
+		if occ := l.Occupancy(); occ > 0 {
+			label = fmt.Sprintf("%d", occ)
+		}
+		g.AddEdge(dot.Edge{From: src, To: dst, Label: label, Style: style})
+	}
+	return g.String()
+}

@@ -1,0 +1,125 @@
+// Package mind implements the MIND architecture description language of
+// the paper's Section IV-A: the @Module/@Filter annotated composite and
+// primitive definitions (with `contains`, `binds ... to ...`, `input/
+// output ... as ...`, `data`, `attribute` and `source` clauses), and an
+// elaborator that instantiates a parsed architecture into a PEDF runtime.
+//
+// The paper's MIND compiler generates C++ from these descriptions; here
+// elaboration targets the pedf package directly, with filter source code
+// resolved from a registry of filterc files.
+package mind
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pos is a source position in an ADL file.
+type Pos struct {
+	File string
+	Line int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%s:%d", p.File, p.Line) }
+
+// Error is a parse or elaboration error with position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tWord
+	tNumber
+	tPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	pos  Pos
+}
+
+func (t token) String() string {
+	if t.kind == tEOF {
+		return "EOF"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenizes ADL source. Words include annotations (@Module) and
+// dotted/deco names are assembled by the parser from word/punct runs.
+func lex(file, src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			i += 2
+			if i > len(src) {
+				i = len(src)
+			}
+		case isWordChar(c) || c == '@':
+			start := i
+			i++
+			for i < len(src) && isWordChar(src[i]) {
+				i++
+			}
+			word := src[start:i]
+			if n, ok := parseNum(word); ok {
+				toks = append(toks, token{kind: tNumber, text: word, num: n, pos: Pos{file, line}})
+			} else {
+				toks = append(toks, token{kind: tWord, text: word, pos: Pos{file, line}})
+			}
+		case strings.ContainsRune("{};.:,=-[]", rune(c)):
+			toks = append(toks, token{kind: tPunct, text: string(c), pos: Pos{file, line}})
+			i++
+		default:
+			return nil, &Error{Pos: Pos{file, line}, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{kind: tEOF, pos: Pos{file, line}})
+	return toks, nil
+}
+
+func isWordChar(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func parseNum(word string) (int64, bool) {
+	if word == "" || word[0] < '0' || word[0] > '9' {
+		return 0, false
+	}
+	var n int64
+	for _, r := range word {
+		if r < '0' || r > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(r-'0')
+	}
+	return n, true
+}

@@ -1,0 +1,554 @@
+package mind
+
+import (
+	"strings"
+	"testing"
+
+	"dfdbg/internal/filterc"
+	"dfdbg/internal/mach"
+	"dfdbg/internal/pedf"
+	"dfdbg/internal/sim"
+)
+
+// paperADL is the paper's Section IV-A listing, with one fix: the paper
+// declares controller outputs as U32 but filter cmd inputs as U8 — a
+// type mismatch our elaborator rejects — so cmd ports are U8 throughout.
+const paperADL = `
+@Module
+composite AModule {
+	contains as controller {
+		output U8 as cmd_out_1;
+		output U8 as cmd_out_2;
+		source ctrl_source.c;
+	}
+	// External connections
+	input U32 as module_in;
+	output U32 as module_out;
+	// Sub-components
+	contains AFilter as filter_1;
+	contains AFilter as filter_2;
+	// Connections
+	binds controller.cmd_out_1
+	   to filter_1.cmd_in;
+	binds controller.cmd_out_2
+	   to filter_2.cmd_in;
+	binds this.module_in
+	   to filter_1.an_input;
+	binds filter_1.an_output
+	   to filter_2.an_input;
+	binds filter_2.an_output
+	   to this.module_out;
+}
+
+@Filter
+primitive AFilter {
+	data      stddefs.h:U32 a_private_data;
+	attribute stddefs.h:U32 an_attribute = 1;
+	source    the_source.c;
+	input stddefs.h:U32 as an_input;
+	input stddefs.h:U8 as cmd_in;
+	output stddefs.h:U32 as an_output;
+}
+`
+
+var paperSources = map[string]string{
+	"the_source.c": `void work() {
+	u32 c = pedf.io.cmd_in[0];
+	u32 v = pedf.io.an_input[0];
+	pedf.data.a_private_data = v;
+	pedf.io.an_output[0] = v + pedf.attribute.an_attribute + c - 1;
+}`,
+	"ctrl_source.c": `u32 work() {
+	pedf.io.cmd_out_1[0] = 1;
+	pedf.io.cmd_out_2[0] = 1;
+	ACTOR_START("filter_1");
+	ACTOR_START("filter_2");
+	WAIT_FOR_ACTOR_INIT();
+	ACTOR_SYNC("filter_1");
+	ACTOR_SYNC("filter_2");
+	WAIT_FOR_ACTOR_SYNC();
+	if (STEP_INDEX() + 1 >= 4) return 0;
+	return 1;
+}`,
+}
+
+func TestParsePaperListing(t *testing.T) {
+	f, err := Parse("amodule.adl", paperADL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := f.Composites["AModule"]
+	if comp == nil {
+		t.Fatal("AModule not parsed")
+	}
+	if comp.Controller == nil || comp.Controller.Source != "ctrl_source.c" {
+		t.Errorf("controller = %+v", comp.Controller)
+	}
+	if len(comp.Controller.Outputs) != 2 || comp.Controller.Outputs[0].Name != "cmd_out_1" {
+		t.Errorf("controller outputs = %+v", comp.Controller.Outputs)
+	}
+	if len(comp.Ports) != 2 || !comp.Ports[0].IsIn || comp.Ports[0].Name != "module_in" {
+		t.Errorf("ports = %+v", comp.Ports)
+	}
+	if len(comp.Contains) != 2 || comp.Contains[0].TypeName != "AFilter" ||
+		comp.Contains[1].Name != "filter_2" {
+		t.Errorf("contains = %+v", comp.Contains)
+	}
+	if len(comp.Binds) != 5 {
+		t.Fatalf("binds = %d, want 5", len(comp.Binds))
+	}
+	b := comp.Binds[2]
+	if b.From.Actor != "this" || b.From.Port != "module_in" ||
+		b.To.Actor != "filter_1" || b.To.Port != "an_input" {
+		t.Errorf("bind[2] = %v to %v", b.From, b.To)
+	}
+
+	prim := f.Primitives["AFilter"]
+	if prim == nil {
+		t.Fatal("AFilter not parsed")
+	}
+	if prim.Source != "the_source.c" {
+		t.Errorf("source = %q", prim.Source)
+	}
+	if len(prim.Data) != 1 || prim.Data[0].Name != "a_private_data" ||
+		prim.Data[0].Type.Header != "stddefs.h" || prim.Data[0].Type.Name != "U32" {
+		t.Errorf("data = %+v", prim.Data)
+	}
+	if len(prim.Attrs) != 1 || prim.Attrs[0].Init != 1 {
+		t.Errorf("attrs = %+v", prim.Attrs)
+	}
+	if len(prim.Inputs) != 2 || len(prim.Outputs) != 1 {
+		t.Errorf("ports: %d in, %d out", len(prim.Inputs), len(prim.Outputs))
+	}
+	if f.Order[0] != "AModule" || f.Order[1] != "AFilter" {
+		t.Errorf("order = %v", f.Order)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"garbage":         "hello world",
+		"unclosed":        "@Module composite X {",
+		"dup composite":   "@Module composite X {} @Module composite X {}",
+		"dup primitive":   "@Filter primitive X {} @Filter primitive X {}",
+		"mixed names":     "@Filter primitive X {} @Module composite X {}",
+		"two controllers": "@Module composite X { contains as controller { source a.c; } contains as controller { source b.c; } }",
+		"bad bind":        "@Module composite X { binds a to b; }",
+		"bad port":        "@Module composite X { input U32 module_in; }",
+		"bad char":        "@Module composite X { input U32 as p#; }",
+		"number init":     "@Filter primitive X { attribute U32 a = oops; }",
+	}
+	for name, src := range bad {
+		if _, err := Parse("t.adl", src); err == nil {
+			t.Errorf("%s: parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestParseNegativeInit(t *testing.T) {
+	f, err := Parse("t.adl", "@Filter primitive X { attribute I32 a = -5; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Primitives["X"].Attrs[0].Init != -5 {
+		t.Errorf("init = %d, want -5", f.Primitives["X"].Attrs[0].Init)
+	}
+}
+
+// elaborate builds the paper application and returns the runtime plus
+// the output collector.
+func elaborate(t *testing.T) (*pedf.Runtime, *pedf.Collector) {
+	t.Helper()
+	f := MustParse("amodule.adl", paperADL)
+	k := sim.NewKernel()
+	m := mach.New(k, mach.Config{Clusters: 2, PEsPerCluster: 4})
+	rt := pedf.NewRuntime(k, m, nil)
+	el := &Elaborator{Sources: paperSources}
+	mod, err := el.Instantiate(rt, f, "AModule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var feed []filterc.Value
+	for i := 0; i < 4; i++ {
+		feed = append(feed, filterc.Int(filterc.U32, int64(10*i)))
+	}
+	if err := rt.FeedInput(mod.Port("module_in"), feed); err != nil {
+		t.Fatal(err)
+	}
+	col, err := rt.CollectOutput(mod.Port("module_out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, col
+}
+
+func TestElaborateAndRunPaperApplication(t *testing.T) {
+	rt, col := elaborate(t)
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := rt.K.Run()
+	if err != nil || st != sim.RunIdle {
+		t.Fatalf("run = %v %v", st, err)
+	}
+	if dl := rt.K.Blocked(); dl != nil {
+		t.Fatalf("deadlock: %v", dl)
+	}
+	if len(col.Values) != 4 {
+		t.Fatalf("collected %d, want 4", len(col.Values))
+	}
+	for i, v := range col.Values {
+		want := int64(10*i) + 2 // two filters, attribute 1 each
+		if v.I != want {
+			t.Errorf("out[%d] = %d, want %d", i, v.I, want)
+		}
+	}
+	// The elaborated structure matches the ADL.
+	mod := rt.ModuleByName("AModule")
+	if mod == nil || len(mod.Filters) != 2 || mod.Controller == nil {
+		t.Fatalf("module structure wrong: %+v", mod)
+	}
+	if rt.ActorByName("filter_1") == nil || rt.ActorByName("AModule_controller") == nil {
+		t.Error("actors missing")
+	}
+	// 3 actor links (2 control + 1 data) + 2 env links.
+	if len(rt.Links()) != 5 {
+		t.Errorf("links = %d, want 5", len(rt.Links()))
+	}
+}
+
+func TestGraphDOTMatchesFigure2(t *testing.T) {
+	rt, _ := elaborate(t)
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	out := GraphDOT(rt)
+	for _, frag := range []string{
+		`label="AModule";`,
+		`"AModule_controller" [label="AModule_controller", shape=box, style=filled, fillcolor="palegreen"];`,
+		`"filter_1" [label="filter_1", shape=ellipse];`,
+		`"AModule_controller" -> "filter_1" [style=dotted];`,
+		`"filter_1" -> "filter_2";`,
+		`"env" -> "filter_1" [style=dashed];`,
+		`"filter_2" -> "env" [style=dashed];`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestGraphDOTShowsOccupancy(t *testing.T) {
+	rt, _ := elaborate(t)
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Inject two tokens on the inter-filter link before running.
+	f1 := rt.ActorByName("filter_1")
+	f1.Out("an_output").Link().InjectToken(filterc.Int(filterc.U32, 1))
+	f1.Out("an_output").Link().InjectToken(filterc.Int(filterc.U32, 2))
+	out := GraphDOT(rt)
+	if !strings.Contains(out, `"filter_1" -> "filter_2" [label="2"];`) {
+		t.Errorf("occupancy label missing:\n%s", out)
+	}
+}
+
+func TestHierarchicalComposite(t *testing.T) {
+	src := `
+@Filter
+primitive Inc {
+	source inc.c;
+	input U32 as i;
+	output U32 as o;
+}
+@Module
+composite Inner {
+	contains as controller { source ictl.c; }
+	input U32 as in;
+	output U32 as out;
+	contains Inc as inc1;
+	binds this.in to inc1.i;
+	binds inc1.o to this.out;
+}
+@Module
+composite Outer {
+	contains as controller { source octl.c; }
+	input U32 as in;
+	output U32 as out;
+	contains Inner as stage_a;
+	contains Inner as stage_b;
+	binds this.in to stage_a.in;
+	binds stage_a.out to stage_b.in;
+	binds stage_b.out to this.out;
+}
+`
+	sources := map[string]string{
+		"inc.c":  `void work() { pedf.io.o[0] = pedf.io.i[0] + 1; }`,
+		"ictl.c": `u32 work() { ACTOR_FIRE("inc1"); WAIT_FOR_ACTOR_SYNC(); if (STEP_INDEX() + 1 >= 3) return 0; return 1; }`,
+		"octl.c": `u32 work() { return 0; }`,
+	}
+	f := MustParse("hier.adl", src)
+	k := sim.NewKernel()
+	m := mach.New(k, mach.Config{Clusters: 2, PEsPerCluster: 4})
+	rt := pedf.NewRuntime(k, m, nil)
+	el := &Elaborator{Sources: sources}
+	_, err := el.Instantiate(rt, f, "Outer")
+	// Instance names collide across the two Inner instantiations ("inc1"
+	// twice) — PEDF requires globally unique actor names, so this must
+	// fail cleanly.
+	if err == nil {
+		t.Fatal("expected name-collision error for duplicated inner instances")
+	}
+	if !strings.Contains(err.Error(), "redefined") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestHierarchicalCompositeUnique(t *testing.T) {
+	src := `
+@Filter
+primitive IncA {
+	source inca.c;
+	input U32 as i;
+	output U32 as o;
+}
+@Filter
+primitive IncB {
+	source incb.c;
+	input U32 as i;
+	output U32 as o;
+}
+@Module
+composite StageA {
+	contains as controller { source actl.c; }
+	input U32 as in;
+	output U32 as out;
+	contains IncA as inca;
+	binds this.in to inca.i;
+	binds inca.o to this.out;
+}
+@Module
+composite StageB {
+	contains as controller { source bctl.c; }
+	input U32 as in;
+	output U32 as out;
+	contains IncB as incb;
+	binds this.in to incb.i;
+	binds incb.o to this.out;
+}
+@Module
+composite Top {
+	contains as controller { source tctl.c; }
+	input U32 as in;
+	output U32 as out;
+	contains StageA as front;
+	contains StageB as pred;
+	binds this.in to front.in;
+	binds front.out to pred.in;
+	binds pred.out to this.out;
+}
+`
+	fire := `u32 work() { ACTOR_FIRE(%q); WAIT_FOR_ACTOR_SYNC(); if (STEP_INDEX() + 1 >= 3) return 0; return 1; }`
+	sources := map[string]string{
+		"inca.c": `void work() { pedf.io.o[0] = pedf.io.i[0] + 1; }`,
+		"incb.c": `void work() { pedf.io.o[0] = pedf.io.i[0] + 100; }`,
+		"actl.c": strings.ReplaceAll(fire, "%q", `"inca"`),
+		"bctl.c": strings.ReplaceAll(fire, "%q", `"incb"`),
+		"tctl.c": `u32 work() { return 0; }`,
+	}
+	f := MustParse("hier.adl", src)
+	k := sim.NewKernel()
+	m := mach.New(k, mach.Config{Clusters: 2, PEsPerCluster: 4})
+	rt := pedf.NewRuntime(k, m, nil)
+	el := &Elaborator{Sources: sources}
+	top, err := el.Instantiate(rt, f, "Top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := []filterc.Value{filterc.Int(filterc.U32, 1), filterc.Int(filterc.U32, 2),
+		filterc.Int(filterc.U32, 3)}
+	rt.FeedInput(top.Port("in"), feed)
+	col, _ := rt.CollectOutput(top.Port("out"))
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := k.Run()
+	if err != nil || st != sim.RunIdle {
+		t.Fatalf("run = %v %v", st, err)
+	}
+	if len(col.Values) != 3 || col.Values[0].I != 102 || col.Values[2].I != 104 {
+		t.Errorf("outputs = %v", col.Values)
+	}
+	if rt.ModuleByName("front") == nil || rt.ModuleByName("pred") == nil {
+		t.Error("submodules missing")
+	}
+}
+
+func TestElaborationErrors(t *testing.T) {
+	k := sim.NewKernel()
+	m := mach.New(k, mach.Config{Clusters: 1, PEsPerCluster: 2})
+
+	mk := func() *pedf.Runtime { return pedf.NewRuntime(sim.NewKernel(), m, nil) }
+	_ = k
+
+	cases := []struct {
+		name    string
+		adl     string
+		sources map[string]string
+		top     string
+	}{
+		{"missing top", `@Module composite X { contains as controller { source c.c; } }`, nil, "Y"},
+		{"unknown type", `@Module composite X { contains as controller { source c.c; } input Bogus as p; }`,
+			map[string]string{"c.c": "u32 work() { return 0; }"}, "X"},
+		{"missing source", `@Module composite X { contains as controller { source nope.c; } }`,
+			map[string]string{}, "X"},
+		{"no source clause", `@Module composite X { contains as controller { } }`, nil, "X"},
+		{"unknown instance type", `@Module composite X { contains as controller { source c.c; } contains Ghost as g; }`,
+			map[string]string{"c.c": "u32 work() { return 0; }"}, "X"},
+		{"bad bind actor", `@Module composite X { contains as controller { source c.c; } binds ghost.p to this.q; }`,
+			map[string]string{"c.c": "u32 work() { return 0; }"}, "X"},
+		{"bad bind port", `@Module composite X { contains as controller { source c.c; output U8 as o; } input U32 as in; binds controller.nope to this.in; }`,
+			map[string]string{"c.c": "u32 work() { return 0; }"}, "X"},
+		{"unparsable source", `@Module composite X { contains as controller { source c.c; } }`,
+			map[string]string{"c.c": "@@@"}, "X"},
+	}
+	for _, c := range cases {
+		f, err := Parse("t.adl", c.adl)
+		if err != nil {
+			t.Errorf("%s: parse failed: %v", c.name, err)
+			continue
+		}
+		el := &Elaborator{Sources: c.sources}
+		if _, err := el.Instantiate(mk(), f, c.top); err == nil {
+			t.Errorf("%s: Instantiate succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestTypeRefString(t *testing.T) {
+	if (TypeRef{Name: "U32"}).String() != "U32" {
+		t.Error("plain TypeRef string wrong")
+	}
+	if (TypeRef{Header: "stddefs.h", Name: "U8"}).String() != "stddefs.h:U8" {
+		t.Error("qualified TypeRef string wrong")
+	}
+	if (TypeRef{Name: "I32", ArrayLen: 4}).String() != "I32[4]" {
+		t.Error("array TypeRef string wrong")
+	}
+}
+
+func TestArrayTypeRefParsing(t *testing.T) {
+	f, err := Parse("t.adl", `@Filter primitive P {
+	data I32[8] buf;
+	data stddefs.h:U32[3] regs;
+	source p.c;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f.Primitives["P"]
+	if p.Data[0].Type.ArrayLen != 8 || p.Data[0].Type.Name != "I32" {
+		t.Errorf("buf type = %+v", p.Data[0].Type)
+	}
+	if p.Data[1].Type.ArrayLen != 3 || p.Data[1].Type.Header != "stddefs.h" {
+		t.Errorf("regs type = %+v", p.Data[1].Type)
+	}
+	for _, bad := range []string{
+		`@Filter primitive P { data I32[x] buf; source p.c; }`,
+		`@Filter primitive P { data I32[0] buf; source p.c; }`,
+		`@Filter primitive P { data I32[4 buf; source p.c; }`,
+	} {
+		if _, err := Parse("t.adl", bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestControllerBlockParsing(t *testing.T) {
+	f, err := Parse("t.adl", `@Module composite M {
+	contains as controller {
+		input U8 as fb_in;
+		output U8 as cmd;
+		data U32 steps;
+		attribute U32 limit = 9;
+		source c.c;
+	};
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := f.Composites["M"].Controller
+	if len(ctl.Inputs) != 1 || len(ctl.Outputs) != 1 ||
+		len(ctl.Data) != 1 || len(ctl.Attrs) != 1 || ctl.Attrs[0].Init != 9 {
+		t.Errorf("controller = %+v", ctl)
+	}
+	// Invalid controller body items.
+	if _, err := Parse("t.adl", `@Module composite M { contains as controller { binds a.b to c.d; } }`); err == nil {
+		t.Error("binds inside controller accepted")
+	}
+	if _, err := Parse("t.adl", `@Module composite M { contains as controller { source 5; } }`); err == nil {
+		t.Error("numeric source accepted")
+	}
+}
+
+func TestLexerErrorStrings(t *testing.T) {
+	_, err := Parse("t.adl", "@Module composite X { input U32 as p#; }")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "t.adl:") {
+		t.Errorf("error lacks position: %v", err)
+	}
+}
+
+func TestStructTypeRegistry(t *testing.T) {
+	st := &filterc.Type{Kind: filterc.KStruct, Name: "CbCrMB_t", Fields: []filterc.Field{
+		{Name: "Addr", Type: filterc.Scalar(filterc.U32)},
+	}}
+	adl := `
+@Filter
+primitive P {
+	source p.c;
+	input types.h:CbCrMB_t as i;
+	output types.h:CbCrMB_t as o;
+}
+@Module
+composite M {
+	contains as controller { source c.c; }
+	input types.h:CbCrMB_t as in;
+	output types.h:CbCrMB_t as out;
+	contains P as p1;
+	binds this.in to p1.i;
+	binds p1.o to this.out;
+}
+`
+	f := MustParse("t.adl", adl)
+	el := &Elaborator{
+		Sources: map[string]string{
+			"p.c": `void work() { pedf.io.o[0] = pedf.io.i[0]; }`,
+			"c.c": `u32 work() { ACTOR_FIRE("p1"); WAIT_FOR_ACTOR_SYNC(); return 0; }`,
+		},
+		Types: map[string]*filterc.Type{"CbCrMB_t": st},
+	}
+	k := sim.NewKernel()
+	m := mach.New(k, mach.Config{Clusters: 1, PEsPerCluster: 2})
+	rt := pedf.NewRuntime(k, m, nil)
+	mod, err := el.Instantiate(rt, f, "M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := filterc.Zero(st)
+	tok.Elems[0].I = 0x145D
+	rt.FeedInput(mod.Port("in"), []filterc.Value{tok})
+	col, _ := rt.CollectOutput(mod.Port("out"))
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := k.Run()
+	if err != nil || st2 != sim.RunIdle {
+		t.Fatalf("run = %v %v", st2, err)
+	}
+	if len(col.Values) != 1 || col.Values[0].Elems[0].I != 0x145D {
+		t.Errorf("outputs = %v", col.Values)
+	}
+}

@@ -1,0 +1,551 @@
+package mind
+
+import "fmt"
+
+// TypeRef is a (possibly header-qualified) type name, e.g. `U32` or
+// `stddefs.h:U32`, optionally with an array length (`I32[128]`) — a
+// small extension to the paper's syntax needed for sized private-data
+// buffers.
+type TypeRef struct {
+	Header   string // "stddefs.h" or ""
+	Name     string // "U32", "CbCrMB_t", ...
+	ArrayLen int    // 0 for scalar/struct, >0 for fixed arrays
+	Pos      Pos
+}
+
+func (t TypeRef) String() string {
+	s := t.Name
+	if t.Header != "" {
+		s = t.Header + ":" + t.Name
+	}
+	if t.ArrayLen > 0 {
+		s = fmt.Sprintf("%s[%d]", s, t.ArrayLen)
+	}
+	return s
+}
+
+// PortDecl is `input/output TYPE as name;`.
+type PortDecl struct {
+	Name string
+	Type TypeRef
+	IsIn bool
+	Pos  Pos
+}
+
+// VarDecl is `data TYPE name;` or `attribute TYPE name [= init];`.
+type VarDecl struct {
+	Name string
+	Type TypeRef
+	Init int64
+	Pos  Pos
+}
+
+// QRef is a qualified endpoint reference `actor.port`; Actor is "this"
+// for the enclosing module's own ports.
+type QRef struct {
+	Actor string
+	Port  string
+	Pos   Pos
+}
+
+func (q QRef) String() string { return q.Actor + "." + q.Port }
+
+// BindDecl is `binds A to B;`.
+type BindDecl struct {
+	From QRef
+	To   QRef
+	Pos  Pos
+}
+
+// Instance is `contains TYPE as name;`.
+type Instance struct {
+	TypeName string
+	Name     string
+	Pos      Pos
+}
+
+// ControllerDef is the inline `contains as controller { ... }` block.
+type ControllerDef struct {
+	Inputs  []PortDecl
+	Outputs []PortDecl
+	Data    []VarDecl
+	Attrs   []VarDecl
+	Source  string
+	Pos     Pos
+}
+
+// PrimitiveDef is an `@Filter primitive NAME { ... }` definition.
+type PrimitiveDef struct {
+	Name    string
+	Data    []VarDecl
+	Attrs   []VarDecl
+	Source  string
+	Inputs  []PortDecl
+	Outputs []PortDecl
+	Pos     Pos
+}
+
+// CompositeDef is an `@Module composite NAME { ... }` definition.
+type CompositeDef struct {
+	Name       string
+	Controller *ControllerDef
+	Ports      []PortDecl
+	Contains   []Instance
+	Binds      []BindDecl
+	Pos        Pos
+}
+
+// File is a parsed ADL source file.
+type File struct {
+	Name       string
+	Composites map[string]*CompositeDef
+	Primitives map[string]*PrimitiveDef
+	Order      []string // definition names in source order
+}
+
+// Parse compiles ADL source.
+func Parse(file, src string) (*File, error) {
+	toks, err := lex(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, f: &File{
+		Name:       file,
+		Composites: make(map[string]*CompositeDef),
+		Primitives: make(map[string]*PrimitiveDef),
+	}}
+	if err := p.parseFile(); err != nil {
+		return nil, err
+	}
+	return p.f, nil
+}
+
+// MustParse is Parse for known-good embedded descriptions.
+func MustParse(file, src string) *File {
+	f, err := Parse(file, src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type parser struct {
+	toks []token
+	i    int
+	f    *File
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Pos: p.cur().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) atWord(w string) bool { return p.cur().kind == tWord && p.cur().text == w }
+func (p *parser) atPunct(s string) bool {
+	return p.cur().kind == tPunct && p.cur().text == s
+}
+
+func (p *parser) accept(s string) bool {
+	if p.atPunct(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.accept(s) {
+		return p.errf("expected %q, found %s", s, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) expectWord(w string) error {
+	if !p.atWord(w) {
+		return p.errf("expected %q, found %s", w, p.cur())
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) ident() (token, error) {
+	if p.cur().kind != tWord {
+		return token{}, p.errf("expected identifier, found %s", p.cur())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) parseFile() error {
+	for p.cur().kind != tEOF {
+		switch {
+		case p.atWord("@Module"):
+			p.advance()
+			if err := p.parseComposite(); err != nil {
+				return err
+			}
+		case p.atWord("@Filter"):
+			p.advance()
+			if err := p.parsePrimitive(); err != nil {
+				return err
+			}
+		case p.atWord("composite"):
+			if err := p.parseComposite(); err != nil {
+				return err
+			}
+		case p.atWord("primitive"):
+			if err := p.parsePrimitive(); err != nil {
+				return err
+			}
+		default:
+			return p.errf("expected @Module/@Filter annotation or composite/primitive, found %s", p.cur())
+		}
+	}
+	return nil
+}
+
+// parseTypeRef handles `U32` and `stddefs.h:CbCrMB_t`.
+func (p *parser) parseTypeRef() (TypeRef, error) {
+	first, err := p.ident()
+	if err != nil {
+		return TypeRef{}, err
+	}
+	tr := TypeRef{Name: first.text, Pos: first.pos}
+	// Header form: word . word : word
+	if p.atPunct(".") {
+		p.advance()
+		ext, err := p.ident()
+		if err != nil {
+			return TypeRef{}, err
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return TypeRef{}, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return TypeRef{}, err
+		}
+		tr.Header = first.text + "." + ext.text
+		tr.Name = name.text
+	}
+	// Optional array length suffix.
+	if p.accept("[") {
+		if p.cur().kind != tNumber {
+			return TypeRef{}, p.errf("array length must be a number")
+		}
+		tr.ArrayLen = int(p.advance().num)
+		if tr.ArrayLen <= 0 {
+			return TypeRef{}, p.errf("array length must be positive")
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return TypeRef{}, err
+		}
+	}
+	return tr, nil
+}
+
+// parseFileName handles `ctrl_source.c` (word . word).
+func (p *parser) parseFileName() (string, error) {
+	base, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if !p.accept(".") {
+		return base.text, nil
+	}
+	ext, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	return base.text + "." + ext.text, nil
+}
+
+// parsePortDecl handles `input/output TYPE as name ;` (isIn preset).
+func (p *parser) parsePortDecl(isIn bool) (PortDecl, error) {
+	pos := p.cur().pos
+	tr, err := p.parseTypeRef()
+	if err != nil {
+		return PortDecl{}, err
+	}
+	if err := p.expectWord("as"); err != nil {
+		return PortDecl{}, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return PortDecl{}, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return PortDecl{}, err
+	}
+	return PortDecl{Name: name.text, Type: tr, IsIn: isIn, Pos: pos}, nil
+}
+
+// parseVarDecl handles `data/attribute TYPE name [= init] ;`.
+func (p *parser) parseVarDecl() (VarDecl, error) {
+	pos := p.cur().pos
+	tr, err := p.parseTypeRef()
+	if err != nil {
+		return VarDecl{}, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return VarDecl{}, err
+	}
+	v := VarDecl{Name: name.text, Type: tr, Pos: pos}
+	if p.accept("=") {
+		neg := p.accept("-")
+		if p.cur().kind != tNumber {
+			return VarDecl{}, p.errf("expected number after '='")
+		}
+		v.Init = p.advance().num
+		if neg {
+			v.Init = -v.Init
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return VarDecl{}, err
+	}
+	return v, nil
+}
+
+// parseQRef handles `this.port`, `controller.port`, `inst.port`.
+func (p *parser) parseQRef() (QRef, error) {
+	actor, err := p.ident()
+	if err != nil {
+		return QRef{}, err
+	}
+	if err := p.expectPunct("."); err != nil {
+		return QRef{}, err
+	}
+	port, err := p.ident()
+	if err != nil {
+		return QRef{}, err
+	}
+	return QRef{Actor: actor.text, Port: port.text, Pos: actor.pos}, nil
+}
+
+func (p *parser) parsePrimitive() error {
+	pos := p.cur().pos
+	if err := p.expectWord("primitive"); err != nil {
+		return err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if _, dup := p.f.Primitives[name.text]; dup {
+		return p.errf("primitive %q redefined", name.text)
+	}
+	if _, dup := p.f.Composites[name.text]; dup {
+		return p.errf("%q already defined as composite", name.text)
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	def := &PrimitiveDef{Name: name.text, Pos: pos}
+	for !p.accept("}") {
+		switch {
+		case p.atWord("data"):
+			p.advance()
+			v, err := p.parseVarDecl()
+			if err != nil {
+				return err
+			}
+			def.Data = append(def.Data, v)
+		case p.atWord("attribute"):
+			p.advance()
+			v, err := p.parseVarDecl()
+			if err != nil {
+				return err
+			}
+			def.Attrs = append(def.Attrs, v)
+		case p.atWord("source"):
+			p.advance()
+			fn, err := p.parseFileName()
+			if err != nil {
+				return err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return err
+			}
+			def.Source = fn
+		case p.atWord("input"):
+			p.advance()
+			d, err := p.parsePortDecl(true)
+			if err != nil {
+				return err
+			}
+			def.Inputs = append(def.Inputs, d)
+		case p.atWord("output"):
+			p.advance()
+			d, err := p.parsePortDecl(false)
+			if err != nil {
+				return err
+			}
+			def.Outputs = append(def.Outputs, d)
+		default:
+			return p.errf("unexpected %s in primitive %s", p.cur(), def.Name)
+		}
+	}
+	p.f.Primitives[def.Name] = def
+	p.f.Order = append(p.f.Order, def.Name)
+	return nil
+}
+
+func (p *parser) parseComposite() error {
+	pos := p.cur().pos
+	if err := p.expectWord("composite"); err != nil {
+		return err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if _, dup := p.f.Composites[name.text]; dup {
+		return p.errf("composite %q redefined", name.text)
+	}
+	if _, dup := p.f.Primitives[name.text]; dup {
+		return p.errf("%q already defined as primitive", name.text)
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	def := &CompositeDef{Name: name.text, Pos: pos}
+	for !p.accept("}") {
+		switch {
+		case p.atWord("contains"):
+			p.advance()
+			if p.atWord("as") {
+				// Inline controller: contains as controller { ... }
+				p.advance()
+				if err := p.expectWord("controller"); err != nil {
+					return err
+				}
+				if def.Controller != nil {
+					return p.errf("composite %s has two controllers", def.Name)
+				}
+				ctl, err := p.parseControllerBody()
+				if err != nil {
+					return err
+				}
+				def.Controller = ctl
+				continue
+			}
+			typ, err := p.ident()
+			if err != nil {
+				return err
+			}
+			if err := p.expectWord("as"); err != nil {
+				return err
+			}
+			inst, err := p.ident()
+			if err != nil {
+				return err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return err
+			}
+			def.Contains = append(def.Contains, Instance{TypeName: typ.text, Name: inst.text, Pos: typ.pos})
+		case p.atWord("input"):
+			p.advance()
+			d, err := p.parsePortDecl(true)
+			if err != nil {
+				return err
+			}
+			def.Ports = append(def.Ports, d)
+		case p.atWord("output"):
+			p.advance()
+			d, err := p.parsePortDecl(false)
+			if err != nil {
+				return err
+			}
+			def.Ports = append(def.Ports, d)
+		case p.atWord("binds"):
+			p.advance()
+			from, err := p.parseQRef()
+			if err != nil {
+				return err
+			}
+			if err := p.expectWord("to"); err != nil {
+				return err
+			}
+			to, err := p.parseQRef()
+			if err != nil {
+				return err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return err
+			}
+			def.Binds = append(def.Binds, BindDecl{From: from, To: to, Pos: from.Pos})
+		default:
+			return p.errf("unexpected %s in composite %s", p.cur(), def.Name)
+		}
+	}
+	p.f.Composites[def.Name] = def
+	p.f.Order = append(p.f.Order, def.Name)
+	return nil
+}
+
+func (p *parser) parseControllerBody() (*ControllerDef, error) {
+	pos := p.cur().pos
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	ctl := &ControllerDef{Pos: pos}
+	for !p.accept("}") {
+		switch {
+		case p.atWord("input"):
+			p.advance()
+			d, err := p.parsePortDecl(true)
+			if err != nil {
+				return nil, err
+			}
+			ctl.Inputs = append(ctl.Inputs, d)
+		case p.atWord("output"):
+			p.advance()
+			d, err := p.parsePortDecl(false)
+			if err != nil {
+				return nil, err
+			}
+			ctl.Outputs = append(ctl.Outputs, d)
+		case p.atWord("data"):
+			p.advance()
+			v, err := p.parseVarDecl()
+			if err != nil {
+				return nil, err
+			}
+			ctl.Data = append(ctl.Data, v)
+		case p.atWord("attribute"):
+			p.advance()
+			v, err := p.parseVarDecl()
+			if err != nil {
+				return nil, err
+			}
+			ctl.Attrs = append(ctl.Attrs, v)
+		case p.atWord("source"):
+			p.advance()
+			fn, err := p.parseFileName()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			ctl.Source = fn
+		default:
+			return nil, p.errf("unexpected %s in controller block", p.cur())
+		}
+	}
+	if p.accept(";") {
+		// optional trailing semicolon
+	}
+	return ctl, nil
+}

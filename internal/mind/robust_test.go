@@ -1,0 +1,42 @@
+package mind
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the ADL parser never panics, whatever the input.
+func TestQuickADLParserNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("parser panicked on %q: %v", src, r)
+				ok = false
+			}
+		}()
+		_, _ = Parse("fuzz.adl", src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	for _, src := range []string{
+		"", "@", "@Module", "@Module composite", "@Module composite X",
+		"@Module composite X {", "@Module composite X { contains",
+		"@Module composite X { contains as", "@Module composite X { binds a",
+		"@Module composite X { binds a. to b.c; }",
+		"@Filter primitive P { data stddefs. }",
+		"@Filter primitive P { data I32[ x; }",
+		"@Filter primitive P { source a. }",
+		"composite X { input U32 as }",
+	} {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("parser panicked on %q: %v", src, r)
+				}
+			}()
+			_, _ = Parse("fuzz.adl", src)
+		}()
+	}
+}

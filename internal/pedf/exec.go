@@ -1,0 +1,551 @@
+package pedf
+
+import (
+	"fmt"
+
+	"dfdbg/internal/filterc"
+	"dfdbg/internal/lowdbg"
+	"dfdbg/internal/sim"
+)
+
+// Start elaborates the application (resolving bindings into links) and
+// spawns the framework's simulation processes: an init process replaying
+// the registration API (so an attached debugger can reconstruct the
+// graph), then one process per controller, filter, feeder and collector.
+//
+// After Start, drive the kernel with the debugger's Continue/Step (or
+// Kernel.Run when undebugged).
+func (rt *Runtime) Start() error {
+	if rt.started {
+		return fmt.Errorf("pedf: Start called twice")
+	}
+	if err := rt.Elaborate(true); err != nil {
+		return err
+	}
+	rt.started = true
+	rt.registerTargetFuncs()
+	rt.K.Spawn("pedf.init", func(p *sim.Proc) {
+		rt.replayRegistrations(p)
+		rt.spawnActors()
+	})
+	return nil
+}
+
+// registerTargetFuncs exposes runtime helpers to the debugger (the
+// "call an inferior function" surface used for token alteration and
+// two-level state queries).
+func (rt *Runtime) registerTargetFuncs() {
+	if rt.Dbg == nil {
+		return
+	}
+	linkByID := func(args []any, n int) (*Link, error) {
+		if len(args) < n {
+			return nil, fmt.Errorf("pedf: expected at least %d argument(s)", n)
+		}
+		id, ok := args[0].(int64)
+		if !ok {
+			return nil, fmt.Errorf("pedf: link id must be int64, got %T", args[0])
+		}
+		for _, l := range rt.links {
+			if int64(l.ID) == id {
+				return l, nil
+			}
+		}
+		return nil, fmt.Errorf("pedf: no link #%d", id)
+	}
+	argIdx := func(args []any, i int) (int64, error) {
+		n, ok := args[i].(int64)
+		if !ok {
+			return 0, fmt.Errorf("pedf: argument %d must be int64, got %T", i, args[i])
+		}
+		return n, nil
+	}
+	argVal := func(args []any, i int) (filterc.Value, error) {
+		v, ok := args[i].(filterc.Value)
+		if !ok {
+			return filterc.Value{}, fmt.Errorf("pedf: argument %d must be a token value, got %T", i, args[i])
+		}
+		return v, nil
+	}
+	rt.Dbg.RegisterTargetFunc(TFLinkInject, func(args ...any) (any, error) {
+		l, err := linkByID(args, 2)
+		if err != nil {
+			return nil, err
+		}
+		v, err := argVal(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		l.InjectToken(v)
+		return nil, nil
+	})
+	rt.Dbg.RegisterTargetFunc(TFLinkDrop, func(args ...any) (any, error) {
+		l, err := linkByID(args, 2)
+		if err != nil {
+			return nil, err
+		}
+		i, err := argIdx(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		if !l.DropToken(int(i)) {
+			return nil, fmt.Errorf("pedf: no token %d on link #%d", i, l.ID)
+		}
+		return nil, nil
+	})
+	rt.Dbg.RegisterTargetFunc(TFLinkReplace, func(args ...any) (any, error) {
+		l, err := linkByID(args, 3)
+		if err != nil {
+			return nil, err
+		}
+		i, err := argIdx(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		v, err := argVal(args, 2)
+		if err != nil {
+			return nil, err
+		}
+		if !l.ReplaceToken(int(i), v) {
+			return nil, fmt.Errorf("pedf: no token %d on link #%d", i, l.ID)
+		}
+		return nil, nil
+	})
+	rt.Dbg.RegisterTargetFunc(TFLinkPeek, func(args ...any) (any, error) {
+		l, err := linkByID(args, 2)
+		if err != nil {
+			return nil, err
+		}
+		i, err := argIdx(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		tok, ok := l.Peek(int(i))
+		if !ok {
+			return nil, fmt.Errorf("pedf: no token %d on link #%d", i, l.ID)
+		}
+		return tok.Val, nil
+	})
+	rt.Dbg.RegisterTargetFunc(TFLinkOccupancy, func(args ...any) (any, error) {
+		l, err := linkByID(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		return int64(l.Occupancy()), nil
+	})
+	actorArg := func(args []any) (*Filter, error) {
+		if len(args) < 1 {
+			return nil, fmt.Errorf("pedf: missing actor name")
+		}
+		name, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("pedf: actor name must be string, got %T", args[0])
+		}
+		f := rt.ActorByName(name)
+		if f == nil {
+			return nil, fmt.Errorf("pedf: no actor %q", name)
+		}
+		return f, nil
+	}
+	rt.Dbg.RegisterTargetFunc(TFFilterLine, func(args ...any) (any, error) {
+		f, err := actorArg(args)
+		if err != nil {
+			return nil, err
+		}
+		return int64(f.CurrentLine()), nil
+	})
+	rt.Dbg.RegisterTargetFunc(TFFilterBlocked, func(args ...any) (any, error) {
+		f, err := actorArg(args)
+		if err != nil {
+			return nil, err
+		}
+		return f.BlockedOn(), nil
+	})
+}
+
+// Elaborate resolves recorded bindings into links. With strict set,
+// every actor port must end up connected (the Start-time invariant);
+// without it, dangling ports are tolerated — architecture tools (mindc)
+// use this to inspect partial designs. Idempotent.
+func (rt *Runtime) Elaborate(strict bool) error {
+	if rt.elaborated {
+		if strict {
+			return rt.checkConnectivity()
+		}
+		return nil
+	}
+	rt.elaborated = true
+	for _, bs := range rt.binds {
+		src, err := resolve(bs.a)
+		if err != nil {
+			return err
+		}
+		dst, err := resolve(bs.b)
+		if err != nil {
+			return err
+		}
+		if src.Dir != Out || dst.Dir != In {
+			return fmt.Errorf("pedf: binding %s -> %s does not resolve to output -> input",
+				src.Qualified(), dst.Qualified())
+		}
+		if src.link != nil {
+			return fmt.Errorf("pedf: output %s bound twice", src.Qualified())
+		}
+		if dst.link != nil {
+			return fmt.Errorf("pedf: input %s bound twice", dst.Qualified())
+		}
+		if !typesMatch(src.Type, dst.Type) {
+			return fmt.Errorf("pedf: type mismatch on link %s (%s) -> %s (%s)",
+				src.Qualified(), src.Type, dst.Qualified(), dst.Type)
+		}
+		kind := DataLink
+		switch {
+		case src.ActorName == EnvActor || dst.ActorName == EnvActor:
+			kind = DMALink
+		case src.owner != nil && src.owner.Role == RoleController:
+			kind = ControlLink
+		}
+		l := &Link{
+			ID: len(rt.links) + 1, Src: src, Dst: dst, Kind: kind,
+			Cap: rt.LinkCap, rt: rt,
+			notEmpty: rt.K.NewEvent(fmt.Sprintf("link%d.notEmpty", len(rt.links)+1)),
+			notFull:  rt.K.NewEvent(fmt.Sprintf("link%d.notFull", len(rt.links)+1)),
+		}
+		src.link = l
+		dst.link = l
+		rt.links = append(rt.links, l)
+	}
+	// Wire feeders and collectors to their elaborated links.
+	for i := range rt.feeders {
+		fs := &rt.feeders[i]
+		if fs.src.link == nil {
+			return fmt.Errorf("pedf: feeder %s did not elaborate", fs.src.Qualified())
+		}
+	}
+	for _, col := range rt.collectors {
+		if col.Port.link == nil {
+			return fmt.Errorf("pedf: collector %s did not elaborate", col.Port.Qualified())
+		}
+		col.link = col.Port.link
+	}
+	if strict {
+		return rt.checkConnectivity()
+	}
+	return nil
+}
+
+// checkConnectivity verifies every actor port is bound to a link.
+func (rt *Runtime) checkConnectivity() error {
+	for _, f := range rt.actorList {
+		for _, n := range f.inNames {
+			if f.ins[n].link == nil {
+				return fmt.Errorf("pedf: input %s is unbound", f.ins[n].Qualified())
+			}
+		}
+		for _, n := range f.outNames {
+			if f.outs[n].link == nil {
+				return fmt.Errorf("pedf: output %s is unbound", f.outs[n].Qualified())
+			}
+		}
+	}
+	return nil
+}
+
+// replayRegistrations announces the application structure through the
+// framework API — the initialization-phase calls the dataflow debugger's
+// graph reconstruction intercepts.
+func (rt *Runtime) replayRegistrations(p *sim.Proc) {
+	finish := func(exit func(any)) {
+		if exit != nil {
+			exit(nil)
+		}
+	}
+	for _, m := range rt.moduleList {
+		parent := ""
+		if m.Parent != nil {
+			parent = m.Parent.Name
+		}
+		finish(rt.hook(p, SymRegisterModule, []lowdbg.Arg{
+			{Name: "module", Val: m.Name}, {Name: "parent", Val: parent},
+		}))
+		for _, pn := range m.portNames {
+			port := m.ports[pn]
+			finish(rt.hook(p, SymRegisterPort, []lowdbg.Arg{
+				{Name: "actor", Val: m.Name}, {Name: "port", Val: pn},
+				{Name: "dir", Val: port.Dir.String()}, {Name: "type", Val: port.Type.String()},
+			}))
+		}
+	}
+	for _, f := range rt.actorList {
+		if f.Role == RoleController {
+			finish(rt.hook(p, SymRegisterController, []lowdbg.Arg{
+				{Name: "module", Val: f.Module.Name}, {Name: "controller", Val: f.Name},
+			}))
+		} else {
+			finish(rt.hook(p, SymRegisterFilter, []lowdbg.Arg{
+				{Name: "filter", Val: f.Name}, {Name: "module", Val: f.Module.Name},
+			}))
+		}
+		for _, n := range f.inNames {
+			port := f.ins[n]
+			finish(rt.hook(p, SymRegisterPort, []lowdbg.Arg{
+				{Name: "actor", Val: f.Name}, {Name: "port", Val: n},
+				{Name: "dir", Val: "input"}, {Name: "type", Val: port.Type.String()},
+			}))
+		}
+		for _, n := range f.outNames {
+			port := f.outs[n]
+			finish(rt.hook(p, SymRegisterPort, []lowdbg.Arg{
+				{Name: "actor", Val: f.Name}, {Name: "port", Val: n},
+				{Name: "dir", Val: "output"}, {Name: "type", Val: port.Type.String()},
+			}))
+		}
+	}
+	for _, l := range rt.links {
+		finish(rt.hook(p, SymBind, []lowdbg.Arg{
+			{Name: "link", Val: int64(l.ID)},
+			{Name: "src", Val: l.Src.ActorName}, {Name: "src_port", Val: l.Src.Name},
+			{Name: "dst", Val: l.Dst.ActorName}, {Name: "dst_port", Val: l.Dst.Name},
+			{Name: "kind", Val: l.Kind.String()},
+		}))
+	}
+}
+
+// spawnActors launches controller, filter, feeder and collector
+// processes in deterministic order.
+func (rt *Runtime) spawnActors() {
+	for _, f := range rt.actorList {
+		f := f
+		if f.Role == RoleController {
+			f.proc = rt.M.SpawnOn(f.PE, "ctl."+f.Name, func(p *sim.Proc) { rt.controllerLoop(p, f) })
+		} else {
+			f.proc = rt.M.SpawnOn(f.PE, "flt."+f.Name, func(p *sim.Proc) { rt.filterLoop(p, f) })
+		}
+		if f.Prog != nil {
+			f.interp = filterc.New(f.Prog, &filterEnv{f: f})
+			f.interp.Hooks = &costHooks{f: f}
+			if rt.Dbg != nil {
+				rt.Dbg.AttachInterp(f.proc, f.interp)
+			}
+		}
+	}
+	for i := range rt.feeders {
+		fs := rt.feeders[i]
+		rt.M.SpawnOn(rt.M.Host, "env.feed."+fs.src.Name, func(p *sim.Proc) {
+			for _, v := range fs.values {
+				if err := fs.src.link.push(p, nil, rt.M.Host, v); err != nil {
+					panic(err)
+				}
+			}
+		})
+	}
+	for _, col := range rt.collectors {
+		col := col
+		proc := rt.M.SpawnOn(rt.M.Host, "env.drain."+col.Port.Name, func(p *sim.Proc) {
+			for {
+				tok, err := col.link.pop(p, nil)
+				if err != nil {
+					panic(err)
+				}
+				col.Values = append(col.Values, tok.Val)
+			}
+		})
+		proc.Daemon = true
+	}
+}
+
+// filterLoop is a filter process body: wait for ACTOR_START, run WORK
+// firings until ACTOR_SYNC, forever (until module shutdown).
+func (rt *Runtime) filterLoop(p *sim.Proc, f *Filter) {
+	for {
+		for !f.startReq && !f.shutdown {
+			p.Wait(f.startEv)
+		}
+		if f.shutdown {
+			f.setState(StateDone)
+			return
+		}
+		f.startReq = false
+		f.setState(StateRunning)
+		for {
+			if err := rt.invokeWork(p, f); err != nil {
+				panic(err)
+			}
+			f.firings++
+			if f.syncReq || f.shutdown {
+				f.syncReq = false
+				break
+			}
+		}
+		f.setState(StateSynced)
+	}
+}
+
+// invokeWork runs one WORK firing under the work-symbol hook.
+func (rt *Runtime) invokeWork(p *sim.Proc, f *Filter) error {
+	f.resetWindows()
+	exit := rt.hook(p, WorkSymbol(f), []lowdbg.Arg{
+		{Name: "self", Val: f.Name},
+		{Name: "module", Val: f.Module.Name},
+		{Name: "firing", Val: int64(f.firings)},
+	})
+	var err error
+	var ret any
+	if f.Prog != nil {
+		var v filterc.Value
+		v, err = f.interp.CallFunc("work", nil)
+		ret = v
+	} else {
+		err = f.NativeWork(&WorkCtx{f: f, p: p})
+	}
+	if exit != nil {
+		exit(ret)
+	}
+	return err
+}
+
+// controllerLoop runs the module's step protocol.
+func (rt *Runtime) controllerLoop(p *sim.Proc, c *Filter) {
+	m := c.Module
+	c.setState(StateRunning)
+	for !m.done {
+		exitBegin := rt.hook(p, SymStepBegin, []lowdbg.Arg{
+			{Name: "module", Val: m.Name}, {Name: "step", Val: int64(m.step)},
+		})
+		if exitBegin != nil {
+			exitBegin(nil)
+		}
+		c.resetWindows()
+		cont, err := rt.invokeController(p, c)
+		if err != nil {
+			panic(err)
+		}
+		exitEnd := rt.hook(p, SymStepEnd, []lowdbg.Arg{
+			{Name: "module", Val: m.Name}, {Name: "step", Val: int64(m.step)},
+		})
+		if exitEnd != nil {
+			exitEnd(nil)
+		}
+		m.step++
+		if !cont {
+			m.done = true
+		}
+	}
+	// Module finished: release the filters.
+	for _, f := range m.Filters {
+		f.shutdown = true
+		f.startEv.Notify()
+	}
+	c.setState(StateDone)
+}
+
+// invokeController runs one controller WORK step; the return value (or
+// the native bool) decides whether the module continues.
+func (rt *Runtime) invokeController(p *sim.Proc, c *Filter) (bool, error) {
+	exit := rt.hook(p, WorkSymbol(c), []lowdbg.Arg{
+		{Name: "self", Val: c.Name},
+		{Name: "module", Val: c.Module.Name},
+		{Name: "step", Val: int64(c.Module.step)},
+	})
+	var cont bool
+	var err error
+	var ret any
+	if c.Prog != nil {
+		var v filterc.Value
+		v, err = c.interp.CallFunc("work", nil)
+		cont = v.I != 0
+		ret = v
+	} else {
+		cont, err = c.NativeCtl(&CtlCtx{WorkCtx{f: c, p: p}})
+	}
+	if exit != nil {
+		exit(ret)
+	}
+	c.firings++
+	return cont, err
+}
+
+// actorStart implements ACTOR_START(name) for a module's controller.
+func (rt *Runtime) actorStart(p *sim.Proc, m *Module, name string) error {
+	f := m.FilterByName(name)
+	if f == nil {
+		return fmt.Errorf("pedf: ACTOR_START(%q): no such filter in module %s", name, m.Name)
+	}
+	exit := rt.hook(p, SymActorStart, []lowdbg.Arg{
+		{Name: "module", Val: m.Name}, {Name: "filter", Val: name},
+	})
+	f.startReq = true
+	f.pendingInit = true
+	if f.state == StateIdle || f.state == StateSynced {
+		f.setState(StateScheduled)
+	} else if f.state == StateRunning {
+		// Already executing: the start is satisfied immediately.
+		f.pendingInit = false
+	}
+	f.startEv.Notify()
+	if exit != nil {
+		exit(nil)
+	}
+	return nil
+}
+
+// actorSync implements ACTOR_SYNC(name).
+func (rt *Runtime) actorSync(p *sim.Proc, m *Module, name string) error {
+	f := m.FilterByName(name)
+	if f == nil {
+		return fmt.Errorf("pedf: ACTOR_SYNC(%q): no such filter in module %s", name, m.Name)
+	}
+	exit := rt.hook(p, SymActorSync, []lowdbg.Arg{
+		{Name: "module", Val: m.Name}, {Name: "filter", Val: name},
+	})
+	if f.state == StateRunning || f.state == StateScheduled || f.startReq {
+		f.syncReq = true
+		f.pendingSync = true
+	}
+	if exit != nil {
+		exit(nil)
+	}
+	return nil
+}
+
+// waitActorInit implements WAIT_FOR_ACTOR_INIT().
+func (rt *Runtime) waitActorInit(p *sim.Proc, m *Module) {
+	exit := rt.hook(p, SymWaitActorInit, []lowdbg.Arg{{Name: "module", Val: m.Name}})
+	for {
+		pending := false
+		for _, f := range m.Filters {
+			if f.pendingInit {
+				pending = true
+				break
+			}
+		}
+		if !pending {
+			break
+		}
+		p.Wait(m.stateChange)
+	}
+	if exit != nil {
+		exit(nil)
+	}
+}
+
+// waitActorSync implements WAIT_FOR_ACTOR_SYNC().
+func (rt *Runtime) waitActorSync(p *sim.Proc, m *Module) {
+	exit := rt.hook(p, SymWaitActorSync, []lowdbg.Arg{{Name: "module", Val: m.Name}})
+	for {
+		pending := false
+		for _, f := range m.Filters {
+			if f.pendingSync {
+				pending = true
+				break
+			}
+		}
+		if !pending {
+			break
+		}
+		p.Wait(m.stateChange)
+	}
+	if exit != nil {
+		exit(nil)
+	}
+}

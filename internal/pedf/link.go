@@ -1,0 +1,263 @@
+package pedf
+
+import (
+	"fmt"
+
+	"dfdbg/internal/filterc"
+	"dfdbg/internal/lowdbg"
+	"dfdbg/internal/mach"
+	"dfdbg/internal/sim"
+)
+
+// Direction of a port.
+type Direction int
+
+const (
+	// In is an input (consuming) port.
+	In Direction = iota
+	// Out is an output (producing) port.
+	Out
+)
+
+func (d Direction) String() string {
+	if d == In {
+		return "input"
+	}
+	return "output"
+}
+
+// LinkKind distinguishes the arrow styles of the paper's Figure 4.
+type LinkKind int
+
+const (
+	// DataLink is a pure data dependency between filters.
+	DataLink LinkKind = iota
+	// ControlLink originates from a module controller.
+	ControlLink
+	// DMALink crosses the host/fabric boundary (DMA-assisted).
+	DMALink
+)
+
+func (k LinkKind) String() string {
+	switch k {
+	case DataLink:
+		return "data"
+	case ControlLink:
+		return "control"
+	case DMALink:
+		return "dma"
+	default:
+		return fmt.Sprintf("LinkKind(%d)", int(k))
+	}
+}
+
+// Port is a connection endpoint declared by a filter, controller, module
+// or the environment.
+type Port struct {
+	ActorName string // owning actor's display name
+	Name      string
+	Dir       Direction
+	Type      *filterc.Type
+
+	owner *Filter // nil for module and environment ports
+	alias *Port   // module ports forward to an inner port
+	link  *Link
+}
+
+// Qualified returns the "actor::port" display name used by the paper's
+// commands (e.g. "hwcfg::pipe_MbType_out").
+func (p *Port) Qualified() string { return p.ActorName + "::" + p.Name }
+
+// Link returns the link bound to this port (nil before elaboration).
+func (p *Port) Link() *Link { return p.link }
+
+func (p *Port) String() string { return fmt.Sprintf("%s (%s %s)", p.Qualified(), p.Dir, p.Type) }
+
+// Token is one datum in flight on a link.
+type Token struct {
+	Seq      uint64 // production index on its link
+	Val      filterc.Value
+	PushedAt sim.Time
+}
+
+// DefaultLinkCap is the FIFO depth of a link unless overridden; a full
+// link blocks the producer (the paper's link overflow stall).
+const DefaultLinkCap = 32
+
+// Link is a FIFO binding an output port to an input port.
+type Link struct {
+	ID   int
+	Src  *Port
+	Dst  *Port
+	Kind LinkKind
+	Cap  int
+
+	rt       *Runtime
+	fifo     []Token
+	pushes   uint64 // total tokens ever pushed
+	pops     uint64 // total tokens ever popped
+	notEmpty *sim.Event
+	notFull  *sim.Event
+}
+
+func (l *Link) String() string {
+	return fmt.Sprintf("link#%d %s -> %s (%s, %d/%d tokens)",
+		l.ID, l.Src.Qualified(), l.Dst.Qualified(), l.Kind, len(l.fifo), l.Cap)
+}
+
+// Occupancy returns the number of tokens currently held (what Figure 4
+// displays on the arcs).
+func (l *Link) Occupancy() int { return len(l.fifo) }
+
+// Pushes returns the total number of tokens ever pushed.
+func (l *Link) Pushes() uint64 { return l.pushes }
+
+// Pops returns the total number of tokens ever popped.
+func (l *Link) Pops() uint64 { return l.pops }
+
+// Peek returns the i-th queued token without consuming it.
+func (l *Link) Peek(i int) (Token, bool) {
+	if i < 0 || i >= len(l.fifo) {
+		return Token{}, false
+	}
+	return l.fifo[i], true
+}
+
+// words measures a value's size in 32-bit words for transfer costing.
+func words(v filterc.Value) int {
+	if v.Type == nil {
+		return 1
+	}
+	switch v.Type.Kind {
+	case filterc.KScalar:
+		return 1
+	default:
+		n := 0
+		for _, e := range v.Elems {
+			n += words(e)
+		}
+		if n == 0 {
+			n = 1
+		}
+		return n
+	}
+}
+
+// pushSym returns the API symbol announcing pushes on this link.
+func (l *Link) pushSym() string {
+	if l.Kind == ControlLink {
+		return SymCtrlPush
+	}
+	return SymLinkPush
+}
+
+// popSym returns the API symbol announcing pops on this link.
+func (l *Link) popSym() string {
+	if l.Kind == ControlLink {
+		return SymCtrlPop
+	}
+	return SymLinkPop
+}
+
+// callArgs builds the hook argument list shared by push and pop.
+func (l *Link) callArgs(index uint64) []lowdbg.Arg {
+	return []lowdbg.Arg{
+		{Name: "link", Val: int64(l.ID)},
+		{Name: "src", Val: l.Src.ActorName},
+		{Name: "src_port", Val: l.Src.Name},
+		{Name: "dst", Val: l.Dst.ActorName},
+		{Name: "dst_port", Val: l.Dst.Name},
+		{Name: "index", Val: int64(index)},
+	}
+}
+
+// push appends a token, blocking while the FIFO is full. producer is the
+// acting filter (nil for environment feeders). pe is the producing side's
+// processing element.
+func (l *Link) push(p *sim.Proc, producer *Filter, pe *mach.PE, v filterc.Value) error {
+	if l.Src.Type.Kind == filterc.KScalar && v.IsScalar() {
+		v = filterc.Int(l.Src.Type.Base, v.I) // port type coercion
+	} else if l.Src.Type.Kind == filterc.KStruct &&
+		(v.Type == nil || v.Type.Kind != filterc.KStruct || v.Type.Name != l.Src.Type.Name) {
+		return fmt.Errorf("pedf: pushing %s token on %s link %s",
+			v.Type, l.Src.Type, l.Src.Qualified())
+	}
+	seq := l.pushes
+	args := append(l.callArgs(seq), lowdbg.Arg{Name: "value", Val: v})
+	exit := l.rt.hookData(p, l.Src.ActorName, l.pushSym(), args)
+	for len(l.fifo) >= l.Cap {
+		if producer != nil {
+			producer.setBlocked("push:" + l.Src.Name)
+		}
+		p.Wait(l.notFull)
+	}
+	if producer != nil {
+		producer.setBlocked("")
+	}
+	// Charge the transfer from producer PE to consumer PE.
+	dstPE := l.rt.portPE(l.Dst)
+	l.rt.M.Transfer(p, pe, dstPE, words(v))
+	l.fifo = append(l.fifo, Token{Seq: seq, Val: v.Clone(), PushedAt: p.Now()})
+	l.pushes++
+	l.notEmpty.Notify()
+	if exit != nil {
+		exit(nil)
+	}
+	return nil
+}
+
+// pop removes the head token, blocking while the FIFO is empty. consumer
+// is the acting filter (nil for environment sinks).
+func (l *Link) pop(p *sim.Proc, consumer *Filter) (Token, error) {
+	seq := l.pops
+	exit := l.rt.hookData(p, l.Dst.ActorName, l.popSym(), l.callArgs(seq))
+	for len(l.fifo) == 0 {
+		if consumer != nil {
+			consumer.setBlocked("pop:" + l.Dst.Name)
+		}
+		p.Wait(l.notEmpty)
+	}
+	if consumer != nil {
+		consumer.setBlocked("")
+	}
+	tok := l.fifo[0]
+	l.fifo = l.fifo[1:]
+	l.pops++
+	l.notFull.Notify()
+	// Local read cost on the consumer side.
+	p.Sleep(l.rt.M.Cfg.L1Latency)
+	if exit != nil {
+		exit(tok.Val)
+	}
+	return tok, nil
+}
+
+// InjectToken appends a token out-of-band (the debugger's "altering the
+// normal execution": inserting tokens to untie a deadlock). It bypasses
+// capacity checks and hook announcement.
+func (l *Link) InjectToken(v filterc.Value) {
+	l.fifo = append(l.fifo, Token{Seq: l.pushes, Val: v.Clone(), PushedAt: l.rt.K.Now()})
+	l.pushes++
+	l.notEmpty.Notify()
+}
+
+// DropToken removes the i-th queued token out-of-band (debugger token
+// deletion). It reports whether a token was removed.
+func (l *Link) DropToken(i int) bool {
+	if i < 0 || i >= len(l.fifo) {
+		return false
+	}
+	l.fifo = append(l.fifo[:i], l.fifo[i+1:]...)
+	l.notFull.Notify()
+	return true
+}
+
+// ReplaceToken overwrites the payload of the i-th queued token (debugger
+// token modification).
+func (l *Link) ReplaceToken(i int, v filterc.Value) bool {
+	if i < 0 || i >= len(l.fifo) {
+		return false
+	}
+	l.fifo[i].Val = v.Clone()
+	return true
+}

@@ -1,0 +1,259 @@
+package pedf
+
+import (
+	"testing"
+
+	"dfdbg/internal/dbginfo"
+	"dfdbg/internal/filterc"
+	"dfdbg/internal/lowdbg"
+	"dfdbg/internal/mach"
+	"dfdbg/internal/sim"
+)
+
+// buildWithDbg builds a small app under a debugger, started, so the
+// target-function surface is registered.
+func buildWithDbg(t *testing.T) (*Runtime, *lowdbg.Debugger, *Filter) {
+	t.Helper()
+	k := sim.NewKernel()
+	dbg := lowdbg.New(k, dbginfo.NewTable())
+	m := mach.New(k, mach.Config{Clusters: 1, PEsPerCluster: 2})
+	rt := NewRuntime(k, m, dbg)
+	mod, _ := rt.NewModule("mod", nil)
+	min, _ := mod.AddPort("in", In, u32)
+	mout, _ := mod.AddPort("out", Out, u32)
+	f, err := rt.NewFilter(mod, FilterSpec{
+		Name:   "inc",
+		Source: `void work() { pedf.io.o[0] = pedf.io.i[0] + 1; }`,
+		Data:   []VarSpec{{Name: "seen", Type: u32}},
+		Attrs:  []VarSpec{{Name: "gain", Type: u32, Init: 1}},
+		Inputs: []PortSpec{{Name: "i", Type: u32}}, Outputs: []PortSpec{{Name: "o", Type: u32}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.SetController(mod, ControllerSpec{
+		Source: `u32 work() { ACTOR_FIRE("inc"); WAIT_FOR_ACTOR_SYNC(); if (STEP_INDEX()) return 0; return 1; }`,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Bind(min, f.In("i"))
+	rt.Bind(f.Out("o"), mout)
+	rt.FeedInput(min, []filterc.Value{u32v(1), u32v(2)})
+	rt.CollectOutput(mout)
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return rt, dbg, f
+}
+
+func TestTargetFunctionsSurface(t *testing.T) {
+	rt, dbg, f := buildWithDbg(t)
+	linkID := int64(0)
+	// Run init so links exist (they exist right after Start already).
+	for _, l := range rt.Links() {
+		if l.Dst.ActorName == "inc" {
+			linkID = int64(l.ID)
+		}
+	}
+	if linkID == 0 {
+		t.Fatal("no link into inc")
+	}
+	// Inject, peek, occupancy, replace, drop.
+	if _, err := dbg.CallTarget(TFLinkInject, linkID, u32v(50)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := dbg.CallTarget(TFLinkOccupancy, linkID)
+	if err != nil || out.(int64) != 1 {
+		t.Fatalf("occupancy = %v %v", out, err)
+	}
+	out, err = dbg.CallTarget(TFLinkPeek, linkID, int64(0))
+	if err != nil || out.(filterc.Value).I != 50 {
+		t.Fatalf("peek = %v %v", out, err)
+	}
+	if _, err := dbg.CallTarget(TFLinkReplace, linkID, int64(0), u32v(60)); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = dbg.CallTarget(TFLinkPeek, linkID, int64(0))
+	if out.(filterc.Value).I != 60 {
+		t.Fatalf("replace not applied: %v", out)
+	}
+	if _, err := dbg.CallTarget(TFLinkDrop, linkID, int64(0)); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = dbg.CallTarget(TFLinkOccupancy, linkID)
+	if out.(int64) != 0 {
+		t.Fatalf("drop not applied: %v", out)
+	}
+	// Actor state queries.
+	out, err = dbg.CallTarget(TFFilterBlocked, "inc")
+	if err != nil || out.(string) != "" {
+		t.Fatalf("blocked = %v %v", out, err)
+	}
+	if _, err := dbg.CallTarget(TFFilterLine, "inc"); err != nil {
+		t.Fatal(err)
+	}
+	_ = f
+}
+
+func TestTargetFunctionErrors(t *testing.T) {
+	_, dbg, _ := buildWithDbg(t)
+	cases := []struct {
+		name string
+		fn   string
+		args []any
+	}{
+		{"unknown link", TFLinkOccupancy, []any{int64(999)}},
+		{"bad link id type", TFLinkOccupancy, []any{"one"}},
+		{"missing args", TFLinkInject, []any{int64(1)}},
+		{"bad value type", TFLinkInject, []any{int64(1), "not-a-value"}},
+		{"bad index type", TFLinkDrop, []any{int64(1), "zero"}},
+		{"drop empty", TFLinkDrop, []any{int64(1), int64(0)}},
+		{"replace empty", TFLinkReplace, []any{int64(1), int64(0), u32v(1)}},
+		{"peek empty", TFLinkPeek, []any{int64(1), int64(0)}},
+		{"unknown actor", TFFilterLine, []any{"ghost"}},
+		{"bad actor type", TFFilterBlocked, []any{42}},
+		{"no actor arg", TFFilterLine, nil},
+	}
+	for _, c := range cases {
+		if _, err := dbg.CallTarget(c.fn, c.args...); err == nil {
+			t.Errorf("%s: CallTarget succeeded, want error", c.name)
+		}
+	}
+	if _, err := dbg.CallTarget("no_such_function"); err == nil {
+		t.Error("unknown target function accepted")
+	}
+}
+
+func TestAccessorSurfaces(t *testing.T) {
+	rt, _, f := buildWithDbg(t)
+	if f.String() == "" || f.Role.String() != "filter" {
+		t.Error("String methods empty")
+	}
+	if got := f.Inputs(); len(got) != 1 || got[0] != "i" {
+		t.Errorf("Inputs = %v", got)
+	}
+	if got := f.Outputs(); len(got) != 1 || got[0] != "o" {
+		t.Errorf("Outputs = %v", got)
+	}
+	if got := f.DataNames(); len(got) != 1 || got[0] != "seen" {
+		t.Errorf("DataNames = %v", got)
+	}
+	if got := f.AttrNames(); len(got) != 1 || got[0] != "gain" {
+		t.Errorf("AttrNames = %v", got)
+	}
+	if v, ok := f.AttrVal("gain"); !ok || v.I != 1 {
+		t.Errorf("AttrVal = %v %v", v, ok)
+	}
+	if _, ok := f.AttrVal("nope"); ok {
+		t.Error("AttrVal(nope) found")
+	}
+	if len(rt.Modules()) != 1 || len(rt.Actors()) != 2 || len(rt.Collectors()) != 1 {
+		t.Error("runtime accessors wrong")
+	}
+	mod := rt.ModuleByName("mod")
+	if mod.Done() {
+		t.Error("module done before running")
+	}
+	if mod.Port("in") == nil || len(mod.Ports()) != 2 {
+		t.Error("module ports wrong")
+	}
+	for _, l := range rt.Links() {
+		if l.String() == "" || l.Src.String() == "" {
+			t.Error("link/port String empty")
+		}
+	}
+	// Run it; Done flips, filter line/Proc/Interp become observable.
+	st, err := rt.K.Run()
+	if err != nil || st != sim.RunIdle {
+		t.Fatalf("run = %v %v", st, err)
+	}
+	if !mod.Done() {
+		t.Error("module not done")
+	}
+	if f.Proc() == nil || f.Interp() == nil {
+		t.Error("proc/interp not exposed")
+	}
+	if f.Firings() != 2 {
+		t.Errorf("firings = %d", f.Firings())
+	}
+	if f.CurrentLine() != 0 {
+		t.Errorf("current line after completion = %d, want 0 (no frame)", f.CurrentLine())
+	}
+}
+
+func TestNativeWorkCtxSurfaces(t *testing.T) {
+	k := sim.NewKernel()
+	m := mach.New(k, mach.Config{Clusters: 1, PEsPerCluster: 2})
+	rt := NewRuntime(k, m, nil)
+	mod, _ := rt.NewModule("mod", nil)
+	min, _ := mod.AddPort("in", In, u32)
+	mout, _ := mod.AddPort("out", Out, u32)
+	var steps []uint64
+	f, err := rt.NewFilter(mod, FilterSpec{
+		Name: "nat",
+		Data: []VarSpec{{Name: "count", Type: u32}},
+		Attrs: []VarSpec{
+			{Name: "gain", Type: u32, Init: 3},
+		},
+		Work: func(c *WorkCtx) error {
+			if c.Filter() != "nat" {
+				t.Error("Filter() name wrong")
+			}
+			steps = append(steps, c.StepIndex())
+			v, err := c.ReadAt("i", 0)
+			if err != nil {
+				return err
+			}
+			d, err := c.Data("count")
+			if err != nil {
+				return err
+			}
+			d.I++
+			g, err := c.Attr("gain")
+			if err != nil {
+				return err
+			}
+			if _, err := c.Data("nope"); err == nil {
+				t.Error("Data(nope) succeeded")
+			}
+			if _, err := c.Attr("nope"); err == nil {
+				t.Error("Attr(nope) succeeded")
+			}
+			return c.Write("o", u32v(v.I*g.I))
+		},
+		Inputs:  []PortSpec{{Name: "i", Type: u32}},
+		Outputs: []PortSpec{{Name: "o", Type: u32}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.SetController(mod, ControllerSpec{
+		Ctl: func(c *CtlCtx) (bool, error) {
+			if err := c.Start("nat"); err != nil {
+				return false, err
+			}
+			c.WaitInit()
+			if err := c.Sync("nat"); err != nil {
+				return false, err
+			}
+			c.WaitSync()
+			return c.StepIndex()+1 < 2, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Bind(min, f.In("i"))
+	rt.Bind(f.Out("o"), mout)
+	rt.FeedInput(min, []filterc.Value{u32v(2), u32v(5)})
+	col, _ := rt.CollectOutput(mout)
+	runToIdle(t, rt)
+	if len(col.Values) != 2 || col.Values[0].I != 6 || col.Values[1].I != 15 {
+		t.Errorf("outputs = %v", col.Values)
+	}
+	if v, _ := f.DataVal("count"); v.I != 2 {
+		t.Errorf("count = %d", v.I)
+	}
+	if len(steps) != 2 || steps[0] != 0 || steps[1] != 1 {
+		t.Errorf("steps = %v", steps)
+	}
+}

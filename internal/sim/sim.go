@@ -1,0 +1,343 @@
+// Package sim implements a deterministic cooperative discrete-event
+// simulation kernel, standing in for the SystemC simulator that hosts the
+// P2012 functional platform model in the paper.
+//
+// The kernel runs an arbitrary number of processes (goroutines under a
+// strict baton-passing protocol: exactly one process executes at a time)
+// over a virtual clock. Processes block on Events or on the passage of
+// simulated time. Scheduling is fully deterministic: runnable processes
+// are dispatched in FIFO order of when they became runnable, and timed
+// notifications fire in (time, sequence) order.
+//
+// Determinism is a load-bearing property for the reproduction: the paper
+// argues that breakpoint-induced slowdown does not alter dataflow
+// execution semantics precisely because the execution is deterministic
+// with respect to the communication order (experiment P2).
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Time is a point on the simulated clock, in nanoseconds.
+type Time uint64
+
+// Duration is a span of simulated time, in nanoseconds.
+type Duration = Time
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// TimeForever is the largest representable simulation time.
+const TimeForever Time = ^Time(0)
+
+func (t Time) String() string {
+	switch {
+	case t == TimeForever:
+		return "forever"
+	case t >= Second:
+		return fmt.Sprintf("%d.%09ds", uint64(t)/uint64(Second), uint64(t)%uint64(Second))
+	case t >= Microsecond:
+		return fmt.Sprintf("%dus+%dns", uint64(t)/1000, uint64(t)%1000)
+	default:
+		return fmt.Sprintf("%dns", uint64(t))
+	}
+}
+
+// ProcState describes the lifecycle of a simulation process.
+type ProcState int
+
+const (
+	// ProcReady means the process is runnable and queued for dispatch.
+	ProcReady ProcState = iota
+	// ProcRunning means the process currently holds the execution baton.
+	ProcRunning
+	// ProcWaitEvent means the process is blocked on an Event.
+	ProcWaitEvent
+	// ProcWaitTime means the process sleeps until a wakeup time.
+	ProcWaitTime
+	// ProcDone means the process function returned (or panicked).
+	ProcDone
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case ProcReady:
+		return "ready"
+	case ProcRunning:
+		return "running"
+	case ProcWaitEvent:
+		return "wait-event"
+	case ProcWaitTime:
+		return "wait-time"
+	case ProcDone:
+		return "done"
+	default:
+		return fmt.Sprintf("ProcState(%d)", int(s))
+	}
+}
+
+// RunStatus reports why Kernel.Run returned.
+type RunStatus int
+
+const (
+	// RunIdle: no runnable processes and no pending timed notifications.
+	// Every process either finished or is blocked on an event that nobody
+	// will ever notify (see Kernel.Blocked to distinguish a deadlock).
+	RunIdle RunStatus = iota
+	// RunPaused: a process (typically a debugger hook) requested a global
+	// pause; dispatching stopped after the current process yielded.
+	RunPaused
+	// RunHorizon: the until-time passed to RunUntil was reached.
+	RunHorizon
+	// RunError: a process panicked; see the error returned alongside.
+	RunError
+)
+
+func (s RunStatus) String() string {
+	switch s {
+	case RunIdle:
+		return "idle"
+	case RunPaused:
+		return "paused"
+	case RunHorizon:
+		return "horizon"
+	case RunError:
+		return "error"
+	default:
+		return fmt.Sprintf("RunStatus(%d)", int(s))
+	}
+}
+
+// PanicError wraps a panic raised inside a simulation process.
+type PanicError struct {
+	Proc  string // process name
+	Value any    // the recovered panic value
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: process %q panicked: %v", e.Proc, e.Value)
+}
+
+// DeadlockInfo describes processes blocked forever when the kernel went idle.
+type DeadlockInfo struct {
+	Time  Time
+	Procs []BlockedProc
+}
+
+// BlockedProc is one permanently blocked process in a DeadlockInfo.
+type BlockedProc struct {
+	Proc  string
+	Event string
+}
+
+func (d *DeadlockInfo) String() string {
+	s := fmt.Sprintf("deadlock at t=%s: %d blocked process(es)", d.Time, len(d.Procs))
+	for _, p := range d.Procs {
+		s += fmt.Sprintf("\n  %s waiting on %s", p.Proc, p.Event)
+	}
+	return s
+}
+
+// timedNote is a scheduled future action (an event notification, a sleep
+// wakeup, or a wait timeout).
+type timedNote struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	heap int // index in the heap, for cancellation
+}
+
+// Kernel is the simulation scheduler. All methods must be called either
+// from the driver goroutine (the one calling Run) while Run is not
+// executing, or from the currently running process; the baton-passing
+// protocol guarantees mutual exclusion without locks.
+type Kernel struct {
+	now      Time
+	seq      uint64
+	procSeq  int
+	runnable []*Proc // FIFO dispatch queue
+	notes    noteHeap
+	procs    []*Proc
+	current  *Proc
+	yield    chan struct{} // process → kernel baton
+	paused   bool
+	err      error
+	running  bool
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Current returns the currently executing process, or nil if the kernel
+// is not dispatching.
+func (k *Kernel) Current() *Proc { return k.current }
+
+// Procs returns all processes ever spawned, in spawn order.
+func (k *Kernel) Procs() []*Proc {
+	out := make([]*Proc, len(k.procs))
+	copy(out, k.procs)
+	return out
+}
+
+// ProcByName returns the first process with the given name, or nil.
+func (k *Kernel) ProcByName(name string) *Proc {
+	for _, p := range k.procs {
+		if p.name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Pause requests a global all-stop: after the currently running process
+// yields, Run returns with RunPaused. Safe to call from inside a process
+// (the usual case: a debugger hook stopping the world).
+func (k *Kernel) Pause() { k.paused = true }
+
+// Paused reports whether a pause is pending or active.
+func (k *Kernel) Paused() bool { return k.paused }
+
+// Resume clears the pause flag so a subsequent Run continues dispatching.
+func (k *Kernel) Resume() { k.paused = false }
+
+// Spawn creates a new process that will start executing fn at the current
+// simulation time. It may be called before Run or from a running process.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		id:     k.procSeq,
+		name:   name,
+		k:      k,
+		state:  ProcReady,
+		queued: true,
+		resume: make(chan struct{}),
+	}
+	k.procSeq++
+	k.procs = append(k.procs, p)
+	k.runnable = append(k.runnable, p)
+	go p.run(fn)
+	return p
+}
+
+// Run dispatches processes until the kernel is idle, paused, or a process
+// panics.
+func (k *Kernel) Run() (RunStatus, error) {
+	return k.RunUntil(TimeForever)
+}
+
+// RunUntil is Run with a time horizon: the kernel stops advancing the
+// clock past `until` (events scheduled exactly at `until` still fire).
+func (k *Kernel) RunUntil(until Time) (RunStatus, error) {
+	if k.running {
+		return RunError, fmt.Errorf("sim: RunUntil called reentrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for {
+		if k.err != nil {
+			err := k.err
+			k.err = nil
+			return RunError, err
+		}
+		if k.paused {
+			return RunPaused, nil
+		}
+		if len(k.runnable) > 0 {
+			p := k.runnable[0]
+			k.runnable = k.runnable[1:]
+			p.queued = false
+			if p.state != ProcReady {
+				// Process was cancelled while queued; skip.
+				continue
+			}
+			if p.frozen {
+				// Withheld by the debugger; remember the wakeup.
+				p.thawPending = true
+				continue
+			}
+			k.dispatch(p)
+			continue
+		}
+		// No runnable process: advance time to the next notification.
+		if k.notes.Len() == 0 {
+			return RunIdle, nil
+		}
+		next := k.notes.peek()
+		if next.at > until {
+			k.now = until
+			return RunHorizon, nil
+		}
+		k.now = next.at
+		// Fire every notification scheduled for this instant, in
+		// sequence order, before dispatching anyone.
+		for k.notes.Len() > 0 && k.notes.peek().at == k.now {
+			n := k.notes.pop()
+			n.fn()
+		}
+	}
+}
+
+// dispatch hands the baton to p and waits for it to yield back.
+func (k *Kernel) dispatch(p *Proc) {
+	k.current = p
+	p.state = ProcRunning
+	p.resume <- struct{}{}
+	<-k.yield
+	k.current = nil
+}
+
+// Blocked returns a DeadlockInfo if any live process is blocked on an
+// event while the kernel has nothing left to do, or nil otherwise.
+// Call it after Run returns RunIdle.
+func (k *Kernel) Blocked() *DeadlockInfo {
+	var blocked []BlockedProc
+	for _, p := range k.procs {
+		if p.state == ProcWaitEvent && !p.Daemon {
+			name := "<nil>"
+			if p.waitEvent != nil {
+				name = p.waitEvent.name
+			}
+			blocked = append(blocked, BlockedProc{Proc: p.name, Event: name})
+		}
+	}
+	if len(blocked) == 0 {
+		return nil
+	}
+	sort.Slice(blocked, func(i, j int) bool { return blocked[i].Proc < blocked[j].Proc })
+	return &DeadlockInfo{Time: k.now, Procs: blocked}
+}
+
+// scheduleNote enqueues a future action.
+func (k *Kernel) scheduleNote(at Time, fn func()) *timedNote {
+	n := &timedNote{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	k.notes.push(n)
+	return n
+}
+
+// makeRunnable appends p to the dispatch queue (at most once). Frozen
+// processes record the wakeup and queue on Thaw instead.
+func (k *Kernel) makeRunnable(p *Proc) {
+	if p.queued || p.state == ProcDone {
+		return
+	}
+	if p.frozen {
+		p.state = ProcReady
+		p.thawPending = true
+		return
+	}
+	p.state = ProcReady
+	p.queued = true
+	k.runnable = append(k.runnable, p)
+}

@@ -1,0 +1,586 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleProcessRunsToCompletion(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	k.Spawn("p", func(p *Proc) { ran = true })
+	st, err := k.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st != RunIdle {
+		t.Fatalf("status = %v, want idle", st)
+	}
+	if !ran {
+		t.Fatal("process body did not run")
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(100)
+		at = p.Now()
+		p.Sleep(50)
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 100 {
+		t.Errorf("time after first sleep = %d, want 100", at)
+	}
+	if k.Now() != 150 {
+		t.Errorf("final time = %d, want 150", k.Now())
+	}
+}
+
+func TestEventNotifyWakesWaiter(t *testing.T) {
+	k := NewKernel()
+	ev := k.NewEvent("ev")
+	var order []string
+	k.Spawn("waiter", func(p *Proc) {
+		order = append(order, "wait")
+		p.Wait(ev)
+		order = append(order, "woken")
+	})
+	k.Spawn("notifier", func(p *Proc) {
+		p.Sleep(10)
+		order = append(order, "notify")
+		ev.Notify()
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"wait", "notify", "woken"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+	if ev.Notifies() != 1 {
+		t.Errorf("notifies = %d, want 1", ev.Notifies())
+	}
+}
+
+func TestNotifyWakesAllWaiters(t *testing.T) {
+	k := NewKernel()
+	ev := k.NewEvent("ev")
+	woken := 0
+	for i := 0; i < 5; i++ {
+		k.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Wait(ev)
+			woken++
+		})
+	}
+	k.Spawn("n", func(p *Proc) {
+		p.Sleep(1)
+		ev.Notify()
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 5 {
+		t.Errorf("woken = %d, want 5", woken)
+	}
+}
+
+func TestNotifyAfterFiresAtRightTime(t *testing.T) {
+	k := NewKernel()
+	ev := k.NewEvent("ev")
+	var at Time
+	k.Spawn("w", func(p *Proc) {
+		p.Wait(ev)
+		at = p.Now()
+	})
+	k.Spawn("n", func(p *Proc) {
+		ev.NotifyAfter(250)
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 250 {
+		t.Errorf("woken at %d, want 250", at)
+	}
+}
+
+func TestWaitTimeoutTimesOut(t *testing.T) {
+	k := NewKernel()
+	ev := k.NewEvent("never")
+	var fired bool
+	var at Time
+	k.Spawn("w", func(p *Proc) {
+		fired = p.WaitTimeout(ev, 77)
+		at = p.Now()
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("WaitTimeout reported event fired, want timeout")
+	}
+	if at != 77 {
+		t.Errorf("timeout at %d, want 77", at)
+	}
+	if ev.Waiters() != 0 {
+		t.Errorf("stale waiter left on event: %d", ev.Waiters())
+	}
+}
+
+func TestWaitTimeoutEventWins(t *testing.T) {
+	k := NewKernel()
+	ev := k.NewEvent("ev")
+	var fired bool
+	k.Spawn("w", func(p *Proc) {
+		fired = p.WaitTimeout(ev, 1000)
+	})
+	k.Spawn("n", func(p *Proc) {
+		p.Sleep(10)
+		ev.Notify()
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("WaitTimeout reported timeout, want event")
+	}
+	if k.Now() != 10 {
+		t.Errorf("finished at %d, want 10 (timeout note must not advance clock)", k.Now())
+	}
+}
+
+func TestDeterministicFIFODispatchOrder(t *testing.T) {
+	// Processes made runnable at the same instant must run in the order
+	// they became runnable, on every execution.
+	run := func() []int {
+		k := NewKernel()
+		ev := k.NewEvent("ev")
+		var order []int
+		for i := 0; i < 8; i++ {
+			i := i
+			k.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+				p.Wait(ev)
+				order = append(order, i)
+			})
+		}
+		k.Spawn("n", func(p *Proc) {
+			p.Sleep(5)
+			ev.Notify()
+		})
+		if _, err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	first := run()
+	for trial := 0; trial < 20; trial++ {
+		got := run()
+		if fmt.Sprint(got) != fmt.Sprint(first) {
+			t.Fatalf("trial %d: order %v != first order %v", trial, got, first)
+		}
+	}
+	for i, v := range first {
+		if v != i {
+			t.Fatalf("order = %v, want ascending spawn order", first)
+		}
+	}
+}
+
+func TestYieldNowInterleavesFairly(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			order = append(order, "a")
+			p.YieldNow()
+		}
+	})
+	k.Spawn("b", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			order = append(order, "b")
+			p.YieldNow()
+		}
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestPauseStopsDispatchAndResumeContinues(t *testing.T) {
+	k := NewKernel()
+	steps := 0
+	k.Spawn("p", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			steps++
+			if steps == 3 {
+				k.Pause()
+			}
+			p.Sleep(1)
+		}
+	})
+	st, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != RunPaused {
+		t.Fatalf("status = %v, want paused", st)
+	}
+	if steps != 3 {
+		t.Fatalf("steps at pause = %d, want 3", steps)
+	}
+	k.Resume()
+	st, err = k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != RunIdle {
+		t.Fatalf("status after resume = %v, want idle", st)
+	}
+	if steps != 10 {
+		t.Fatalf("steps = %d, want 10", steps)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	k := NewKernel()
+	ticks := 0
+	k.Spawn("t", func(p *Proc) {
+		for {
+			p.Sleep(10)
+			ticks++
+		}
+	})
+	st, err := k.RunUntil(55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != RunHorizon {
+		t.Fatalf("status = %v, want horizon", st)
+	}
+	if ticks != 5 {
+		t.Errorf("ticks = %d, want 5", ticks)
+	}
+	if k.Now() != 55 {
+		t.Errorf("now = %d, want 55", k.Now())
+	}
+	// Continue past the horizon.
+	if st, _ = k.RunUntil(100); st != RunHorizon {
+		t.Fatalf("second run status = %v, want horizon", st)
+	}
+	if ticks != 10 {
+		t.Errorf("ticks = %d, want 10", ticks)
+	}
+}
+
+func TestPanicPropagatesAsError(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("boom", func(p *Proc) {
+		p.Sleep(1)
+		panic("kaboom")
+	})
+	st, err := k.Run()
+	if st != RunError {
+		t.Fatalf("status = %v, want error", st)
+	}
+	pe, ok := err.(*PanicError)
+	if !ok {
+		t.Fatalf("err = %T %v, want *PanicError", err, err)
+	}
+	if pe.Proc != "boom" || pe.Value != "kaboom" {
+		t.Errorf("PanicError = %+v", pe)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := NewKernel()
+	ev := k.NewEvent("orphan")
+	k.Spawn("stuck1", func(p *Proc) { p.Wait(ev) })
+	k.Spawn("stuck2", func(p *Proc) { p.Wait(ev) })
+	k.Spawn("fine", func(p *Proc) { p.Sleep(5) })
+	st, err := k.Run()
+	if err != nil || st != RunIdle {
+		t.Fatalf("Run = %v, %v", st, err)
+	}
+	dl := k.Blocked()
+	if dl == nil {
+		t.Fatal("Blocked() = nil, want deadlock info")
+	}
+	if len(dl.Procs) != 2 {
+		t.Fatalf("blocked procs = %d, want 2: %v", len(dl.Procs), dl)
+	}
+	for _, bp := range dl.Procs {
+		if bp.Event != "orphan" {
+			t.Errorf("blocked on %q, want orphan", bp.Event)
+		}
+	}
+}
+
+func TestNoDeadlockWhenAllDone(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("a", func(p *Proc) { p.Sleep(3) })
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dl := k.Blocked(); dl != nil {
+		t.Errorf("Blocked() = %v, want nil", dl)
+	}
+}
+
+func TestSpawnDuringRun(t *testing.T) {
+	k := NewKernel()
+	childRan := false
+	k.Spawn("parent", func(p *Proc) {
+		p.Sleep(10)
+		k.Spawn("child", func(c *Proc) {
+			c.Sleep(5)
+			childRan = true
+		})
+		p.Sleep(1)
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !childRan {
+		t.Error("dynamically spawned child did not run")
+	}
+	if k.Now() != 15 {
+		t.Errorf("now = %d, want 15", k.Now())
+	}
+}
+
+func TestProcByNameAndIntrospection(t *testing.T) {
+	k := NewKernel()
+	ev := k.NewEvent("gate")
+	k.Spawn("alpha", func(p *Proc) { p.Wait(ev) })
+	k.Spawn("beta", func(p *Proc) {})
+	st, err := k.Run()
+	if err != nil || st != RunIdle {
+		t.Fatalf("Run = %v %v", st, err)
+	}
+	a := k.ProcByName("alpha")
+	if a == nil {
+		t.Fatal("ProcByName(alpha) = nil")
+	}
+	if a.State() != ProcWaitEvent || a.WaitingOn() != ev {
+		t.Errorf("alpha state=%v waitingOn=%v", a.State(), a.WaitingOn())
+	}
+	b := k.ProcByName("beta")
+	if b.State() != ProcDone {
+		t.Errorf("beta state = %v, want done", b.State())
+	}
+	if k.ProcByName("gamma") != nil {
+		t.Error("ProcByName(gamma) should be nil")
+	}
+	if len(k.Procs()) != 2 {
+		t.Errorf("Procs() len = %d, want 2", len(k.Procs()))
+	}
+}
+
+func TestSimultaneousNotesFireInScheduleOrder(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	e1 := k.NewEvent("e1")
+	e2 := k.NewEvent("e2")
+	k.Spawn("w1", func(p *Proc) { p.Wait(e1); order = append(order, "e1") })
+	k.Spawn("w2", func(p *Proc) { p.Wait(e2); order = append(order, "e2") })
+	k.Spawn("n", func(p *Proc) {
+		e1.NotifyAfter(50)
+		e2.NotifyAfter(50)
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"e1", "e2"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestFreezeAndThaw(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	a := k.Spawn("a", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			order = append(order, "a")
+			p.Sleep(10)
+		}
+	})
+	k.Spawn("b", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			order = append(order, "b")
+			p.Sleep(10)
+		}
+	})
+	// Freeze a before running: only b makes progress.
+	a.Freeze()
+	if !a.Frozen() {
+		t.Fatal("not frozen")
+	}
+	st, err := k.Run()
+	if err != nil || st != RunIdle {
+		t.Fatalf("run = %v %v", st, err)
+	}
+	if fmt.Sprint(order) != fmt.Sprint([]string{"b", "b", "b"}) {
+		t.Fatalf("order with a frozen = %v", order)
+	}
+	// Thaw: a resumes from the beginning of its pending dispatch.
+	a.Thaw()
+	if st, err := k.Run(); err != nil || st != RunIdle {
+		t.Fatalf("second run = %v %v", st, err)
+	}
+	if fmt.Sprint(order) != fmt.Sprint([]string{"b", "b", "b", "a", "a", "a"}) {
+		t.Fatalf("order after thaw = %v", order)
+	}
+	// Thawing a never-frozen proc is a no-op.
+	a.Thaw()
+}
+
+func TestFreezeWhileWaitingOnEvent(t *testing.T) {
+	k := NewKernel()
+	ev := k.NewEvent("ev")
+	woken := false
+	w := k.Spawn("w", func(p *Proc) {
+		p.Wait(ev)
+		woken = true
+	})
+	k.Spawn("n", func(p *Proc) {
+		p.Sleep(5)
+		ev.Notify()
+	})
+	// Freeze w once it is parked on the event (the debugger freezes a
+	// blocked path, not a process that has never run).
+	k.Spawn("freezer", func(p *Proc) {
+		p.Sleep(1)
+		w.Freeze()
+	})
+	if st, _ := k.Run(); st != RunIdle {
+		t.Fatal("run not idle")
+	}
+	if woken {
+		t.Fatal("frozen proc ran")
+	}
+	// The notify arrived while frozen; thaw delivers it.
+	w.Thaw()
+	if st, _ := k.Run(); st != RunIdle {
+		t.Fatal("second run not idle")
+	}
+	if !woken {
+		t.Fatal("thawed proc did not resume")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0ns"},
+		{999, "999ns"},
+		{1500, "1us+500ns"},
+		{2 * Second, "2.000000000s"},
+		{TimeForever, "forever"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", uint64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestProcStateStrings(t *testing.T) {
+	states := map[ProcState]string{
+		ProcReady:     "ready",
+		ProcRunning:   "running",
+		ProcWaitEvent: "wait-event",
+		ProcWaitTime:  "wait-time",
+		ProcDone:      "done",
+	}
+	for s, want := range states {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+	if RunIdle.String() != "idle" || RunPaused.String() != "paused" ||
+		RunHorizon.String() != "horizon" || RunError.String() != "error" {
+		t.Error("RunStatus strings wrong")
+	}
+}
+
+// Property: for any set of sleep durations, total elapsed time equals the
+// max of the per-process sums, and every process observes monotone time.
+func TestQuickSleepAccounting(t *testing.T) {
+	f := func(durs [][]uint8) bool {
+		if len(durs) == 0 || len(durs) > 8 {
+			return true // constrain the domain, not a failure
+		}
+		k := NewKernel()
+		var max Time
+		for i, ds := range durs {
+			if len(ds) > 16 {
+				ds = ds[:16]
+			}
+			var sum Time
+			for _, d := range ds {
+				sum += Time(d)
+			}
+			if sum > max {
+				max = sum
+			}
+			ds := ds
+			k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				prev := p.Now()
+				for _, d := range ds {
+					p.Sleep(Time(d))
+					if p.Now() < prev {
+						t.Errorf("time went backwards")
+					}
+					prev = p.Now()
+				}
+			})
+		}
+		if _, err := k.Run(); err != nil {
+			t.Errorf("Run: %v", err)
+			return false
+		}
+		return k.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: an event notified once wakes exactly the processes that were
+// waiting at notification time, regardless of how many there are.
+func TestQuickNotifyWakesExactlyWaiters(t *testing.T) {
+	f := func(nWaiters uint8) bool {
+		n := int(nWaiters % 32)
+		k := NewKernel()
+		ev := k.NewEvent("ev")
+		woken := 0
+		for i := 0; i < n; i++ {
+			k.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+				p.Wait(ev)
+				woken++
+			})
+		}
+		k.Spawn("n", func(p *Proc) {
+			p.Sleep(1)
+			ev.Notify()
+		})
+		if _, err := k.Run(); err != nil {
+			return false
+		}
+		return woken == n && ev.Waiters() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

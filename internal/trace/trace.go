@@ -1,0 +1,214 @@
+// Package trace records dataflow runtime events into a post-mortem
+// buffer. It is the "execution traces analysis" comparator the paper's
+// qualitative analysis mentions: instead of stopping interactively, a
+// trace session runs the application to completion under event-recording
+// function breakpoints and answers questions offline.
+//
+// Like internal/core, it only observes the framework through lowdbg
+// function breakpoints, never modifying or importing the framework.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"dfdbg/internal/lowdbg"
+	"dfdbg/internal/sim"
+)
+
+// EventKind classifies recorded events.
+type EventKind int
+
+const (
+	// EvPush is a token production on a link.
+	EvPush EventKind = iota
+	// EvPop is a token consumption from a link.
+	EvPop
+	// EvWork is a WORK method invocation.
+	EvWork
+	// EvSched is a scheduling operation (start/sync/step).
+	EvSched
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvPush:
+		return "push"
+	case EvPop:
+		return "pop"
+	case EvWork:
+		return "work"
+	case EvSched:
+		return "sched"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one recorded runtime event.
+type Event struct {
+	At    sim.Time
+	Kind  EventKind
+	Fn    string // API symbol
+	Actor string // acting side (producer for push, consumer for pop)
+	Other string // peer actor ("" when not applicable)
+	Port  string
+	Link  int64
+	Value string // rendered payload ("" for pops/sched)
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%-12s %-5s %s", e.At, e.Kind, e.Actor)
+	if e.Port != "" {
+		s += "::" + e.Port
+	}
+	if e.Other != "" {
+		s += " <-> " + e.Other
+	}
+	if e.Value != "" {
+		s += " " + e.Value
+	}
+	return s
+}
+
+// Recorder captures runtime events through internal function breakpoints.
+type Recorder struct {
+	Events []Event
+	// Cap bounds the buffer (0 = unbounded). When full, recording wraps
+	// by dropping the oldest half — traces of long runs keep the tail.
+	Cap int
+}
+
+// Attach installs the recorder on a low-level debugger. Data-exchange
+// recording honours the DataBreakpointsEnabled switch like any other
+// data breakpoint.
+func Attach(low *lowdbg.Debugger) *Recorder {
+	r := &Recorder{}
+	record := func(ev Event) {
+		if r.Cap > 0 && len(r.Events) >= r.Cap {
+			half := r.Cap / 2
+			r.Events = append(r.Events[:0], r.Events[len(r.Events)-half:]...)
+		}
+		r.Events = append(r.Events, ev)
+	}
+	push := func(ctx *lowdbg.StopCtx) lowdbg.Disposition {
+		record(Event{
+			At: ctx.Proc.Now(), Kind: EvPush, Fn: ctx.Fn,
+			Actor: lowdbg.ArgString(ctx.Args, "src"),
+			Other: lowdbg.ArgString(ctx.Args, "dst"),
+			Port:  lowdbg.ArgString(ctx.Args, "src_port"),
+			Link:  lowdbg.ArgInt(ctx.Args, "link"),
+			Value: fmt.Sprint(argValue(ctx.Args)),
+		})
+		return lowdbg.DispContinue
+	}
+	// Pops are recorded at the function's *return* (a finish breakpoint):
+	// a consumer blocked on an empty link has entered pedf_link_pop but
+	// consumed nothing yet, and the return value carries the token.
+	pop := func(ctx *lowdbg.StopCtx) lowdbg.Disposition {
+		record(Event{
+			At: ctx.Proc.Now(), Kind: EvPop, Fn: ctx.Fn,
+			Actor: lowdbg.ArgString(ctx.Args, "dst"),
+			Other: lowdbg.ArgString(ctx.Args, "src"),
+			Port:  lowdbg.ArgString(ctx.Args, "dst_port"),
+			Link:  lowdbg.ArgInt(ctx.Args, "link"),
+			Value: fmt.Sprint(ctx.Ret),
+		})
+		return lowdbg.DispContinue
+	}
+	for _, sym := range []string{"pedf_link_push", "pedf_ctrl_push"} {
+		bp := low.BreakFuncInternal(sym, push, nil)
+		bp.IsData = sym == "pedf_link_push"
+	}
+	for _, sym := range []string{"pedf_link_pop", "pedf_ctrl_pop"} {
+		bp := low.BreakFuncInternal(sym, nil, pop)
+		bp.IsData = sym == "pedf_link_pop"
+	}
+	sched := func(ctx *lowdbg.StopCtx) lowdbg.Disposition {
+		actor := lowdbg.ArgString(ctx.Args, "filter")
+		if actor == "" {
+			actor = lowdbg.ArgString(ctx.Args, "module")
+		}
+		record(Event{At: ctx.Proc.Now(), Kind: EvSched, Fn: ctx.Fn, Actor: actor})
+		return lowdbg.DispContinue
+	}
+	for _, sym := range []string{"pedf_actor_start", "pedf_actor_sync",
+		"pedf_step_begin", "pedf_step_end"} {
+		low.BreakFuncInternal(sym, sched, nil)
+	}
+	return r
+}
+
+func argValue(args []lowdbg.Arg) any {
+	v, _ := lowdbg.ArgVal(args, "value")
+	return v
+}
+
+// AttachWork additionally records WORK invocations of the given mangled
+// symbols (the recorder cannot invent them: like the interactive
+// debugger, it learns them from the debug information).
+func (r *Recorder) AttachWork(low *lowdbg.Debugger, workSyms []string) {
+	for _, sym := range workSyms {
+		sym := sym
+		low.BreakFuncInternal(sym, func(ctx *lowdbg.StopCtx) lowdbg.Disposition {
+			ev := Event{At: ctx.Proc.Now(), Kind: EvWork, Fn: sym,
+				Actor: lowdbg.ArgString(ctx.Args, "self")}
+			if r.Cap > 0 && len(r.Events) >= r.Cap {
+				half := r.Cap / 2
+				r.Events = append(r.Events[:0], r.Events[len(r.Events)-half:]...)
+			}
+			r.Events = append(r.Events, ev)
+			return lowdbg.DispContinue
+		}, nil)
+	}
+}
+
+// CountByKind tallies events per kind.
+func (r *Recorder) CountByKind() map[EventKind]int {
+	out := make(map[EventKind]int)
+	for _, e := range r.Events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// LinkBalance returns pushes minus pops per link id — a stalled link
+// shows a growing positive balance, which is how trace analysis locates
+// rate mismatches offline.
+func (r *Recorder) LinkBalance() map[int64]int {
+	out := make(map[int64]int)
+	for _, e := range r.Events {
+		switch e.Kind {
+		case EvPush:
+			out[e.Link]++
+		case EvPop:
+			out[e.Link]--
+		}
+	}
+	return out
+}
+
+// ActorActivity returns per-actor event counts.
+func (r *Recorder) ActorActivity() map[string]int {
+	out := make(map[string]int)
+	for _, e := range r.Events {
+		if e.Actor != "" {
+			out[e.Actor]++
+		}
+	}
+	return out
+}
+
+// Dump renders the last n events (all if n <= 0).
+func (r *Recorder) Dump(n int) string {
+	evs := r.Events
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	var b strings.Builder
+	for _, e := range evs {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

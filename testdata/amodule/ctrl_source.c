@@ -1,0 +1,12 @@
+u32 work() {
+	pedf.io.cmd_out_1[0] = 1;
+	pedf.io.cmd_out_2[0] = 1;
+	ACTOR_START("filter_1");
+	ACTOR_START("filter_2");
+	WAIT_FOR_ACTOR_INIT();
+	ACTOR_SYNC("filter_1");
+	ACTOR_SYNC("filter_2");
+	WAIT_FOR_ACTOR_SYNC();
+	if (STEP_INDEX() + 1 >= 4) return 0;
+	return 1;
+}

@@ -1,0 +1,6 @@
+void work() {
+	u32 c = pedf.io.cmd_in[0];
+	u32 v = pedf.io.an_input[0];
+	pedf.data.a_private_data = v;
+	pedf.io.an_output[0] = v + pedf.attribute.an_attribute + c - 1;
+}
