@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dfdbg/internal/analysis/pedfgraph"
+	"dfdbg/internal/dbginfo"
+	"dfdbg/internal/h264"
+	"dfdbg/internal/lowdbg"
+	"dfdbg/internal/mach"
+	"dfdbg/internal/pedf"
+	"dfdbg/internal/sim"
+)
+
+// The H.264 case study must produce a clean static report: its filters
+// use dynamic (conditional) io patterns, so the conservative rate
+// inference must return RateUnknown rather than false positives. The
+// pre-run hook prints nothing, keeping the session banner stable.
+func TestH264StaticAnalysisClean(t *testing.T) {
+	for _, bug := range []h264.Bug{h264.BugNone, h264.BugSwapMBInputs, h264.BugRateStall, h264.BugBadDC} {
+		p := h264.Params{W: 16, H: 16, QP: 8, Seed: 7}
+		k := sim.NewKernel()
+		low := lowdbg.New(k, dbginfo.NewTable())
+		m := mach.New(k, mach.Config{})
+		rt := pedf.NewRuntime(k, m, low)
+		bits, err := h264.Encode(h264.GenerateFrame(p), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h264.BuildVariant(rt, p, bits, bug); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := pedfgraph.CheckRuntime(rt, "h264")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Diags) != 0 {
+			var sb strings.Builder
+			rep.WriteText(&sb)
+			t.Errorf("bug=%v: unexpected diagnostics:\n%s", bug, sb.String())
+		}
+	}
+}
+
+// The acceptance scenario: `dfdbg analyze` on the deadlock example must
+// report the under-initialized cycle with its stable code and a DOT
+// rendering, and exit non-zero.
+func TestAnalyzeDeadlockExample(t *testing.T) {
+	var out, errw strings.Builder
+	code := analyzeMain([]string{"../../examples/deadlock/adl/deadlock.adl"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errw.String())
+	}
+	for _, frag := range []string{"DF003", "digraph", `"acc" -> "inc"`, "initial tokens"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("report missing %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+func TestAnalyzeJSONOutput(t *testing.T) {
+	var out, errw strings.Builder
+	code := analyzeMain([]string{"-json", "../../examples/deadlock/adl/deadlock.adl"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errw.String())
+	}
+	var rep struct {
+		Diagnostics []struct {
+			Code     string `json:"code"`
+			Severity string `json:"severity"`
+		} `json:"diagnostics"`
+		Errors int `json:"errors"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Errors != 1 || len(rep.Diagnostics) != 1 || rep.Diagnostics[0].Code != "DF003" {
+		t.Errorf("unexpected report: %+v", rep)
+	}
+}
+
+func TestAnalyzeCleanDesign(t *testing.T) {
+	var out, errw strings.Builder
+	code := analyzeMain([]string{"../../testdata/amodule/amodule.adl"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "no issues found") {
+		t.Errorf("clean report expected:\n%s", out.String())
+	}
+}
+
+func TestAnalyzeUsageErrors(t *testing.T) {
+	var out, errw strings.Builder
+	if code := analyzeMain(nil, &out, &errw); code != 2 {
+		t.Errorf("no-args exit = %d, want 2", code)
+	}
+	if code := analyzeMain([]string{"/nonexistent.adl"}, &out, &errw); code != 1 {
+		t.Errorf("missing-file exit = %d, want 1", code)
+	}
+}

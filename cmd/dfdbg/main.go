@@ -21,18 +21,23 @@ import (
 	"io"
 	"os"
 
+	"dfdbg/internal/analysis/pedfgraph"
 	"dfdbg/internal/cli"
 	"dfdbg/internal/core"
 	"dfdbg/internal/dbginfo"
 	"dfdbg/internal/h264"
 	"dfdbg/internal/lowdbg"
 	"dfdbg/internal/mach"
+	"dfdbg/internal/mind"
 	"dfdbg/internal/pedf"
 	"dfdbg/internal/sim"
 	"dfdbg/internal/trace"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		os.Exit(analyzeMain(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	var (
 		w    = flag.Int("w", 32, "frame width (multiple of 4)")
 		h    = flag.Int("h", 32, "frame height (multiple of 4)")
@@ -46,6 +51,49 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dfdbg: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// analyzeMain implements `dfdbg analyze [-top NAME] [-src DIR] [-json]
+// design.adl`: load the ADL design, run the full static analysis pass
+// (graph + filterc analyzers), print the report, and exit non-zero when
+// it contains errors.
+func analyzeMain(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		top    = fs.String("top", "", "top-level composite to analyze (default: first composite)")
+		srcDir = fs.String("src", "", "directory of filterc source files (default: ADL directory)")
+		asJSON = fs.Bool("json", false, "emit the report as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(errw, "usage: dfdbg analyze [-top NAME] [-src DIR] [-json] design.adl")
+		return 2
+	}
+	app, err := mind.LoadApp(fs.Arg(0), *top, *srcDir)
+	if err != nil {
+		fmt.Fprintf(errw, "dfdbg: %v\n", err)
+		return 1
+	}
+	rep, err := pedfgraph.CheckRuntime(app.Runtime, app.File.Name)
+	if err != nil {
+		fmt.Fprintf(errw, "dfdbg: %v\n", err)
+		return 1
+	}
+	if *asJSON {
+		if err := rep.WriteJSON(out); err != nil {
+			fmt.Fprintf(errw, "dfdbg: %v\n", err)
+			return 1
+		}
+	} else {
+		rep.WriteText(out)
+	}
+	if rep.HasErrors() {
+		return 1
+	}
+	return 0
 }
 
 func parseBug(s string) (h264.Bug, error) {
@@ -85,6 +133,9 @@ func run(p h264.Params, bugName string, in io.Reader, out io.Writer) error {
 	if err := rt.Start(); err != nil {
 		return err
 	}
+	// Static pre-flight: warnings surface before the first dispatch (the
+	// run proceeds regardless; `dfdbg analyze` is the gating form).
+	pedfgraph.InstallPreRun(k, rt, "h264", out)
 	// Let the framework initialization run so the graph is reconstructed
 	// before the first prompt (the paper's init-phase interception).
 	if _, err := k.RunUntil(0); err != nil {

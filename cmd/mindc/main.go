@@ -5,36 +5,38 @@
 //
 // Usage:
 //
-//	mindc -top AModule [-src dir] design.adl
+//	mindc -top AModule [-src dir] [-nocheck] design.adl
 //
 // Filter `source xyz.c;` clauses resolve against -src (default: the
 // directory containing the ADL file).
+//
+// Before emitting the graph, mindc runs the static analysis pass
+// (dataflow graph checks plus per-filter filterc checks) and refuses to
+// compile a design with analysis errors; -nocheck skips the pass.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"path/filepath"
-	"strings"
 
-	"dfdbg/internal/mach"
+	"dfdbg/internal/analysis/pedfgraph"
 	"dfdbg/internal/mind"
-	"dfdbg/internal/pedf"
-	"dfdbg/internal/sim"
 )
 
 func main() {
 	var (
-		top    = flag.String("top", "", "top-level composite to elaborate (default: first composite)")
-		srcDir = flag.String("src", "", "directory of filterc source files (default: ADL directory)")
+		top     = flag.String("top", "", "top-level composite to elaborate (default: first composite)")
+		srcDir  = flag.String("src", "", "directory of filterc source files (default: ADL directory)")
+		nocheck = flag.Bool("nocheck", false, "skip the static analysis pass")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mindc [-top NAME] [-src DIR] design.adl")
+		fmt.Fprintln(os.Stderr, "usage: mindc [-top NAME] [-src DIR] [-nocheck] design.adl")
 		os.Exit(2)
 	}
-	dot, err := compile(flag.Arg(0), *top, *srcDir)
+	dot, err := compile(flag.Arg(0), *top, *srcDir, *nocheck, os.Stderr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mindc: %v\n", err)
 		os.Exit(1)
@@ -42,59 +44,29 @@ func main() {
 	fmt.Print(dot)
 }
 
-func compile(adlPath, top, srcDir string) (string, error) {
-	data, err := os.ReadFile(adlPath)
+// compile loads the design, optionally runs the analysis gate (report on
+// diagW, error return when the design has analysis errors), and renders
+// the architecture DOT.
+func compile(adlPath, top, srcDir string, nocheck bool, diagW io.Writer) (string, error) {
+	app, err := mind.LoadApp(adlPath, top, srcDir)
 	if err != nil {
 		return "", err
 	}
-	f, err := mind.Parse(filepath.Base(adlPath), string(data))
-	if err != nil {
-		return "", err
-	}
-	if top == "" {
-		for _, name := range f.Order {
-			if _, ok := f.Composites[name]; ok {
-				top = name
-				break
-			}
-		}
-	}
-	if top == "" {
-		return "", fmt.Errorf("no composite definition in %s", adlPath)
-	}
-	if srcDir == "" {
-		srcDir = filepath.Dir(adlPath)
-	}
-	sources := make(map[string]string)
-	entries, err := os.ReadDir(srcDir)
-	if err != nil {
-		return "", err
-	}
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".c") {
-			continue
-		}
-		src, err := os.ReadFile(filepath.Join(srcDir, e.Name()))
+	rt := app.Runtime
+	if !nocheck {
+		rep, err := pedfgraph.CheckRuntime(rt, app.File.Name)
 		if err != nil {
 			return "", err
 		}
-		sources[e.Name()] = string(src)
+		if len(rep.Diags) > 0 {
+			rep.WriteText(diagW)
+		}
+		if rep.HasErrors() {
+			return "", fmt.Errorf("design has %d analysis error(s) (use -nocheck to compile anyway)",
+				rep.Errors())
+		}
 	}
-
-	k := sim.NewKernel()
-	m := mach.New(k, mach.Config{})
-	rt := pedf.NewRuntime(k, m, nil)
-	el := &mind.Elaborator{Sources: sources}
-	mod, err := el.Instantiate(rt, f, top)
-	if err != nil {
-		return "", err
-	}
-	// Lenient elaboration: the top module's external ports legitimately
-	// dangle in an architecture dump.
-	if err := rt.Elaborate(false); err != nil {
-		return "", err
-	}
-	fmt.Fprintf(os.Stderr, "elaborated composite %s: %d module(s), %d actor(s), %d link(s)\n",
-		mod.Name, len(rt.Modules()), len(rt.Actors()), len(rt.Links()))
+	fmt.Fprintf(diagW, "elaborated composite %s: %d module(s), %d actor(s), %d link(s)\n",
+		app.Module.Name, len(rt.Modules()), len(rt.Actors()), len(rt.Links()))
 	return mind.GraphDOT(rt), nil
 }

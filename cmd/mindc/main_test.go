@@ -1,12 +1,13 @@
 package main
 
 import (
+	"io"
 	"strings"
 	"testing"
 )
 
 func TestCompileAModuleTestdata(t *testing.T) {
-	dot, err := compile("../../testdata/amodule/amodule.adl", "", "")
+	dot, err := compile("../../testdata/amodule/amodule.adl", "", "", false, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,22 +23,60 @@ func TestCompileAModuleTestdata(t *testing.T) {
 }
 
 func TestCompileExplicitTop(t *testing.T) {
-	if _, err := compile("../../testdata/amodule/amodule.adl", "AModule", "../../testdata/amodule"); err != nil {
+	if _, err := compile("../../testdata/amodule/amodule.adl", "AModule", "../../testdata/amodule", false, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := compile("../../testdata/amodule/amodule.adl", "Nope", ""); err == nil {
+	if _, err := compile("../../testdata/amodule/amodule.adl", "Nope", "", false, io.Discard); err == nil {
 		t.Error("unknown top accepted")
 	}
 }
 
 func TestCompileErrors(t *testing.T) {
-	if _, err := compile("/nonexistent.adl", "", ""); err == nil {
+	if _, err := compile("/nonexistent.adl", "", "", false, io.Discard); err == nil {
 		t.Error("missing file accepted")
 	}
-	if _, err := compile("../../testdata/amodule/the_source.c", "", ""); err == nil {
+	if _, err := compile("../../testdata/amodule/the_source.c", "", "", false, io.Discard); err == nil {
 		t.Error("non-ADL file accepted")
 	}
-	if _, err := compile("../../testdata/amodule/amodule.adl", "", "/nonexistent-dir"); err == nil {
+	if _, err := compile("../../testdata/amodule/amodule.adl", "", "/nonexistent-dir", false, io.Discard); err == nil {
 		t.Error("missing source dir accepted")
+	}
+}
+
+// The analysis gate: a filter pushing a string onto a U32 output must be
+// rejected with an FC005 diagnostic unless -nocheck is given.
+func TestAnalysisGateRejectsBadPush(t *testing.T) {
+	var diags strings.Builder
+	_, err := compile("../../testdata/badpush/badpush.adl", "", "", false, &diags)
+	if err == nil {
+		t.Fatal("bad push accepted by the analysis gate")
+	}
+	if !strings.Contains(err.Error(), "analysis error") {
+		t.Errorf("gate error = %v, want mention of analysis errors", err)
+	}
+	if !strings.Contains(diags.String(), "FC005") {
+		t.Errorf("diagnostics missing FC005:\n%s", diags.String())
+	}
+
+	dot, err := compile("../../testdata/badpush/badpush.adl", "", "", true, io.Discard)
+	if err != nil {
+		t.Fatalf("-nocheck still rejected: %v", err)
+	}
+	if !strings.Contains(dot, "digraph") {
+		t.Errorf("-nocheck produced no DOT:\n%s", dot)
+	}
+}
+
+// The known-good testdata design must sail through the gate silently —
+// no errors and no warnings.
+func TestAnalysisGateCleanOnAModule(t *testing.T) {
+	var diags strings.Builder
+	if _, err := compile("../../testdata/amodule/amodule.adl", "", "", false, &diags); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(diags.String(), "\n") {
+		if strings.Contains(line, "warning") || strings.Contains(line, "error") {
+			t.Errorf("unexpected diagnostic on clean design: %s", line)
+		}
 	}
 }

@@ -1,0 +1,5 @@
+void work() {
+	u32 p = pedf.io.primer_in[0];
+	u32 v = pedf.io.loop_in[0];
+	pedf.io.sum_out[0] = p + v;
+}

@@ -1,0 +1,5 @@
+void work() {
+	u32 v = pedf.io.val_in[0];
+	pedf.io.next_out[0] = v + 1;
+	pedf.io.tap_out[0] = v;
+}

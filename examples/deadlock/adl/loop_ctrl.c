@@ -1,0 +1,7 @@
+u32 work() {
+	ACTOR_FIRE("acc");
+	ACTOR_FIRE("inc");
+	WAIT_FOR_ACTOR_SYNC();
+	if (STEP_INDEX() + 1 >= 4) return 0;
+	return 1;
+}

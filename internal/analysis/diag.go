@@ -1,0 +1,215 @@
+// Package analysis implements the static analysis pass ("dfcheck") over
+// dataflow graphs and filterc programs. The paper's debugger reconstructs
+// the dependency graph and intercepts scheduling events at runtime; many
+// of the failures it helps diagnose — deadlocks from under-initialized
+// cycles, rate-mismatched links, filters that never fire — are detectable
+// before execution. This package finds them statically and reports them
+// as structured diagnostics with stable codes, severities, positions and
+// fix hints, in both human-readable and JSON form.
+//
+// The package deliberately depends only on internal/filterc and
+// internal/dot, so that both internal/core (the runtime-reconstructed
+// model) and internal/pedf (the elaborated runtime, via the pedfgraph
+// bridge) can feed graphs into it without import cycles.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Severity ranks a diagnostic.
+type Severity int
+
+const (
+	// Info is advisory output.
+	Info Severity = iota
+	// Warning flags likely-defective but runnable constructs.
+	Warning
+	// Error flags constructs that are certain to misbehave; front ends
+	// reject programs carrying errors unless checks are bypassed.
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// MarshalJSON renders the severity as its lowercase name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Code   string   `json:"code"`           // stable code, e.g. "DF003", "FC001"
+	Sev    Severity `json:"severity"`       // info | warning | error
+	File   string   `json:"file,omitempty"` // source file, or graph name for graph diagnostics
+	Line   int      `json:"line,omitempty"`
+	Col    int      `json:"col,omitempty"`
+	Msg    string   `json:"message"`
+	Hint   string   `json:"hint,omitempty"`   // suggested fix
+	Detail string   `json:"detail,omitempty"` // multi-line payload (e.g. a DOT rendering)
+}
+
+// String renders "file:line:col: severity CODE: message (hint: ...)",
+// omitting location parts that are unknown.
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	if d.File != "" {
+		b.WriteString(d.File)
+		if d.Line > 0 {
+			fmt.Fprintf(&b, ":%d", d.Line)
+			if d.Col > 0 {
+				fmt.Fprintf(&b, ":%d", d.Col)
+			}
+		}
+		b.WriteString(": ")
+	}
+	fmt.Fprintf(&b, "%s %s: %s", d.Sev, d.Code, d.Msg)
+	if d.Hint != "" {
+		fmt.Fprintf(&b, " (hint: %s)", d.Hint)
+	}
+	return b.String()
+}
+
+// Report accumulates diagnostics from one or more analyzers.
+type Report struct {
+	Diags []Diagnostic
+}
+
+// Add appends a diagnostic.
+func (r *Report) Add(d Diagnostic) { r.Diags = append(r.Diags, d) }
+
+// Merge appends every diagnostic of another report.
+func (r *Report) Merge(o *Report) {
+	if o != nil {
+		r.Diags = append(r.Diags, o.Diags...)
+	}
+}
+
+// Errors counts error-severity diagnostics.
+func (r *Report) Errors() int { return r.count(Error) }
+
+// Warnings counts warning-severity diagnostics.
+func (r *Report) Warnings() int { return r.count(Warning) }
+
+func (r *Report) count(s Severity) int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Sev == s {
+			n++
+		}
+	}
+	return n
+}
+
+// HasErrors reports whether any diagnostic is an error.
+func (r *Report) HasErrors() bool { return r.Errors() > 0 }
+
+// Sort orders diagnostics by file, line, column, code, message — a
+// stable order for golden tests.
+func (r *Report) Sort() {
+	sort.SliceStable(r.Diags, func(i, j int) bool {
+		a, b := r.Diags[i], r.Diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// Dedupe removes exact duplicates (the same program analyzed for several
+// filter instances yields identical findings).
+func (r *Report) Dedupe() {
+	seen := make(map[string]bool, len(r.Diags))
+	out := r.Diags[:0]
+	for _, d := range r.Diags {
+		key := fmt.Sprintf("%s|%s|%d|%d|%s", d.Code, d.File, d.Line, d.Col, d.Msg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, d)
+	}
+	r.Diags = out
+}
+
+// WriteText renders the report for humans: one line per diagnostic plus
+// indented detail blocks, followed by a summary line.
+func (r *Report) WriteText(w io.Writer) {
+	for _, d := range r.Diags {
+		fmt.Fprintln(w, d.String())
+		if d.Detail != "" {
+			for _, line := range strings.Split(strings.TrimRight(d.Detail, "\n"), "\n") {
+				fmt.Fprintf(w, "    %s\n", line)
+			}
+		}
+	}
+	fmt.Fprintln(w, r.Summary())
+}
+
+// Summary is the trailing one-line tally.
+func (r *Report) Summary() string {
+	if len(r.Diags) == 0 {
+		return "analysis: no issues found"
+	}
+	return fmt.Sprintf("analysis: %d error(s), %d warning(s)", r.Errors(), r.Warnings())
+}
+
+// jsonReport is the JSON envelope.
+type jsonReport struct {
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	Errors      int          `json:"errors"`
+	Warnings    int          `json:"warnings"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	env := jsonReport{Diagnostics: r.Diags, Errors: r.Errors(), Warnings: r.Warnings()}
+	if env.Diagnostics == nil {
+		env.Diagnostics = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(env)
+}
+
+// Codes maps every stable diagnostic code to its one-line description
+// (the README's diagnostic table is generated from the same text; tests
+// assert that each code is exercised by the golden corpus).
+var Codes = map[string]string{
+	"DF001": "actor port is connected to nothing",
+	"DF002": "link production and consumption rates disagree",
+	"DF003": "cycle lacks initial tokens and can never start (static deadlock)",
+	"DF004": "consumer never reads its input; FIFO grows until the producer blocks",
+	"DF005": "splitter/joiner behavior contradicts port arity",
+	"DF006": "environment feed leaves stranded tokens (feed count not a multiple of the consumption rate)",
+	"DF007": "producer never writes its output; consumer can never fire",
+	"FC001": "variable may be read before it is assigned",
+	"FC002": "variable or parameter is never read",
+	"FC003": "unreachable code",
+	"FC004": "condition is constant",
+	"FC005": "io interface misuse (unknown name, wrong direction, bad index or type mismatch)",
+	"FC006": "missing return in non-void function",
+	"FC007": "bad call (unknown function, wrong arity, or misplaced intrinsic)",
+}

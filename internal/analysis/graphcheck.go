@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"dfdbg/internal/dot"
+)
+
+// maxCycles bounds elementary-cycle enumeration so pathological graphs
+// cannot blow up the analyzer.
+const maxCycles = 32
+
+// CheckGraph runs every graph analyzer and returns the sorted report.
+//
+// Codes:
+//
+//	DF001 (error)   dangling actor port
+//	DF002 (error)   link rate mismatch (SDF balance violation)
+//	DF003 (error)   under-initialized cycle — static deadlock, with DOT detail
+//	DF004 (warning) consumer never reads: unbounded buffer growth
+//	DF005 (warning) splitter/joiner arity mismatch
+//	DF006 (warning) stranded environment feed tokens
+//	DF007 (warning) producer never writes: consumer can never fire
+func CheckGraph(g *Graph) *Report {
+	r := &Report{}
+	checkDangling(g, r)
+	checkArity(g, r)
+	checkLinks(g, r)
+	checkCycles(g, r)
+	r.Sort()
+	return r
+}
+
+// graphDiag builds a position-less diagnostic anchored to the graph name.
+func graphDiag(g *Graph, code string, sev Severity, msg, hint string) Diagnostic {
+	return Diagnostic{Code: code, Sev: sev, File: g.Name, Msg: msg, Hint: hint}
+}
+
+// checkDangling reports DF001 for filter/controller ports bound to no
+// link. Ports aliased to an enclosing module's external interface are
+// exempt: under lenient elaboration the top module's boundary
+// legitimately dangles.
+func checkDangling(g *Graph, r *Report) {
+	for _, a := range g.Actors {
+		if a.Kind != "filter" && a.Kind != "controller" {
+			continue
+		}
+		for _, p := range append(append([]*PortInfo{}, a.Ins...), a.Outs...) {
+			if p.Link != nil || p.External {
+				continue
+			}
+			d := graphDiag(g, "DF001", Error,
+				fmt.Sprintf("%s %s of %s %s is connected to nothing", p.Dir, p.Qualified(), a.Kind, a.Name),
+				"bind the port in the enclosing module or remove the interface")
+			r.Add(d)
+		}
+	}
+}
+
+// checkArity reports DF005 when a declared splitter/joiner behavior
+// contradicts the actor's data-port arity. Control links are excluded:
+// every filter carries a controller command input.
+func checkArity(g *Graph, r *Report) {
+	dataPorts := func(ports []*PortInfo) int {
+		n := 0
+		for _, p := range ports {
+			if p.Link == nil || p.Link.Kind == "control" {
+				continue
+			}
+			n++
+		}
+		return n
+	}
+	for _, a := range g.Actors {
+		ins, outs := dataPorts(a.Ins), dataPorts(a.Outs)
+		switch a.Behavior {
+		case "splitter":
+			if outs < 2 {
+				r.Add(graphDiag(g, "DF005", Warning,
+					fmt.Sprintf("actor %s is declared a splitter but has %d data output(s)", a.Name, outs),
+					"a splitter distributes tokens over two or more outputs"))
+			}
+		case "joiner":
+			if ins < 2 {
+				r.Add(graphDiag(g, "DF005", Warning,
+					fmt.Sprintf("actor %s is declared a joiner but has %d data input(s)", a.Name, ins),
+					"a joiner merges tokens from two or more inputs"))
+			}
+		case "map":
+			if ins != 1 || outs != 1 {
+				r.Add(graphDiag(g, "DF005", Warning,
+					fmt.Sprintf("actor %s is declared a map but has %d data input(s) and %d data output(s)", a.Name, ins, outs),
+					"a map transforms exactly one input stream into one output stream"))
+			}
+		}
+	}
+}
+
+// checkLinks runs the per-link rate analyses (DF002, DF004, DF006,
+// DF007) on data and dma links whose rates are statically known.
+func checkLinks(g *Graph, r *Report) {
+	for _, l := range g.Links {
+		if l.Kind == "control" || l.Src == nil || l.Dst == nil {
+			continue
+		}
+		prod, cons := l.Src.Rate, l.Dst.Rate
+		srcEnv := l.Src.Actor.Kind == "env"
+		dstEnv := l.Dst.Actor.Kind == "env"
+
+		// DF006: the environment feeds a fixed token count; a consumption
+		// rate that does not divide it strands the remainder and blocks
+		// the consumer's final firing.
+		if l.FeedTokens > 0 && cons > 0 && l.FeedTokens%cons != 0 {
+			r.Add(graphDiag(g, "DF006", Warning,
+				fmt.Sprintf("environment feeds %d token(s) into %s, which consumes %d per firing; %d token(s) will strand and the final firing will block",
+					l.FeedTokens, l.Dst.Qualified(), cons, l.FeedTokens%cons),
+				fmt.Sprintf("feed a multiple of %d tokens or change the consumption rate", cons)))
+		}
+
+		if srcEnv || dstEnv {
+			continue // remaining checks apply to filter-to-filter links
+		}
+
+		// DF002: SDF balance — with lockstep firing, production and
+		// consumption per firing must match or tokens accumulate/starve.
+		if prod > 0 && cons > 0 && prod != cons {
+			r.Add(graphDiag(g, "DF002", Error,
+				fmt.Sprintf("link %s -> %s produces %d token(s) per firing but consumes %d",
+					l.Src.Qualified(), l.Dst.Qualified(), prod, cons),
+				fmt.Sprintf("balance the rates, or fire %s and %s in a %d:%d repetition ratio", l.Src.Actor.Name, l.Dst.Actor.Name, cons, prod)))
+		}
+
+		// DF004: the consumer provably never reads this input while the
+		// producer keeps writing — the FIFO fills and the producer blocks.
+		if prod != 0 && cons == 0 {
+			r.Add(graphDiag(g, "DF004", Warning,
+				fmt.Sprintf("%s never reads input %s; the FIFO will fill and block %s",
+					l.Dst.Actor.Name, l.Dst.Qualified(), l.Src.Actor.Name),
+				"consume the input in work() or remove the link"))
+		}
+
+		// DF007: the producer provably never writes and nothing is
+		// buffered — the consumer can never fire.
+		if prod == 0 && cons != 0 && l.InitialTokens == 0 && l.FeedTokens <= 0 {
+			r.Add(graphDiag(g, "DF007", Warning,
+				fmt.Sprintf("%s never writes output %s; %s can never fire",
+					l.Src.Actor.Name, l.Src.Qualified(), l.Dst.Actor.Name),
+				"produce tokens in work() or remove the link"))
+		}
+	}
+}
+
+// checkCycles enumerates elementary cycles over data links and reports
+// DF003 for every cycle in which no link holds enough initial tokens for
+// its consumer's first firing — the classic SDF static deadlock. The
+// offending cycle is rendered via internal/dot in the Detail field.
+func checkCycles(g *Graph, r *Report) {
+	// Adjacency over data links between non-env actors.
+	idx := make(map[*ActorNode]int, len(g.Actors))
+	for i, a := range g.Actors {
+		idx[a] = i
+	}
+	adj := make(map[int][]*LinkEdge)
+	for _, l := range g.Links {
+		if l.Kind == "control" || l.Src == nil || l.Dst == nil {
+			continue
+		}
+		if l.Src.Actor.Kind == "env" || l.Dst.Actor.Kind == "env" {
+			continue
+		}
+		s := idx[l.Src.Actor]
+		adj[s] = append(adj[s], l)
+	}
+
+	var cycles [][]*LinkEdge
+	// Elementary cycles whose minimum actor index equals the DFS root:
+	// each cycle is found exactly once, rooted at its smallest actor.
+	for root := range g.Actors {
+		if len(cycles) >= maxCycles {
+			break
+		}
+		var path []*LinkEdge
+		onPath := make(map[int]bool)
+		var dfs func(v int)
+		dfs = func(v int) {
+			if len(cycles) >= maxCycles {
+				return
+			}
+			onPath[v] = true
+			for _, l := range adj[v] {
+				w := idx[l.Dst.Actor]
+				if w < root {
+					continue
+				}
+				if w == root {
+					cyc := append(append([]*LinkEdge{}, path...), l)
+					cycles = append(cycles, cyc)
+					continue
+				}
+				if onPath[w] {
+					continue
+				}
+				path = append(path, l)
+				dfs(w)
+				path = path[:len(path)-1]
+			}
+			onPath[v] = false
+		}
+		dfs(root)
+	}
+
+	for _, cyc := range cycles {
+		blocked := true
+		for _, l := range cyc {
+			need := 1
+			if l.Dst.Rate > 0 {
+				need = l.Dst.Rate
+			}
+			if l.InitialTokens >= need {
+				blocked = false
+				break
+			}
+		}
+		if !blocked {
+			continue
+		}
+		names := make([]string, 0, len(cyc)+1)
+		for _, l := range cyc {
+			names = append(names, l.Src.Actor.Name)
+		}
+		names = append(names, cyc[0].Src.Actor.Name)
+		r.Add(Diagnostic{
+			Code: "DF003", Sev: Error, File: g.Name,
+			Msg: fmt.Sprintf("cycle %s has no link with enough initial tokens; no actor on it can ever fire",
+				strings.Join(names, " -> ")),
+			Hint:   "prime one link of the cycle with initial tokens (e.g. the debugger's token injection, or an initializing producer)",
+			Detail: cycleDOT(cyc),
+		})
+	}
+}
+
+// cycleDOT renders one deadlocked cycle as a small DOT digraph, edges
+// labeled with "initial/needed" token counts.
+func cycleDOT(cyc []*LinkEdge) string {
+	dg := dot.NewGraph("deadlock_cycle")
+	for _, l := range cyc {
+		dg.AddNode("", dot.Node{ID: l.Src.Actor.Name, Label: l.Src.Actor.Name, Shape: "box", Color: "lightcoral"})
+	}
+	for _, l := range cyc {
+		need := 1
+		if l.Dst.Rate > 0 {
+			need = l.Dst.Rate
+		}
+		dg.AddEdge(dot.Edge{
+			From:  l.Src.Actor.Name,
+			To:    l.Dst.Actor.Name,
+			Label: fmt.Sprintf("%s -> %s: %d/%d tokens", l.Src.Name, l.Dst.Name, l.InitialTokens, need),
+		})
+	}
+	return dg.String()
+}

@@ -1,0 +1,184 @@
+// Package pedfgraph bridges an elaborated PEDF runtime into the static
+// analyzer: it converts the runtime's modules, actors and links into the
+// analysis graph model (with statically inferred token rates), derives
+// per-actor program contexts from the instantiated ports, and installs
+// the simulator's pre-run warning hook.
+//
+// It lives outside internal/analysis so that the analyzer itself stays
+// free of pedf dependencies (internal/core imports the analyzer and must
+// not transitively import internal/pedf).
+package pedfgraph
+
+import (
+	"fmt"
+	"io"
+
+	"dfdbg/internal/analysis"
+	"dfdbg/internal/filterc"
+	"dfdbg/internal/pedf"
+	"dfdbg/internal/sim"
+)
+
+// FromRuntime converts a PEDF runtime into the analyzer's graph model,
+// elaborating it leniently first if needed (the top module's external
+// ports may dangle, as under cmd/mindc).
+func FromRuntime(rt *pedf.Runtime, name string) (*analysis.Graph, error) {
+	if err := rt.Elaborate(false); err != nil {
+		return nil, err
+	}
+	g := analysis.NewGraph(name)
+
+	// Actor ports reachable through a module's external interface may
+	// legitimately dangle under lenient elaboration: exempt them from
+	// the dangling-port check.
+	external := map[*pedf.Port]bool{}
+	for _, m := range rt.Modules() {
+		for _, pn := range m.Ports() {
+			p := m.Port(pn)
+			if e := p.Endpoint(); e != p && e.Link() == nil {
+				external[e] = true
+			}
+		}
+	}
+
+	portInfo := map[*pedf.Port]*analysis.PortInfo{}
+	for _, f := range rt.Actors() {
+		kind := "filter"
+		if f.Role == pedf.RoleController {
+			kind = "controller"
+		}
+		a := g.AddActor(f.Name, kind, f.Module.Name)
+		reads, writes := analysis.InferRates(f.Prog, "work")
+		rateOf := func(rates analysis.Rates, port string) int {
+			if f.Prog == nil {
+				return analysis.RateUnknown // native Go work(): dynamic
+			}
+			return rates[port] // absent: provably untouched, rate 0
+		}
+		for _, n := range f.Inputs() {
+			p := f.In(n)
+			pi := a.AddIn(n, typeName(p.Type), rateOf(reads, n))
+			pi.External = external[p]
+			portInfo[p] = pi
+		}
+		for _, n := range f.Outputs() {
+			p := f.Out(n)
+			pi := a.AddOut(n, typeName(p.Type), rateOf(writes, n))
+			pi.External = external[p]
+			portInfo[p] = pi
+		}
+	}
+
+	feedCount := map[*pedf.Port]int{}
+	for _, fd := range rt.Feeds() {
+		feedCount[fd.Src] = fd.Count
+	}
+
+	var envNode *analysis.ActorNode
+	endpoint := func(p *pedf.Port) *analysis.PortInfo {
+		if pi, ok := portInfo[p]; ok {
+			return pi
+		}
+		// Environment-side (or otherwise actorless) endpoint.
+		if envNode == nil {
+			envNode = g.AddActor(pedf.EnvActor, "env", "")
+		}
+		var pi *analysis.PortInfo
+		if p.Dir == pedf.In {
+			pi = envNode.AddIn(p.Name, typeName(p.Type), analysis.RateUnknown)
+		} else {
+			pi = envNode.AddOut(p.Name, typeName(p.Type), analysis.RateUnknown)
+		}
+		portInfo[p] = pi
+		return pi
+	}
+
+	for _, l := range rt.Links() {
+		le := g.Connect(endpoint(l.Src), endpoint(l.Dst), l.Kind.String())
+		le.ID = int64(l.ID)
+		le.InitialTokens = l.Occupancy()
+		le.Cap = l.Cap
+		if c, ok := feedCount[l.Src]; ok {
+			le.FeedTokens = c
+		}
+	}
+	return g, nil
+}
+
+func typeName(t *filterc.Type) string {
+	if t == nil {
+		return ""
+	}
+	return t.String()
+}
+
+// ProgramContextFor derives the analyzer's program context from an
+// instantiated actor: its declared io interfaces, private data,
+// attributes and role.
+func ProgramContextFor(f *pedf.Filter) *analysis.ProgramContext {
+	ctx := &analysis.ProgramContext{
+		Controller: f.Role == pedf.RoleController,
+		Ifaces:     []analysis.Iface{},
+		Data:       map[string]*filterc.Type{},
+		Attrs:      map[string]*filterc.Type{},
+	}
+	for _, n := range f.Inputs() {
+		ctx.Ifaces = append(ctx.Ifaces, analysis.Iface{Name: n, Dir: "input", Type: f.In(n).Type})
+	}
+	for _, n := range f.Outputs() {
+		ctx.Ifaces = append(ctx.Ifaces, analysis.Iface{Name: n, Dir: "output", Type: f.Out(n).Type})
+	}
+	for _, n := range f.DataNames() {
+		if v, ok := f.DataVal(n); ok {
+			ctx.Data[n] = v.Type
+		}
+	}
+	for _, n := range f.AttrNames() {
+		if v, ok := f.AttrVal(n); ok {
+			ctx.Attrs[n] = v.Type
+		}
+	}
+	return ctx
+}
+
+// CheckRuntime runs the full static analysis pass — graph analyzers plus
+// per-actor filterc analyzers — over an application. name labels graph
+// diagnostics (typically the ADL file's base name).
+func CheckRuntime(rt *pedf.Runtime, name string) (*analysis.Report, error) {
+	g, err := FromRuntime(rt, name)
+	if err != nil {
+		return nil, err
+	}
+	rep := analysis.CheckGraph(g)
+	for _, f := range rt.Actors() {
+		if f.Prog == nil {
+			continue
+		}
+		rep.Merge(analysis.CheckProgram(f.Prog, ProgramContextFor(f)))
+	}
+	// Several instances of one filter type share a source file; identical
+	// findings collapse.
+	rep.Dedupe()
+	rep.Sort()
+	return rep, nil
+}
+
+// InstallPreRun registers a one-shot static analysis pass on the kernel:
+// immediately before the first dispatch, warnings and errors are printed
+// to w (one line each, without DOT details). The run itself proceeds —
+// the pass warns, it does not gate.
+func InstallPreRun(k *sim.Kernel, rt *pedf.Runtime, name string, w io.Writer) {
+	k.OnPreRun(func() {
+		rep, err := CheckRuntime(rt, name)
+		if err != nil {
+			fmt.Fprintf(w, "analysis: %v\n", err)
+			return
+		}
+		for _, d := range rep.Diags {
+			if d.Sev < analysis.Warning {
+				continue
+			}
+			fmt.Fprintf(w, "analysis: %s\n", d.String())
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import "dfdbg/internal/filterc"
+
+// posOf returns the source position of a statement or expression node
+// (the AST's position methods are unexported; every node exports P).
+func posOf(n interface{}) filterc.Pos {
+	switch n := n.(type) {
+	case *filterc.BlockStmt:
+		return n.P
+	case *filterc.DeclStmt:
+		return n.P
+	case *filterc.ExprStmt:
+		return n.P
+	case *filterc.IfStmt:
+		return n.P
+	case *filterc.WhileStmt:
+		return n.P
+	case *filterc.ForStmt:
+		return n.P
+	case *filterc.SwitchStmt:
+		return n.P
+	case *filterc.ReturnStmt:
+		return n.P
+	case *filterc.BreakStmt:
+		return n.P
+	case *filterc.ContinueStmt:
+		return n.P
+	case *filterc.Ident:
+		return n.P
+	case *filterc.IntLit:
+		return n.P
+	case *filterc.StrLit:
+		return n.P
+	case *filterc.Unary:
+		return n.P
+	case *filterc.Postfix:
+		return n.P
+	case *filterc.Binary:
+		return n.P
+	case *filterc.Assign:
+		return n.P
+	case *filterc.Index:
+		return n.P
+	case *filterc.Member:
+		return n.P
+	case *filterc.Call:
+		return n.P
+	case *filterc.Cond:
+		return n.P
+	case *filterc.PedfRef:
+		return n.P
+	}
+	return filterc.Pos{}
+}

@@ -1,0 +1,385 @@
+package analysis
+
+import (
+	"dfdbg/internal/filterc"
+)
+
+// Rates maps an io interface name to its statically inferred token rate
+// per firing. An interface the program never touches is absent (rate 0);
+// RateUnknown marks dynamic access (loops, conditionals, computed
+// indices, helper functions).
+type Rates map[string]int
+
+// rateAcc accumulates evidence about one interface during inference.
+type rateAcc struct {
+	maxIdx  int64
+	seen    bool
+	unknown bool
+}
+
+func (a *rateAcc) touch(idx int64, certain bool) {
+	a.seen = true
+	if !certain || idx < 0 {
+		a.unknown = true
+		return
+	}
+	if idx > a.maxIdx {
+		a.maxIdx = idx
+	}
+}
+
+// InferRates derives per-firing read and write rates for every io
+// interface of a program from its entry function (normally "work"). The
+// inference is deliberately conservative: an access that is conditional,
+// inside a loop, uses a non-constant index, or happens outside the entry
+// function yields RateUnknown for that interface, so dynamic-rate
+// filters (the H.264 decoder's bitstream readers) are never mis-flagged.
+func InferRates(prog *filterc.Program, entry string) (reads, writes Rates) {
+	reads, writes = Rates{}, Rates{}
+	if prog == nil {
+		return reads, writes
+	}
+	racc := map[string]*rateAcc{}
+	wacc := map[string]*rateAcc{}
+	get := func(m map[string]*rateAcc, name string) *rateAcc {
+		a := m[name]
+		if a == nil {
+			a = &rateAcc{maxIdx: -1}
+			m[name] = a
+		}
+		return a
+	}
+
+	var walkExpr func(e filterc.Expr, certain, write bool)
+	var walkStmt func(s filterc.Stmt, certain bool)
+
+	walkExpr = func(e filterc.Expr, certain, write bool) {
+		switch e := e.(type) {
+		case *filterc.Index:
+			if ref, ok := e.X.(*filterc.PedfRef); ok && ref.Space == filterc.PedfIO {
+				idx, const_ := ConstExpr(e.I)
+				acc := get(racc, ref.Name)
+				if write {
+					acc = get(wacc, ref.Name)
+				}
+				acc.touch(idx, certain && const_)
+				walkExpr(e.I, certain, false)
+				return
+			}
+			walkExpr(e.X, certain, write)
+			walkExpr(e.I, certain, false)
+		case *filterc.PedfRef:
+			if e.Space == filterc.PedfIO {
+				// Bare (unindexed) io reference: meaningless; unknown rate.
+				acc := get(racc, e.Name)
+				if write {
+					acc = get(wacc, e.Name)
+				}
+				acc.seen = true
+				acc.unknown = true
+			}
+		case *filterc.Assign:
+			walkExpr(e.L, certain, true)
+			walkExpr(e.R, certain, false)
+			if e.Op != "=" {
+				// Compound assignment also reads the target.
+				walkExpr(e.L, certain, false)
+			}
+		case *filterc.Unary:
+			w := e.Op == "++" || e.Op == "--"
+			walkExpr(e.X, certain, w || write)
+		case *filterc.Postfix:
+			walkExpr(e.X, certain, true)
+		case *filterc.Binary:
+			walkExpr(e.L, certain, false)
+			// Short-circuit operators evaluate the RHS conditionally.
+			rhsCertain := certain && e.Op != "&&" && e.Op != "||"
+			walkExpr(e.R, rhsCertain, false)
+		case *filterc.Member:
+			walkExpr(e.X, certain, write)
+		case *filterc.Call:
+			for _, a := range e.Args {
+				walkExpr(a, certain, false)
+			}
+			// A call into a helper that touches io makes those rates
+			// dynamic; mark every io access of the callee unknown.
+			if fn := prog.Func(e.Name); fn != nil && e.Name != entry {
+				markFuncUnknown(fn, racc, wacc, get)
+			}
+		case *filterc.Cond:
+			walkExpr(e.C, certain, false)
+			walkExpr(e.T, false, false)
+			walkExpr(e.F, false, false)
+		}
+	}
+
+	walkStmt = func(s filterc.Stmt, certain bool) {
+		switch s := s.(type) {
+		case *filterc.BlockStmt:
+			for _, sub := range s.Stmts {
+				walkStmt(sub, certain)
+			}
+		case *filterc.DeclStmt:
+			if s.Init != nil {
+				walkExpr(s.Init, certain, false)
+			}
+		case *filterc.ExprStmt:
+			walkExpr(s.X, certain, false)
+		case *filterc.IfStmt:
+			walkExpr(s.Cond, certain, false)
+			walkStmt(s.Then, false)
+			if s.Else != nil {
+				walkStmt(s.Else, false)
+			}
+		case *filterc.WhileStmt:
+			walkExpr(s.Cond, false, false)
+			walkStmt(s.Body, false)
+		case *filterc.ForStmt:
+			if s.Init != nil {
+				walkStmt(s.Init, certain)
+			}
+			if s.Cond != nil {
+				walkExpr(s.Cond, false, false)
+			}
+			if s.Post != nil {
+				walkStmt(s.Post, false)
+			}
+			walkStmt(s.Body, false)
+		case *filterc.SwitchStmt:
+			walkExpr(s.Cond, certain, false)
+			for _, c := range s.Cases {
+				for _, v := range c.Vals {
+					walkExpr(v, false, false)
+				}
+				for _, sub := range c.Stmts {
+					walkStmt(sub, false)
+				}
+			}
+		case *filterc.ReturnStmt:
+			if s.X != nil {
+				walkExpr(s.X, certain, false)
+			}
+		}
+	}
+
+	if fn := prog.Func(entry); fn != nil {
+		walkStmt(fn.Body, true)
+	}
+
+	finish := func(acc map[string]*rateAcc, out Rates) {
+		for name, a := range acc {
+			if !a.seen {
+				continue
+			}
+			if a.unknown {
+				out[name] = RateUnknown
+			} else {
+				out[name] = int(a.maxIdx) + 1
+			}
+		}
+	}
+	finish(racc, reads)
+	finish(wacc, writes)
+	return reads, writes
+}
+
+// markFuncUnknown forces every io interface a helper function touches to
+// RateUnknown (calls make the access pattern dynamic from the entry
+// function's point of view).
+func markFuncUnknown(fn *filterc.FuncDecl, racc, wacc map[string]*rateAcc, get func(map[string]*rateAcc, string) *rateAcc) {
+	var visitE func(e filterc.Expr, write bool)
+	var visitS func(s filterc.Stmt)
+	visitE = func(e filterc.Expr, write bool) {
+		switch e := e.(type) {
+		case *filterc.Index:
+			if ref, ok := e.X.(*filterc.PedfRef); ok && ref.Space == filterc.PedfIO {
+				acc := get(racc, ref.Name)
+				if write {
+					acc = get(wacc, ref.Name)
+				}
+				acc.seen = true
+				acc.unknown = true
+			}
+			visitE(e.X, write)
+			visitE(e.I, false)
+		case *filterc.PedfRef:
+			if e.Space == filterc.PedfIO {
+				acc := get(racc, e.Name)
+				acc.seen = true
+				acc.unknown = true
+			}
+		case *filterc.Assign:
+			visitE(e.L, true)
+			visitE(e.R, false)
+		case *filterc.Unary:
+			visitE(e.X, e.Op == "++" || e.Op == "--")
+		case *filterc.Postfix:
+			visitE(e.X, true)
+		case *filterc.Binary:
+			visitE(e.L, false)
+			visitE(e.R, false)
+		case *filterc.Member:
+			visitE(e.X, write)
+		case *filterc.Call:
+			for _, a := range e.Args {
+				visitE(a, false)
+			}
+		case *filterc.Cond:
+			visitE(e.C, false)
+			visitE(e.T, false)
+			visitE(e.F, false)
+		}
+	}
+	visitS = func(s filterc.Stmt) {
+		switch s := s.(type) {
+		case *filterc.BlockStmt:
+			for _, sub := range s.Stmts {
+				visitS(sub)
+			}
+		case *filterc.DeclStmt:
+			if s.Init != nil {
+				visitE(s.Init, false)
+			}
+		case *filterc.ExprStmt:
+			visitE(s.X, false)
+		case *filterc.IfStmt:
+			visitE(s.Cond, false)
+			visitS(s.Then)
+			if s.Else != nil {
+				visitS(s.Else)
+			}
+		case *filterc.WhileStmt:
+			visitE(s.Cond, false)
+			visitS(s.Body)
+		case *filterc.ForStmt:
+			if s.Init != nil {
+				visitS(s.Init)
+			}
+			if s.Cond != nil {
+				visitE(s.Cond, false)
+			}
+			if s.Post != nil {
+				visitS(s.Post)
+			}
+			visitS(s.Body)
+		case *filterc.SwitchStmt:
+			visitE(s.Cond, false)
+			for _, c := range s.Cases {
+				for _, v := range c.Vals {
+					visitE(v, false)
+				}
+				for _, sub := range c.Stmts {
+					visitS(sub)
+				}
+			}
+		case *filterc.ReturnStmt:
+			if s.X != nil {
+				visitE(s.X, false)
+			}
+		}
+	}
+	visitS(fn.Body)
+}
+
+// ConstExpr evaluates a side-effect-free constant expression, reporting
+// (value, true) on success. It is shared by rate inference (io indices)
+// and the constant-condition check.
+func ConstExpr(e filterc.Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *filterc.IntLit:
+		return e.V, true
+	case *filterc.Unary:
+		v, ok := ConstExpr(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case "-":
+			return -v, true
+		case "~":
+			return ^v, true
+		case "!":
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *filterc.Binary:
+		l, ok := ConstExpr(e.L)
+		if !ok {
+			return 0, false
+		}
+		r, ok := ConstExpr(e.R)
+		if !ok {
+			return 0, false
+		}
+		b2i := func(b bool) int64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		switch e.Op {
+		case "+":
+			return l + r, true
+		case "-":
+			return l - r, true
+		case "*":
+			return l * r, true
+		case "/":
+			if r == 0 {
+				return 0, false
+			}
+			return l / r, true
+		case "%":
+			if r == 0 {
+				return 0, false
+			}
+			return l % r, true
+		case "<<":
+			if r < 0 || r > 63 {
+				return 0, false
+			}
+			return l << uint(r), true
+		case ">>":
+			if r < 0 || r > 63 {
+				return 0, false
+			}
+			return l >> uint(r), true
+		case "&":
+			return l & r, true
+		case "|":
+			return l | r, true
+		case "^":
+			return l ^ r, true
+		case "==":
+			return b2i(l == r), true
+		case "!=":
+			return b2i(l != r), true
+		case "<":
+			return b2i(l < r), true
+		case "<=":
+			return b2i(l <= r), true
+		case ">":
+			return b2i(l > r), true
+		case ">=":
+			return b2i(l >= r), true
+		case "&&":
+			return b2i(l != 0 && r != 0), true
+		case "||":
+			return b2i(l != 0 || r != 0), true
+		}
+		return 0, false
+	case *filterc.Cond:
+		c, ok := ConstExpr(e.C)
+		if !ok {
+			return 0, false
+		}
+		if c != 0 {
+			return ConstExpr(e.T)
+		}
+		return ConstExpr(e.F)
+	}
+	return 0, false
+}

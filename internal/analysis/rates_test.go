@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"testing"
+
+	"dfdbg/internal/filterc"
+)
+
+func mustParse(t *testing.T, src string) *filterc.Program {
+	t.Helper()
+	prog, err := filterc.Parse("rates.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+func TestInferRatesStraightLine(t *testing.T) {
+	prog := mustParse(t, `
+void work() {
+	u32 a = pedf.io.i[0];
+	u32 b = pedf.io.i[1];
+	pedf.io.o[0] = a + b;
+}`)
+	reads, writes := InferRates(prog, "work")
+	if reads["i"] != 2 {
+		t.Errorf("reads[i] = %d, want 2", reads["i"])
+	}
+	if writes["o"] != 1 {
+		t.Errorf("writes[o] = %d, want 1", writes["o"])
+	}
+}
+
+func TestInferRatesDynamicAccess(t *testing.T) {
+	cases := map[string]string{
+		"loop":        `void work() { u32 k = 0; while (k < 4) { pedf.io.o[k] = k; k = k + 1; } }`,
+		"conditional": `void work() { if (pedf.io.i[0] > 0) { pedf.io.o[0] = 1; } }`,
+		"helper":      `void put() { pedf.io.o[0] = 1; } void work() { put(); }`,
+		"computed":    `void work() { u32 k = pedf.io.i[0]; pedf.io.o[k] = 0; }`,
+	}
+	for name, src := range cases {
+		_, writes := InferRates(mustParse(t, src), "work")
+		if writes["o"] != RateUnknown {
+			t.Errorf("%s: writes[o] = %d, want RateUnknown", name, writes["o"])
+		}
+	}
+}
+
+func TestInferRatesUntouchedInterfaceAbsent(t *testing.T) {
+	reads, writes := InferRates(mustParse(t, `void work() { pedf.io.o[0] = 1; }`), "work")
+	if _, ok := reads["i"]; ok {
+		t.Errorf("untouched interface should be absent")
+	}
+	if writes["o"] != 1 {
+		t.Errorf("writes[o] = %d, want 1", writes["o"])
+	}
+}
+
+func TestInferRatesNilProgram(t *testing.T) {
+	reads, writes := InferRates(nil, "work")
+	if len(reads) != 0 || len(writes) != 0 {
+		t.Errorf("nil program should infer nothing")
+	}
+}
+
+func TestConstExpr(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 << 4) | 1", 17},
+		{"10 / 3", 3},
+		{"1 < 2 ? 5 : 9", 5},
+		{"!0", 1},
+		{"-(3)", -3},
+	}
+	for _, c := range cases {
+		prog := mustParse(t, "void work() { u32 x = "+c.src+"; pedf.io.o[0] = x; }")
+		decl := prog.Func("work").Body.Stmts[0].(*filterc.DeclStmt)
+		got, ok := ConstExpr(decl.Init)
+		if !ok || got != c.want {
+			t.Errorf("ConstExpr(%q) = %d,%v want %d", c.src, got, ok, c.want)
+		}
+	}
+	// Division by zero is not constant-foldable.
+	prog := mustParse(t, "void work() { u32 x = 1 / 0; pedf.io.o[0] = x; }")
+	decl := prog.Func("work").Body.Stmts[0].(*filterc.DeclStmt)
+	if _, ok := ConstExpr(decl.Init); ok {
+		t.Errorf("1/0 should not fold")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dfdbg/internal/analysis"
 	"dfdbg/internal/core"
 	"dfdbg/internal/filterc"
 	"dfdbg/internal/lowdbg"
@@ -134,6 +135,8 @@ func (c *CLI) Execute(line string) error {
 	case "graph":
 		c.printf("%s", c.D.GraphDOT())
 		return nil
+	case "analyze":
+		return c.analyzeCmd(rest)
 	case "filter":
 		return c.filterCmd(rest)
 	case "module":
@@ -168,6 +171,28 @@ func (c *CLI) Execute(line string) error {
 	}
 }
 
+// analyzeCmd runs the graph analyzers over the reconstructed model.
+// Rates are unknown at this layer, so the rate-based checks stay quiet;
+// dangling ports, arity mismatches and under-initialized cycles (with
+// current link occupancies as initial tokens) do fire — pointing at the
+// structural cause of an observed stall.
+func (c *CLI) analyzeCmd(rest []string) error {
+	asJSON := false
+	switch {
+	case len(rest) == 0:
+	case len(rest) == 1 && rest[0] == "json":
+		asJSON = true
+	default:
+		return fmt.Errorf("usage: analyze [json]")
+	}
+	rep := analysis.CheckGraph(c.D.AnalysisGraph())
+	if asJSON {
+		return rep.WriteJSON(c.Out)
+	}
+	rep.WriteText(c.Out)
+	return nil
+}
+
 func (c *CLI) printHelp() {
 	c.printf(`Low-level commands:
   continue | step | next | finish        execution control
@@ -179,6 +204,7 @@ func (c *CLI) printHelp() {
   delete <id> | info breakpoints
 Dataflow commands:
   graph                                  dump the reconstructed graph (DOT)
+  analyze [json]                         static checks on the reconstructed graph
   filter <f> catch work                  stop when <f>'s WORK fires
   filter <f> catch <if>=<n>,...          stop on received/sent token counts
   filter <f> catch *in=<n> | *out=<n>    wildcard over all interfaces

@@ -579,3 +579,23 @@ func TestFullDecodeUnderCLI(t *testing.T) {
 		t.Errorf("final stop: %s", got)
 	}
 }
+
+func TestAnalyzeCommand(t *testing.T) {
+	// (gdb) analyze — graph checks over the reconstructed model. The
+	// booted H.264 graph is well-formed, so the report is clean.
+	c, out := session(t)
+	got := exec(t, c, out, "analyze")
+	if !strings.Contains(got, "no issues found") {
+		t.Errorf("analyze output: %s", got)
+	}
+	got = exec(t, c, out, "analyze json")
+	if !strings.Contains(got, `"diagnostics"`) || !strings.Contains(got, `"errors": 0`) {
+		t.Errorf("analyze json output: %s", got)
+	}
+	if err := execErr(t, c, "analyze dot"); !strings.Contains(err.Error(), "usage") {
+		t.Errorf("bad mode error: %v", err)
+	}
+	if !strings.Contains(exec(t, c, out, "help"), "analyze [json]") {
+		t.Error("help does not mention analyze")
+	}
+}

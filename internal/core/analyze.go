@@ -1,0 +1,44 @@
+package core
+
+import "dfdbg/internal/analysis"
+
+// AnalysisGraph converts the runtime-reconstructed model into the static
+// analyzer's graph form, so the interactive `analyze` command can run the
+// graph checkers (dangling ports, under-initialized cycles, arity
+// mismatches) on whatever the debugger has observed so far.
+//
+// Token rates are not recoverable from intercepted events, so every port
+// carries RateUnknown and the rate-based analyzers stay silent; link
+// occupancies become initial-token counts, which is exactly what the
+// cycle analyzer needs on a stalled application. Module pseudo-actors are
+// skipped: their connections are boundary aliases, not FIFO endpoints.
+func (d *Debugger) AnalysisGraph() *analysis.Graph {
+	g := analysis.NewGraph("dataflow")
+	ports := map[*Connection]*analysis.PortInfo{}
+	for _, a := range d.Actors() {
+		if a.Kind == KindModule {
+			continue
+		}
+		n := g.AddActor(a.Name, a.Kind.String(), a.Module)
+		if a.Behavior != BehaviorUnknown {
+			n.Behavior = a.Behavior.String()
+		}
+		for _, c := range a.Inputs {
+			ports[c] = n.AddIn(c.Name, c.Type, analysis.RateUnknown)
+		}
+		for _, c := range a.Outputs {
+			ports[c] = n.AddOut(c.Name, c.Type, analysis.RateUnknown)
+		}
+	}
+	for _, l := range d.Links() {
+		src, okS := ports[l.Src]
+		dst, okD := ports[l.Dst]
+		if !okS || !okD {
+			continue
+		}
+		le := g.Connect(src, dst, l.Kind)
+		le.ID = l.ID
+		le.InitialTokens = l.Occupancy()
+	}
+	return g
+}

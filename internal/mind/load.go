@@ -1,0 +1,81 @@
+package mind
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dfdbg/internal/mach"
+	"dfdbg/internal/pedf"
+	"dfdbg/internal/sim"
+)
+
+// LoadedApp is an ADL design parsed, source-resolved and instantiated
+// into a (leniently elaborated) PEDF runtime, ready for DOT emission or
+// static analysis.
+type LoadedApp struct {
+	File    *File
+	Top     string // resolved top composite name
+	Kernel  *sim.Kernel
+	Runtime *pedf.Runtime
+	Module  *pedf.Module
+}
+
+// LoadApp reads an ADL file, resolves `source xyz.c;` clauses against
+// srcDir (default: the ADL's directory), instantiates the composite
+// named top (default: the first composite defined) and elaborates it
+// leniently — the top module's external ports legitimately dangle in an
+// architecture tool. Both cmd/mindc and `dfdbg analyze` front this.
+func LoadApp(adlPath, top, srcDir string) (*LoadedApp, error) {
+	data, err := os.ReadFile(adlPath)
+	if err != nil {
+		return nil, err
+	}
+	f, err := Parse(filepath.Base(adlPath), string(data))
+	if err != nil {
+		return nil, err
+	}
+	if top == "" {
+		for _, name := range f.Order {
+			if _, ok := f.Composites[name]; ok {
+				top = name
+				break
+			}
+		}
+	}
+	if top == "" {
+		return nil, fmt.Errorf("no composite definition in %s", adlPath)
+	}
+	if srcDir == "" {
+		srcDir = filepath.Dir(adlPath)
+	}
+	sources := make(map[string]string)
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".c") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(srcDir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		sources[e.Name()] = string(src)
+	}
+
+	k := sim.NewKernel()
+	m := mach.New(k, mach.Config{})
+	rt := pedf.NewRuntime(k, m, nil)
+	el := &Elaborator{Sources: sources}
+	mod, err := el.Instantiate(rt, f, top)
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.Elaborate(false); err != nil {
+		return nil, err
+	}
+	return &LoadedApp{File: f, Top: top, Kernel: k, Runtime: rt, Module: mod}, nil
+}

@@ -170,6 +170,9 @@ type Kernel struct {
 	paused   bool
 	err      error
 	running  bool
+
+	preRun     []func()
+	preRunDone bool
 }
 
 // NewKernel returns an empty kernel at time zero.
@@ -236,6 +239,13 @@ func (k *Kernel) Run() (RunStatus, error) {
 	return k.RunUntil(TimeForever)
 }
 
+// OnPreRun registers fn to run exactly once, from the driver goroutine,
+// immediately before the kernel dispatches its first process. Static
+// pre-flight checks (the analyzer's pre-run warning pass) hook here.
+func (k *Kernel) OnPreRun(fn func()) {
+	k.preRun = append(k.preRun, fn)
+}
+
 // RunUntil is Run with a time horizon: the kernel stops advancing the
 // clock past `until` (events scheduled exactly at `until` still fire).
 func (k *Kernel) RunUntil(until Time) (RunStatus, error) {
@@ -244,6 +254,12 @@ func (k *Kernel) RunUntil(until Time) (RunStatus, error) {
 	}
 	k.running = true
 	defer func() { k.running = false }()
+	if !k.preRunDone {
+		k.preRunDone = true
+		for _, fn := range k.preRun {
+			fn()
+		}
+	}
 	for {
 		if k.err != nil {
 			err := k.err

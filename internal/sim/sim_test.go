@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -582,5 +583,25 @@ func TestQuickNotifyWakesExactlyWaiters(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestOnPreRunFiresOnceBeforeDispatch(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.OnPreRun(func() { order = append(order, "pre1") })
+	k.OnPreRun(func() { order = append(order, "pre2") })
+	k.Spawn("p", func(p *Proc) { order = append(order, "proc") })
+	if st, err := k.Run(); err != nil || st != RunIdle {
+		t.Fatalf("run: %v %v", st, err)
+	}
+	// A second Run must not re-fire the hooks.
+	if st, err := k.Run(); err != nil || st != RunIdle {
+		t.Fatalf("rerun: %v %v", st, err)
+	}
+	want := "pre1,pre2,proc"
+	got := strings.Join(order, ",")
+	if got != want {
+		t.Errorf("order = %s, want %s", got, want)
 	}
 }

@@ -1,0 +1,8 @@
+void work() {
+	u32 a = min(1);
+	u32 b = mystery(2);
+	ACTOR_FIRE("x");
+	WAIT_FOR_ACTOR_SYNC();
+	u32 c = IO_AVAILABLE("nosuch");
+	pedf.io.out[0] = a + b + c;
+}

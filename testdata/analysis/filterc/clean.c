@@ -1,0 +1,5 @@
+void work() {
+	u32 v = pedf.io.in[0];
+	pedf.data.acc = pedf.data.acc + v;
+	pedf.io.out[0] = clamp(v, 0, 255) + pedf.attribute.gain;
+}

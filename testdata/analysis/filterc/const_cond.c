@@ -1,0 +1,10 @@
+void work() {
+	u32 v = pedf.io.in[0];
+	if (1 < 2) {
+		v = v + 1;
+	}
+	while (0) {
+		v = v - 1;
+	}
+	pedf.io.out[0] = (3 == 3) ? v : 0;
+}

@@ -1,0 +1,9 @@
+u32 work() {
+	ACTOR_FIRE("a");
+	WAIT_FOR_ACTOR_SYNC();
+	pedf.io.cmd_out[0] = 1;
+	if (STEP_INDEX() >= 3) {
+		return 0;
+	}
+	return 1;
+}

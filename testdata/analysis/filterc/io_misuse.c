@@ -1,0 +1,14 @@
+struct MB_t { u32 addr; };
+
+void work() {
+	u32 a = pedf.io.nosuch[0];
+	u32 b = pedf.io.out[0];
+	pedf.io.in[0] = a;
+	MB_t m = pedf.io.mb_in[0];
+	u32 c = m.width;
+	pedf.io.out[0] = m;
+	u32 d = pedf.io.in[0 - 1];
+	pedf.data.ghost = a;
+	pedf.io.mb_out[0] = m;
+	pedf.io.out[2] = b + d;
+}

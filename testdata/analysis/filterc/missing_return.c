@@ -1,0 +1,7 @@
+u32 work() {
+	u32 v = pedf.io.in[0];
+	if (v > 0) {
+		return v;
+	}
+	pedf.io.out[0] = v;
+}

@@ -1,0 +1,5 @@
+u32 work() {
+	pedf.io.out[0] = pedf.io.in[0];
+	return 0;
+	pedf.io.out[1] = 1;
+}

@@ -1,0 +1,9 @@
+u32 helper(u32 a, u32 b) {
+	return a + a;
+}
+
+void work() {
+	u32 t = helper(pedf.io.in[0], 3);
+	u32 dead = 4;
+	pedf.io.out[0] = t;
+}

@@ -1,0 +1,7 @@
+void work() {
+	u32 x;
+	u32 y = x + 1;
+	pedf.io.out[0] = y;
+	x = 2;
+	pedf.io.out[1] = x;
+}

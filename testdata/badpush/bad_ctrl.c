@@ -1,0 +1,7 @@
+u32 work() {
+	pedf.io.cmd_out[0] = 1;
+	ACTOR_FIRE("filter_1");
+	WAIT_FOR_ACTOR_SYNC();
+	if (STEP_INDEX() + 1 >= 2) return 0;
+	return 1;
+}

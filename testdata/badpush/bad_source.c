@@ -1,0 +1,4 @@
+void work() {
+	u32 v = pedf.io.an_input[0] + pedf.io.cmd_in[0];
+	pedf.io.an_output[0] = "oops";
+}
