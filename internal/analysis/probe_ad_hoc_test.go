@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"testing"
+
+	"dfdbg/internal/filterc"
+)
+
+// FC006: does a function whose every path returns via a loop/switch get flagged?
+func TestProbeFC006InfiniteLoop(t *testing.T) {
+	src := `
+u32 f() {
+    while (1) {
+        return 1;
+    }
+}
+void work() {
+    u32 x = f();
+    pedf.io.out[0] = x;
+}
+`
+	prog, err := filterc.Parse("probe.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	rep := CheckProgram(prog, nil)
+	for _, d := range rep.Diags {
+		t.Logf("diag: %s", d.String())
+	}
+}
+
+// markFuncUnknown transitivity: work -> a -> b, b reads io.
+func TestProbeTransitiveHelper(t *testing.T) {
+	src := `
+u32 b() {
+    return pedf.io.in[0];
+}
+u32 a() {
+    return b();
+}
+void work() {
+    u32 x = a();
+    pedf.io.out[0] = x;
+}
+`
+	prog, err := filterc.Parse("probe2.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	reads, writes := InferRates(prog, "work")
+	t.Logf("reads=%v writes=%v", reads, writes)
+	if r, ok := reads["in"]; !ok || r != RateUnknown {
+		t.Errorf("expected in=RateUnknown, got %v (present=%v)", r, ok)
+	}
+}
