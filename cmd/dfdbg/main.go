@@ -29,6 +29,7 @@ import (
 	"dfdbg/internal/lowdbg"
 	"dfdbg/internal/mach"
 	"dfdbg/internal/mind"
+	"dfdbg/internal/obs"
 	"dfdbg/internal/pedf"
 	"dfdbg/internal/sim"
 	"dfdbg/internal/trace"
@@ -117,9 +118,10 @@ func run(p h264.Params, bugName string, in io.Reader, out io.Writer) error {
 		return err
 	}
 	k := sim.NewKernel()
+	orec := obs.NewRecorder(4096)
+	k.SetObserver(orec)
 	low := lowdbg.New(k, dbginfo.NewTable())
 	rec := trace.Attach(low)
-	rec.Cap = 4096
 	d := core.Attach(low)
 	m := mach.New(k, mach.Config{})
 	rt := pedf.NewRuntime(k, m, low)
@@ -147,6 +149,7 @@ func run(p h264.Params, bugName string, in io.Reader, out io.Writer) error {
 		len(d.Actors()), len(d.Links()))
 	c := cli.New(d, out)
 	c.Rec = rec
+	c.Obs = orec
 	c.Run(in)
 	return nil
 }

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	h264dec [-w 48] [-h 32] [-qp 8] [-seed 7] [-pgm out.pgm]
+//	        [-obs] [-timeline trace.json] [-metrics-addr :9090]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"dfdbg/internal/h264"
 	"dfdbg/internal/mach"
+	"dfdbg/internal/obs"
 	"dfdbg/internal/pedf"
 	"dfdbg/internal/sim"
 )
@@ -29,16 +31,28 @@ func main() {
 		frames = flag.Int("frames", 1, "frames in the sequence")
 		chroma = flag.Bool("chroma", false, "4:2:0 YCbCr (W,H multiples of 8)")
 		pgm    = flag.String("pgm", "", "write the first decoded luma plane as a PGM file")
+		obsOn  = flag.Bool("obs", false, "record observability events and print a profile + metrics")
+		tl     = flag.String("timeline", "", "write a Chrome trace / Perfetto JSON timeline (implies -obs)")
+		maddr  = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (implies -obs)")
 	)
 	flag.Parse()
 	p := h264.Params{W: *w, H: *h, QP: *qp, Seed: *seed, Frames: *frames, Chroma: *chroma}
-	if err := decode(p, *pgm, os.Stdout); err != nil {
+	o := decodeOpts{pgm: *pgm, obs: *obsOn, timeline: *tl, metricsAddr: *maddr}
+	if err := decode(p, o, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "h264dec: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func decode(p h264.Params, pgmPath string, w io.Writer) error {
+// decodeOpts bundles the output options of one decode run.
+type decodeOpts struct {
+	pgm         string // PGM path for the first luma plane ("" = none)
+	obs         bool   // record observability events
+	timeline    string // Chrome trace JSON path ("" = none)
+	metricsAddr string // Prometheus listen address ("" = none)
+}
+
+func decode(p h264.Params, o decodeOpts, w io.Writer) error {
 	video := h264.GenerateSequence(p)
 	bits, err := h264.EncodeSequence(video, p)
 	if err != nil {
@@ -48,6 +62,11 @@ func decode(p h264.Params, pgmPath string, w io.Writer) error {
 		p.W, p.H, p.FrameCount(), p.QP, p.Chroma, len(bits), p.BlocksPerFrame()*p.FrameCount())
 
 	k := sim.NewKernel()
+	var rec *obs.Recorder
+	if o.obs || o.timeline != "" || o.metricsAddr != "" {
+		rec = obs.NewRecorder(1 << 18)
+		k.SetObserver(rec)
+	}
 	m := mach.New(k, mach.Config{})
 	rt := pedf.NewRuntime(k, m, nil)
 	app, err := h264.Build(rt, p, bits, false)
@@ -97,13 +116,47 @@ func decode(p h264.Params, pgmPath string, w io.Writer) error {
 	if mismatches != 0 {
 		return fmt.Errorf("PEDF decoder diverged from the reference")
 	}
-	if pgmPath != "" {
-		if err := writePGM(pgmPath, decoded[0].Y, p.W, p.H); err != nil {
+	if o.pgm != "" {
+		if err := writePGM(o.pgm, decoded[0].Y, p.W, p.H); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "wrote %s\n", pgmPath)
+		fmt.Fprintf(w, "wrote %s\n", o.pgm)
+	}
+	if rec != nil {
+		prof := obs.FoldEvents(rec.Snapshot(), uint64(k.Now()))
+		prof.Dropped = rec.Dropped()
+		fmt.Fprintf(w, "\nobservability: %d events recorded (%d dropped)\n%s",
+			rec.Total(), rec.Dropped(), prof.TopN(10))
+		if o.timeline != "" {
+			if err := writeTimeline(o.timeline, rec, uint64(k.Now())); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote timeline %s (open in ui.perfetto.dev)\n", o.timeline)
+		}
+		if o.metricsAddr != "" {
+			closer, err := rec.Metrics.Serve(o.metricsAddr)
+			if err != nil {
+				return err
+			}
+			defer closer.Close()
+			fmt.Fprintf(w, "serving metrics on %s/metrics — press Enter to exit\n", o.metricsAddr)
+			fmt.Scanln()
+		}
 	}
 	return nil
+}
+
+func writeTimeline(path string, rec *obs.Recorder, total uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	linkName := func(id int32) string { return fmt.Sprintf("link#%d", id) }
+	if err := obs.WriteChromeTrace(f, rec.Snapshot(), total, linkName); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writePGM(path string, pix []int, w, h int) error {

@@ -12,7 +12,7 @@ import (
 func TestDecodeMatchesReference(t *testing.T) {
 	var out strings.Builder
 	p := h264.Params{W: 16, H: 16, QP: 8, Seed: 7}
-	if err := decode(p, "", &out); err != nil {
+	if err := decode(p, decodeOpts{}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "reference comparison: 0/256 pixels differ") {
@@ -25,7 +25,7 @@ func TestDecodeWritesPGM(t *testing.T) {
 	path := filepath.Join(dir, "out.pgm")
 	var out strings.Builder
 	p := h264.Params{W: 16, H: 16, QP: 8, Seed: 7}
-	if err := decode(p, path, &out); err != nil {
+	if err := decode(p, decodeOpts{pgm: path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -42,7 +42,32 @@ func TestDecodeWritesPGM(t *testing.T) {
 
 func TestDecodeRejectsBadParams(t *testing.T) {
 	var out strings.Builder
-	if err := decode(h264.Params{W: 15, H: 16, QP: 8}, "", &out); err == nil {
+	if err := decode(h264.Params{W: 15, H: 16, QP: 8}, decodeOpts{}, &out); err == nil {
 		t.Error("invalid params accepted")
+	}
+}
+
+func TestDecodeWithObsAndTimeline(t *testing.T) {
+	dir := t.TempDir()
+	tl := filepath.Join(dir, "trace.json")
+	var out strings.Builder
+	p := h264.Params{W: 16, H: 16, QP: 8, Seed: 7}
+	if err := decode(p, decodeOpts{obs: true, timeline: tl}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "observability:") || !strings.Contains(s, "events recorded") {
+		t.Errorf("missing obs summary:\n%s", s)
+	}
+	data, err := os.ReadFile(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"traceEvents"`) {
+		t.Errorf("timeline header wrong: %.120s", data)
+	}
+	// Observability must not change the decode result.
+	if !strings.Contains(s, "reference comparison: 0/256 pixels differ") {
+		t.Errorf("decode diverged under observation:\n%s", s)
 	}
 }

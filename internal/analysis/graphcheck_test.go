@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"dfdbg/internal/filterc"
 )
 
 // chainGraph builds env -> a -> b -> env with the given rates.
@@ -259,5 +261,48 @@ func TestCycleEnumerationIsBounded(t *testing.T) {
 	}
 	if cnt == 0 || cnt > maxCycles {
 		t.Fatalf("expected 1..%d DF003 findings, got %d", maxCycles, cnt)
+	}
+}
+
+// TestTransitiveHelperRates pins the markFuncUnknown transitivity folded
+// in from the old ad-hoc probe test: a chain work -> a -> b where only b
+// touches io must still surface b's accesses as dynamic (RateUnknown)
+// rates at the entry.
+func TestTransitiveHelperRates(t *testing.T) {
+	src := `
+u32 b() {
+    return pedf.io.in[0];
+}
+u32 a() {
+    return b();
+}
+void work() {
+    u32 x = a();
+    pedf.io.out[0] = x;
+}
+`
+	prog, err := filterc.Parse("probe2.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	reads, writes := InferRates(prog, "work")
+	if r, ok := reads["in"]; !ok || r != RateUnknown {
+		t.Errorf("reads[in] = %v (present=%v), want RateUnknown", r, ok)
+	}
+	if w, ok := writes["out"]; !ok || w != 1 {
+		t.Errorf("writes[out] = %v (present=%v), want 1", w, ok)
+	}
+	// Recursive helpers must not loop the marker.
+	rec := `
+u32 r() { return r() + pedf.io.in[0]; }
+void work() { pedf.io.out[0] = r(); }
+`
+	prog2, err := filterc.Parse("probe3.c", rec)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	reads2, _ := InferRates(prog2, "work")
+	if r, ok := reads2["in"]; !ok || r != RateUnknown {
+		t.Errorf("recursive reads[in] = %v (present=%v), want RateUnknown", r, ok)
 	}
 }

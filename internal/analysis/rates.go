@@ -102,9 +102,10 @@ func InferRates(prog *filterc.Program, entry string) (reads, writes Rates) {
 				walkExpr(a, certain, false)
 			}
 			// A call into a helper that touches io makes those rates
-			// dynamic; mark every io access of the callee unknown.
+			// dynamic; mark every io access of the callee (and its own
+			// callees, transitively) unknown.
 			if fn := prog.Func(e.Name); fn != nil && e.Name != entry {
-				markFuncUnknown(fn, racc, wacc, get)
+				markFuncUnknown(prog, fn, racc, wacc, get, map[string]bool{entry: true})
 			}
 		case *filterc.Cond:
 			walkExpr(e.C, certain, false)
@@ -185,8 +186,14 @@ func InferRates(prog *filterc.Program, entry string) (reads, writes Rates) {
 
 // markFuncUnknown forces every io interface a helper function touches to
 // RateUnknown (calls make the access pattern dynamic from the entry
-// function's point of view).
-func markFuncUnknown(fn *filterc.FuncDecl, racc, wacc map[string]*rateAcc, get func(map[string]*rateAcc, string) *rateAcc) {
+// function's point of view). It follows the helper's own calls so a
+// chain work -> a -> b still surfaces b's io accesses; visited guards
+// against recursive helpers.
+func markFuncUnknown(prog *filterc.Program, fn *filterc.FuncDecl, racc, wacc map[string]*rateAcc, get func(map[string]*rateAcc, string) *rateAcc, visited map[string]bool) {
+	if visited[fn.Name] {
+		return
+	}
+	visited[fn.Name] = true
 	var visitE func(e filterc.Expr, write bool)
 	var visitS func(s filterc.Stmt)
 	visitE = func(e filterc.Expr, write bool) {
@@ -223,6 +230,9 @@ func markFuncUnknown(fn *filterc.FuncDecl, racc, wacc map[string]*rateAcc, get f
 		case *filterc.Call:
 			for _, a := range e.Args {
 				visitE(a, false)
+			}
+			if callee := prog.Func(e.Name); callee != nil {
+				markFuncUnknown(prog, callee, racc, wacc, get, visited)
 			}
 		case *filterc.Cond:
 			visitE(e.C, false)

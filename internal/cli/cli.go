@@ -26,6 +26,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -34,6 +35,7 @@ import (
 	"dfdbg/internal/core"
 	"dfdbg/internal/filterc"
 	"dfdbg/internal/lowdbg"
+	"dfdbg/internal/obs"
 	"dfdbg/internal/sim"
 	"dfdbg/internal/trace"
 )
@@ -46,6 +48,9 @@ type CLI struct {
 	// Rec, when set, enables the `trace` commands (offline event-trace
 	// analysis alongside the interactive session).
 	Rec *trace.Recorder
+	// Obs, when set, enables the observability commands: `metrics`,
+	// `profile` and `timeline export`.
+	Obs *obs.Recorder
 
 	lastStop *lowdbg.StopEvent
 	curProc  *sim.Proc
@@ -166,6 +171,12 @@ func (c *CLI) Execute(line string) error {
 		return c.setCmd(rest)
 	case "trace":
 		return c.traceCmd(rest)
+	case "metrics":
+		return c.metricsCmd(rest)
+	case "profile":
+		return c.profileCmd(rest)
+	case "timeline":
+		return c.timelineCmd(rest)
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
 	}
@@ -227,6 +238,10 @@ Dataflow commands:
   enable|disable [catch] <id>            toggle break/watch/catchpoints
   set data-breakpoints on|off            mitigation option 1
   trace [n | balance | activity]         offline event-trace analysis
+Observability commands:
+  metrics [prom]                         metrics registry (text or Prometheus)
+  profile [n | folded]                   simulated-time profile of the run
+  timeline export <file>                 Chrome trace / Perfetto JSON ("-" = stdout)
 `)
 }
 
@@ -920,6 +935,102 @@ func (c *CLI) traceCmd(rest []string) error {
 	}
 }
 
+// metricsCmd renders the observability metrics registry (`metrics` for
+// the human-readable table, `metrics prom` for Prometheus exposition).
+func (c *CLI) metricsCmd(rest []string) error {
+	if c.Obs == nil || c.Obs.Metrics == nil {
+		return fmt.Errorf("no observability recorder attached to this session")
+	}
+	switch {
+	case len(rest) == 0:
+		c.Obs.Metrics.WriteText(c.Out)
+		return nil
+	case len(rest) == 1 && rest[0] == "prom":
+		c.Obs.Metrics.WritePrometheus(c.Out)
+		return nil
+	default:
+		return fmt.Errorf("usage: metrics [prom]")
+	}
+}
+
+// profileCmd folds the retained events into the simulated-time profile:
+// `profile` prints the top-10 actors, `profile <n>` the top-n, and
+// `profile folded` the folded-stack form for flamegraph tools.
+func (c *CLI) profileCmd(rest []string) error {
+	if c.Obs == nil {
+		return fmt.Errorf("no observability recorder attached to this session")
+	}
+	prof := obs.FoldEvents(c.Obs.Snapshot(), uint64(c.Low.K.Now()))
+	prof.Dropped = c.Obs.Dropped()
+	switch {
+	case len(rest) == 0:
+		c.printf("%s", prof.TopN(10))
+		return nil
+	case len(rest) == 1 && rest[0] == "folded":
+		c.printf("%s", prof.FoldedStacks())
+		return nil
+	case len(rest) == 1:
+		n, err := strconv.Atoi(rest[0])
+		if err != nil {
+			return fmt.Errorf("usage: profile [n | folded]")
+		}
+		c.printf("%s", prof.TopN(n))
+		return nil
+	default:
+		return fmt.Errorf("usage: profile [n | folded]")
+	}
+}
+
+// timelineCmd exports the retained events as a Chrome trace-event /
+// Perfetto JSON file ("-" for stdout): `timeline export out.json`.
+func (c *CLI) timelineCmd(rest []string) error {
+	if c.Obs == nil {
+		return fmt.Errorf("no observability recorder attached to this session")
+	}
+	if len(rest) != 2 || rest[0] != "export" {
+		return fmt.Errorf("usage: timeline export <file>")
+	}
+	linkNames := make(map[int32]string)
+	for _, l := range c.D.Links() {
+		linkNames[int32(l.ID)] = l.Src.Qualified() + "->" + l.Dst.Qualified()
+	}
+	name := func(id int32) string {
+		if n, ok := linkNames[id]; ok {
+			return n
+		}
+		return fmt.Sprintf("link#%d", id)
+	}
+	events := c.Obs.Snapshot()
+	total := uint64(c.Low.K.Now())
+	if rest[1] == "-" {
+		return obs.WriteChromeTrace(c.Out, events, total, name)
+	}
+	f, err := os.Create(rest[1])
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, events, total, name); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	c.printf("wrote %d events to %s (open in ui.perfetto.dev or chrome://tracing)\n",
+		len(events), rest[1])
+	return nil
+}
+
+// commandWords is the command vocabulary CompleteLine draws on when the
+// cursor is still on the first word of the line.
+var commandWords = []string{
+	"analyze", "backtrace", "break", "catchpoints", "continue", "delete",
+	"disable", "drop", "enable", "filter", "finish", "graph", "help",
+	"iface", "info", "inject", "list", "metrics", "module", "next", "peek",
+	"print", "profile", "quit", "replace", "set", "step", "step_both",
+	"tbreak", "thread", "timeline", "trace", "watch",
+}
+
 // CompleteLine offers completions for the last word of a partial command
 // line, drawing on the reconstructed graph (actor and interface names)
 // and the symbol table.
@@ -935,6 +1046,12 @@ func (c *CLI) CompleteLine(partial string) []string {
 		if !seen[s] && strings.HasPrefix(s, last) {
 			seen[s] = true
 			out = append(out, s)
+		}
+	}
+	// On the first word, the command vocabulary itself completes.
+	if len(words) == 0 || (len(words) == 1 && last != "") {
+		for _, s := range commandWords {
+			add(s)
 		}
 	}
 	for _, s := range c.D.Complete(last) {

@@ -1,6 +1,8 @@
 package cli
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 
@@ -9,6 +11,7 @@ import (
 	"dfdbg/internal/h264"
 	"dfdbg/internal/lowdbg"
 	"dfdbg/internal/mach"
+	"dfdbg/internal/obs"
 	"dfdbg/internal/pedf"
 	"dfdbg/internal/sim"
 )
@@ -597,5 +600,127 @@ func TestAnalyzeCommand(t *testing.T) {
 	}
 	if !strings.Contains(exec(t, c, out, "help"), "analyze [json]") {
 		t.Error("help does not mention analyze")
+	}
+}
+
+// obsSession is session() with an observability recorder installed on
+// the kernel before the stack attaches, like cmd/dfdbg does.
+func obsSession(t *testing.T) (*CLI, *strings.Builder) {
+	t.Helper()
+	k := sim.NewKernel()
+	orec := obs.NewRecorder(1 << 14)
+	k.SetObserver(orec)
+	low := lowdbg.New(k, dbginfo.NewTable())
+	d := core.Attach(low)
+	m := mach.New(k, mach.Config{})
+	rt := pedf.NewRuntime(k, m, low)
+	p := h264.Params{W: 16, H: 16, QP: 8, Seed: 7}
+	bits, err := h264.Encode(h264.GenerateFrame(p), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h264.Build(rt, p, bits, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := k.RunUntil(0); err != nil || st != sim.RunHorizon {
+		t.Fatalf("boot: %v %v", st, err)
+	}
+	var out strings.Builder
+	c := New(d, &out)
+	c.Obs = orec
+	return c, &out
+}
+
+func TestObsCommandsWithoutRecorder(t *testing.T) {
+	c, _ := session(t)
+	execErr(t, c, "metrics")
+	execErr(t, c, "profile")
+	execErr(t, c, "timeline export x.json")
+}
+
+func TestMetricsCommand(t *testing.T) {
+	c, out := obsSession(t)
+	exec(t, c, out, "continue")
+	got := exec(t, c, out, "metrics")
+	for _, want := range []string{"sim_dispatches_total", "pedf_actor_firings_total", "dbg_hook_calls_total"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("metrics output missing %s:\n%s", want, got)
+		}
+	}
+	got = exec(t, c, out, "metrics prom")
+	if !strings.Contains(got, "# TYPE sim_dispatches_total counter") {
+		t.Errorf("prometheus output:\n%s", got)
+	}
+	if err := execErr(t, c, "metrics bogus"); !strings.Contains(err.Error(), "usage") {
+		t.Errorf("bad mode error: %v", err)
+	}
+}
+
+func TestProfileCommand(t *testing.T) {
+	c, out := obsSession(t)
+	exec(t, c, out, "continue")
+	got := exec(t, c, out, "profile")
+	if !strings.Contains(got, "actor") || !strings.Contains(got, "busy") {
+		t.Errorf("profile output:\n%s", got)
+	}
+	got = exec(t, c, out, "profile 3")
+	if !strings.Contains(got, "-- PE --") {
+		t.Errorf("profile 3 output:\n%s", got)
+	}
+	got = exec(t, c, out, "profile folded")
+	if !strings.Contains(got, ";busy ") && !strings.Contains(got, ";blocked ") {
+		t.Errorf("folded output:\n%s", got)
+	}
+	execErr(t, c, "profile nope")
+}
+
+func TestTimelineExportCommand(t *testing.T) {
+	c, out := obsSession(t)
+	exec(t, c, out, "continue")
+	path := t.TempDir() + "/timeline.json"
+	got := exec(t, c, out, "timeline export "+path)
+	if !strings.Contains(got, "wrote ") || !strings.Contains(got, "perfetto") {
+		t.Errorf("export output: %s", got)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" || len(doc.TraceEvents) == 0 {
+		t.Errorf("doc = %s %d events", doc.DisplayTimeUnit, len(doc.TraceEvents))
+	}
+	// stdout form
+	got = exec(t, c, out, "timeline export -")
+	if !strings.Contains(got, `"traceEvents"`) {
+		t.Errorf("stdout export:\n%.200s", got)
+	}
+	execErr(t, c, "timeline")
+	execErr(t, c, "timeline import x")
+}
+
+func TestCompleteCommandWords(t *testing.T) {
+	c, _ := session(t)
+	got := c.CompleteLine("time")
+	found := false
+	for _, s := range got {
+		if s == "timeline" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("CompleteLine(time) = %v, want timeline", got)
+	}
+	if len(c.CompleteLine("pro")) == 0 {
+		t.Error("no completions for pro")
 	}
 }

@@ -111,6 +111,14 @@ func Attach(low *lowdbg.Debugger) *Debugger {
 		bp := low.BreakFuncInternal(sym, d.onPopEnter, d.onPopReturn)
 		bp.IsData = sym == symLinkPop
 	}
+	// Observability: when a recorder is installed on the kernel, expose
+	// the model-update workload (this layer stays pedf-free; it only
+	// reads the obs registry).
+	if rec := low.K.Observer(); rec != nil {
+		rec.Metrics.CounterFunc("core_data_events_total",
+			"data-exchange operations intercepted by the dataflow layer",
+			func() float64 { return float64(d.DataEvents) })
+	}
 	return d
 }
 

@@ -2,8 +2,10 @@ package lowdbg
 
 import (
 	"fmt"
+	"time"
 
 	"dfdbg/internal/filterc"
+	"dfdbg/internal/obs"
 	"dfdbg/internal/sim"
 )
 
@@ -34,6 +36,13 @@ func (d *Debugger) EnterFunc(p *sim.Proc, fn string, args []Arg) func(ret any) {
 	}
 	if active == 0 {
 		return nil
+	}
+	// Live intrusiveness accounting (only while observed: the time.Now
+	// pair costs more than the handlers it measures on the fast path).
+	rec := d.K.Observer()
+	var t0 time.Time
+	if rec != nil {
+		t0 = time.Now()
 	}
 	ctx := &StopCtx{Dbg: d, Proc: p, Fn: fn, Args: args}
 	var finishers []*Breakpoint
@@ -66,6 +75,20 @@ func (d *Debugger) EnterFunc(p *sim.Proc, fn string, args []Arg) func(ret any) {
 		}
 		if bp.Temporary {
 			d.removeBp(bp)
+		}
+	}
+	if rec != nil {
+		host := uint64(time.Since(t0))
+		d.bpHits++
+		d.bpHostNS += host
+		if d.bpHist != nil {
+			d.bpHist.Observe(float64(host))
+		}
+		if rec.Wants(obs.KBpHit) {
+			rec.Record(obs.Event{
+				At: uint64(d.K.Now()), Kind: obs.KBpHit, PE: -1,
+				Arg: int64(host), Arg2: int64(active), Actor: fn,
+			})
 		}
 	}
 	if stopBp != nil {

@@ -27,6 +27,7 @@ import (
 
 	"dfdbg/internal/dbginfo"
 	"dfdbg/internal/filterc"
+	"dfdbg/internal/obs"
 	"dfdbg/internal/sim"
 )
 
@@ -172,11 +173,17 @@ type Debugger struct {
 	// DataBreakpointsEnabled gates data-exchange function breakpoints
 	// (the paper's mitigation option 1 disables them wholesale).
 	DataBreakpointsEnabled bool
+
+	// Live intrusiveness accounting, maintained only while the kernel has
+	// an observer: breakpoint-handler crossings and their host-side cost.
+	bpHits   uint64
+	bpHostNS uint64
+	bpHist   *obs.Histogram
 }
 
 // New creates a debugger attached to a kernel.
 func New(k *sim.Kernel, syms *dbginfo.Table) *Debugger {
-	return &Debugger{
+	d := &Debugger{
 		K:                      k,
 		Syms:                   syms,
 		bps:                    make(map[int]*Breakpoint),
@@ -189,7 +196,28 @@ func New(k *sim.Kernel, syms *dbginfo.Table) *Debugger {
 		resumeEv:               k.NewEvent("debugger.resume"),
 		DataBreakpointsEnabled: true,
 	}
+	if rec := k.Observer(); rec != nil {
+		m := rec.Metrics
+		m.CounterFunc("dbg_hook_calls_total", "framework hook crossings (always-attached overhead)",
+			func() float64 { return float64(d.HookCalls) })
+		m.CounterFunc("dbg_bp_hits_total", "hook crossings where breakpoint handlers ran",
+			func() float64 { return float64(d.bpHits) })
+		m.CounterFunc("dbg_bp_host_ns_total", "host wall-clock ns spent in breakpoint handlers",
+			func() float64 { return float64(d.bpHostNS) })
+		d.bpHist = m.Histogram("dbg_bp_handler_ns",
+			"host wall-clock ns of one breakpoint-handler crossing",
+			[]float64{100, 1000, 10_000, 100_000, 1_000_000})
+	}
+	return d
 }
+
+// BpHits returns how many hook crossings ran at least one breakpoint
+// handler (tracked only while an observer is installed).
+func (d *Debugger) BpHits() uint64 { return d.bpHits }
+
+// BpHostNS returns the accumulated host wall-clock ns spent in
+// breakpoint handlers (the live intrusiveness figure of experiment P1).
+func (d *Debugger) BpHostNS() uint64 { return d.bpHostNS }
 
 // RegisterTargetFunc exposes a callable function of the target program
 // to the debugger (GDB's `call` on an inferior function). The runtime

@@ -13,6 +13,7 @@ package mach
 import (
 	"fmt"
 
+	"dfdbg/internal/obs"
 	"dfdbg/internal/sim"
 )
 
@@ -175,7 +176,28 @@ func New(k *sim.Kernel, cfg Config) *Machine {
 		}
 		m.Clusters = append(m.Clusters, cl)
 	}
+	if rec := k.Observer(); rec != nil {
+		m.registerObsMetrics(rec)
+	}
 	return m
+}
+
+// registerObsMetrics publishes memory and DMA counters into the kernel's
+// observability registry (function-backed: the Transfer hot path keeps
+// its plain counters).
+func (m *Machine) registerObsMetrics(rec *obs.Recorder) {
+	reg := rec.Metrics
+	for _, mem := range m.MemStats() {
+		mem := mem
+		reg.CounterFunc("mach_mem_reads_words_total", "words read per memory",
+			func() float64 { return float64(mem.Reads) }, "mem", mem.Name)
+		reg.CounterFunc("mach_mem_writes_words_total", "words written per memory",
+			func() float64 { return float64(mem.Writes) }, "mem", mem.Name)
+	}
+	reg.CounterFunc("mach_dma_transfers_total", "host-fabric DMA transfers",
+		func() float64 { return float64(m.DMA.Transfers) })
+	reg.CounterFunc("mach_dma_words_total", "words moved by DMA",
+		func() float64 { return float64(m.DMA.Words) })
 }
 
 // PEs returns every fabric PE in id order.
@@ -273,7 +295,8 @@ func (m *Machine) Transfer(p *sim.Proc, src, dst *PE, words int) {
 		words = 1
 	}
 	cost := m.TransferCost(src, dst, words)
-	switch transferClass(src, dst) {
+	lvl := transferClass(src, dst)
+	switch lvl {
 	case L1:
 		mem := src.Cluster.L1m
 		mem.Writes += uint64(words)
@@ -286,6 +309,13 @@ func (m *Machine) Transfer(p *sim.Proc, src, dst *PE, words int) {
 		m.L3m.Reads += uint64(words)
 		m.DMA.Transfers++
 		m.DMA.Words += uint64(words)
+	}
+	if rec := m.K.Observer(); rec.Wants(obs.KTransfer) {
+		rec.Record(obs.Event{
+			At: uint64(m.K.Now()), Kind: obs.KTransfer, PE: int32(dst.ID),
+			Link: int32(lvl), Arg: int64(words), Arg2: int64(cost),
+			Actor: p.Name(),
+		})
 	}
 	p.Sleep(cost)
 }

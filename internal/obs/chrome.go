@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Chrome trace-event / Perfetto export. The output is the JSON object
+// form of the Trace Event Format ({"traceEvents": [...]}) understood by
+// ui.perfetto.dev and chrome://tracing. Only simulated times go into
+// the timeline (ts/dur in microseconds, rendered as "%d.%03d" from ns)
+// so the file is byte-stable across runs — the JSON is hand-rolled for
+// the same reason.
+//
+// Track layout (pid = process row, tid = thread lane):
+//
+//	pid 1            scheduler      one lane per module (step slices)
+//	pid 2            memory         one lane per level (transfer slices)
+//	pid 3            links          occupancy counter series
+//	pid 10 + pe + 1  PE tracks      one lane per actor (firing slices)
+//
+// Host-side actors (PE id -1, e.g. the environment process) land on
+// pid 10.
+
+const (
+	pidScheduler = 1
+	pidMemory    = 2
+	pidLinks     = 3
+	pidPEBase    = 10 // + pe id + 1
+)
+
+func pePid(pe int32) int { return pidPEBase + int(pe) + 1 }
+
+// tsUS renders simulated ns as a fixed-point microsecond literal.
+func tsUS(ns uint64) string {
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+func jsonEscape(s string) string {
+	if !strings.ContainsAny(s, `"\`+"\n\t\r") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`, "\t", `\t`, "\r", `\r`)
+	return r.Replace(s)
+}
+
+type chromeWriter struct {
+	w     io.Writer
+	first bool
+	err   error
+}
+
+func (c *chromeWriter) emit(line string) {
+	if c.err != nil {
+		return
+	}
+	sep := ",\n"
+	if c.first {
+		sep = "\n"
+		c.first = false
+	}
+	_, c.err = io.WriteString(c.w, sep+"  "+line)
+}
+
+func (c *chromeWriter) meta(pid int, tid int, kind, name string) {
+	c.emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":%q,"args":{"name":"%s"}}`,
+		pid, tid, kind, jsonEscape(name)))
+}
+
+// complete emits a ph:"X" slice. args is pre-rendered JSON ("" for none).
+func (c *chromeWriter) complete(pid, tid int, name string, start, end uint64, args string) {
+	if end < start {
+		end = start
+	}
+	extra := ""
+	if args != "" {
+		extra = `,"args":{` + args + `}`
+	}
+	c.emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"name":"%s","cat":"dfobs","ts":%s,"dur":%s%s}`,
+		pid, tid, jsonEscape(name), tsUS(start), tsUS(end-start), extra))
+}
+
+func (c *chromeWriter) counter(pid int, name string, at uint64, series string, v int64) {
+	c.emit(fmt.Sprintf(`{"ph":"C","pid":%d,"name":"%s","cat":"dfobs","ts":%s,"args":{"%s":%d}}`,
+		pid, jsonEscape(name), tsUS(at), jsonEscape(series), v))
+}
+
+// open tracks a begin event awaiting its end.
+type openSpan struct {
+	at  uint64
+	arg int64
+}
+
+// WriteChromeTrace renders an event stream (chronological, from
+// Recorder.Snapshot) as Chrome trace-event JSON. total is the kernel's
+// final simulated time, used to close spans still open at the horizon.
+// LinkName maps link ids to display names (nil falls back to "link<N>").
+func WriteChromeTrace(w io.Writer, events []Event, total uint64, linkName func(int32) string) error {
+	if linkName == nil {
+		linkName = func(id int32) string { return fmt.Sprintf("link%d", id) }
+	}
+	cw := &chromeWriter{w: w, first: true}
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+		return err
+	}
+
+	// First pass: discover tracks so metadata comes out first and in a
+	// deterministic order.
+	type lane struct{ pid, tid int }
+	actorLane := map[string]lane{}
+	var actorOrder []string
+	moduleTid := map[string]int{}
+	var moduleOrder []string
+	peSeen := map[int]bool{}
+	levelSeen := map[int32]bool{}
+	linkSeen := map[int32]bool{}
+	for _, ev := range events {
+		switch ev.Kind {
+		case KFireBegin, KCtlBegin:
+			if _, ok := actorLane[ev.Actor]; !ok {
+				pid := pePid(ev.PE)
+				actorLane[ev.Actor] = lane{pid, 0}
+				actorOrder = append(actorOrder, ev.Actor)
+				peSeen[pid] = true
+			}
+		case KStepBegin:
+			if _, ok := moduleTid[ev.Actor]; !ok {
+				moduleTid[ev.Actor] = len(moduleOrder) + 1
+				moduleOrder = append(moduleOrder, ev.Actor)
+			}
+		case KTransfer:
+			levelSeen[ev.Link] = true
+		case KPush, KPop:
+			linkSeen[ev.Link] = true
+		}
+	}
+	// Assign per-PE thread lanes in first-seen order.
+	tidByPid := map[int]int{}
+	for _, name := range actorOrder {
+		l := actorLane[name]
+		tidByPid[l.pid]++
+		l.tid = tidByPid[l.pid]
+		actorLane[name] = l
+	}
+
+	if len(moduleOrder) > 0 {
+		cw.meta(pidScheduler, 0, "process_name", "scheduler")
+		for _, m := range moduleOrder {
+			cw.meta(pidScheduler, moduleTid[m], "thread_name", "module "+m)
+		}
+	}
+	if len(levelSeen) > 0 {
+		cw.meta(pidMemory, 0, "process_name", "memory")
+		for lvl := int32(0); lvl < 3; lvl++ {
+			if levelSeen[lvl] {
+				cw.meta(pidMemory, int(lvl)+1, "thread_name", memLevelName(lvl))
+			}
+		}
+	}
+	if len(linkSeen) > 0 {
+		cw.meta(pidLinks, 0, "process_name", "links")
+	}
+	var pids []int
+	for pid := range peSeen {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		if pid == pidPEBase {
+			cw.meta(pid, 0, "process_name", "host")
+		} else {
+			cw.meta(pid, 0, "process_name", fmt.Sprintf("pe%d", pid-pidPEBase-1))
+		}
+	}
+	for _, name := range actorOrder {
+		l := actorLane[name]
+		cw.meta(l.pid, l.tid, "thread_name", name)
+	}
+
+	// Second pass: slices and counters.
+	openFire := map[string]openSpan{}
+	openStep := map[string]openSpan{}
+	openBlock := map[string]Event{}
+	for _, ev := range events {
+		switch ev.Kind {
+		case KFireBegin, KCtlBegin:
+			openFire[ev.Actor] = openSpan{ev.At, ev.Arg}
+		case KFireEnd, KCtlEnd:
+			if sp, ok := openFire[ev.Actor]; ok {
+				delete(openFire, ev.Actor)
+				l := actorLane[ev.Actor]
+				cw.complete(l.pid, l.tid, ev.Actor, sp.at, ev.At,
+					fmt.Sprintf(`"firing":%d`, sp.arg))
+			}
+		case KStepBegin:
+			openStep[ev.Actor] = openSpan{ev.At, ev.Arg}
+		case KStepEnd:
+			if sp, ok := openStep[ev.Actor]; ok {
+				delete(openStep, ev.Actor)
+				cw.complete(pidScheduler, moduleTid[ev.Actor],
+					fmt.Sprintf("step %d", sp.arg), sp.at, ev.At, "")
+			}
+		case KBlockBegin:
+			openBlock[ev.Actor] = ev
+		case KBlockEnd:
+			if b, ok := openBlock[ev.Actor]; ok {
+				delete(openBlock, ev.Actor)
+				if l, laned := actorLane[ev.Actor]; laned {
+					cw.complete(l.pid, l.tid, "blocked: "+b.Other, b.At, ev.At, "")
+				}
+			}
+		case KTransfer:
+			cw.complete(pidMemory, int(ev.Link)+1,
+				fmt.Sprintf("%s %dw", memLevelName(ev.Link), ev.Arg),
+				ev.At, ev.At+uint64(ev.Arg2),
+				fmt.Sprintf(`"by":"%s"`, jsonEscape(ev.Actor)))
+		case KPush, KPop:
+			cw.counter(pidLinks, linkName(ev.Link), ev.At, "tokens", ev.Arg)
+		}
+	}
+	// Close spans still open at the run horizon.
+	closeAll := func(m map[string]openSpan, render func(name string, sp openSpan)) {
+		names := make([]string, 0, len(m))
+		for n := range m {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			render(n, m[n])
+		}
+	}
+	closeAll(openFire, func(name string, sp openSpan) {
+		l := actorLane[name]
+		cw.complete(l.pid, l.tid, name, sp.at, total, fmt.Sprintf(`"firing":%d`, sp.arg))
+	})
+	closeAll(openStep, func(name string, sp openSpan) {
+		cw.complete(pidScheduler, moduleTid[name], fmt.Sprintf("step %d", sp.arg), sp.at, total, "")
+	})
+	{
+		names := make([]string, 0, len(openBlock))
+		for n := range openBlock {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			b := openBlock[n]
+			if l, ok := actorLane[n]; ok {
+				cw.complete(l.pid, l.tid, "blocked: "+b.Other, b.At, total, "")
+			}
+		}
+	}
+
+	if cw.err != nil {
+		return cw.err
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+func memLevelName(lvl int32) string {
+	switch lvl {
+	case 0:
+		return "L1"
+	case 1:
+		return "L2"
+	default:
+		return "L3/DMA"
+	}
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// traceDoc is the Chrome trace-event JSON object form.
+type traceDoc struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Args map[string]any `json:"args"`
+}
+
+func sampleEvents() []Event {
+	return []Event{
+		{At: 0, Kind: KStepBegin, Actor: "mod", Arg: 0},
+		{At: 10, Kind: KFireBegin, Actor: "fa", PE: 0, Arg: 0},
+		{At: 20, Kind: KPush, Actor: "fa", Other: "fb", Port: "o", Link: 1, Arg: 1},
+		{At: 30, Kind: KBlockBegin, Actor: "fa", PE: 0, Other: "pop:i"},
+		{At: 50, Kind: KBlockEnd, Actor: "fa", PE: 0, Other: "pop:i", Arg2: 20},
+		{At: 90, Kind: KFireEnd, Actor: "fa", PE: 0, Arg2: 80},
+		{At: 95, Kind: KPop, Actor: "fb", Other: "fa", Port: "i", Link: 1, Arg: 0},
+		{At: 100, Kind: KTransfer, Actor: "dma", PE: 2, Link: 2, Arg: 64, Arg2: 40},
+		{At: 150, Kind: KStepEnd, Actor: "mod", Arg: 0},
+		{At: 160, Kind: KFireBegin, Actor: "env", PE: -1, Arg: 1}, // left open
+	}
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, sampleEvents(), 200, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	byName := map[string][]traceEvent{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "M" && ev.Ph != "X" && ev.Ph != "C" {
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+		byName[ev.Name] = append(byName[ev.Name], ev)
+	}
+	// The fa firing slice: ts 0.010us, dur 0.080us, on a PE pid.
+	fas := byName["fa"]
+	var slice *traceEvent
+	for i := range fas {
+		if fas[i].Ph == "X" {
+			slice = &fas[i]
+		}
+	}
+	if slice == nil {
+		t.Fatalf("no fa slice; events = %v", byName)
+	}
+	if slice.Pid != pePid(0) || slice.Ts != 0.010 || slice.Dur != 0.080 {
+		t.Errorf("fa slice = %+v", *slice)
+	}
+	if slice.Args["firing"] != float64(0) {
+		t.Errorf("fa args = %v", slice.Args)
+	}
+	// The open env firing is closed at the horizon (200ns -> dur 0.040).
+	envs := byName["env"]
+	foundOpen := false
+	for _, ev := range envs {
+		if ev.Ph == "X" && ev.Pid == pePid(-1) && ev.Dur == 0.040 {
+			foundOpen = true
+		}
+	}
+	if !foundOpen {
+		t.Errorf("open env firing not closed at horizon: %v", envs)
+	}
+	// Blocked slice, step slice, transfer slice, counters.
+	if len(byName["blocked: pop:i"]) != 1 {
+		t.Error("missing blocked slice")
+	}
+	if len(byName["step 0"]) != 1 || byName["step 0"][0].Pid != pidScheduler {
+		t.Errorf("step slice = %v", byName["step 0"])
+	}
+	if len(byName["L3/DMA 64w"]) != 1 || byName["L3/DMA 64w"][0].Pid != pidMemory {
+		t.Errorf("transfer slice = %v", byName["L3/DMA 64w"])
+	}
+	counters := byName["link1"]
+	if len(counters) != 2 || counters[0].Args["tokens"] != float64(1) {
+		t.Errorf("counter events = %v", counters)
+	}
+}
+
+func TestWriteChromeTraceLinkNames(t *testing.T) {
+	var b strings.Builder
+	name := func(id int32) string { return "fa::o->fb::i" }
+	if err := WriteChromeTrace(&b, sampleEvents(), 200, name); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "fa::o->fb::i") && !strings.Contains(b.String(), "fa::o->fb::i") {
+		t.Errorf("link name missing:\n%s", b.String())
+	}
+}
+
+func TestWriteChromeTraceEscaping(t *testing.T) {
+	evs := []Event{
+		{At: 0, Kind: KFireBegin, Actor: `we"ird\name`, PE: 0},
+		{At: 10, Kind: KFireEnd, Actor: `we"ird\name`, PE: 0},
+	}
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, evs, 20, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("escaping broke JSON: %v\n%s", err, b.String())
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, nil, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("empty trace invalid: %v\n%s", err, b.String())
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Errorf("events = %v", doc.TraceEvents)
+	}
+}
+
+func TestTsUS(t *testing.T) {
+	for _, tc := range []struct {
+		ns   uint64
+		want string
+	}{{0, "0.000"}, {1, "0.001"}, {999, "0.999"}, {1000, "1.000"}, {1234567, "1234.567"}} {
+		if got := tsUS(tc.ns); got != tc.want {
+			t.Errorf("tsUS(%d) = %q, want %q", tc.ns, got, tc.want)
+		}
+	}
+}

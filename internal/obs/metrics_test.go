@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	g := reg.Gauge("g", "a gauge")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Errorf("gauge = %d", g.Value())
+	}
+	h := reg.Histogram("h_ns", "a histogram", []float64{10, 100})
+	for _, v := range []float64{5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 || h.Sum() != 555 {
+		t.Errorf("hist count=%d sum=%g", h.Count(), h.Sum())
+	}
+}
+
+func TestRegistryDedup(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("dup_total", "x", "k", "v")
+	b := reg.Counter("dup_total", "x", "k", "v")
+	if a != b {
+		t.Error("same name+labels produced two counters")
+	}
+	c := reg.Counter("dup_total", "x", "k", "w")
+	if a == c {
+		t.Error("different labels shared a counter")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("events_total", "events").Add(12)
+	reg.GaugeFunc("now_ns", "clock", func() float64 { return 42 })
+	h := reg.Histogram("lat_ns", "latency", []float64{10, 100})
+	h.Observe(50)
+	var b strings.Builder
+	reg.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{"events_total", "12", "now_ns", "42", "lat_ns"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ev_total", "events", "actor", "fa").Add(3)
+	h := reg.Histogram("lat_ns", "latency", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP ev_total events",
+		"# TYPE ev_total counter",
+		`ev_total{actor="fa"} 3`,
+		"# TYPE lat_ns histogram",
+		`lat_ns_bucket{le="10"} 1`,
+		`lat_ns_bucket{le="100"} 2`,
+		`lat_ns_bucket{le="+Inf"} 2`,
+		"lat_ns_sum 55",
+		"lat_ns_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("served_total", "x").Add(9)
+	closer, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	addr := closer.(net.Listener).Addr().String()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "served_total 9") {
+		t.Errorf("served body:\n%s", body)
+	}
+}

@@ -1,0 +1,267 @@
+// Package obs is the always-on observability layer beside the
+// stop-the-world debugger: a fixed-capacity event ring buffer fed by
+// cheap hook points in the simulation kernel, the PEDF runtime, the
+// machine model and the low-level debugger, plus a metrics registry, a
+// simulated-time profiler and a Chrome trace-event exporter.
+//
+// Design constraints (mirroring the paper's Section V concern that
+// instrumentation must not distort what it observes):
+//
+//   - Off by default: nothing records until a Recorder is installed on
+//     the kernel (sim.Kernel.SetObserver). Every hook point is a
+//     nil-receiver-safe mask check when disabled.
+//   - Allocation-free recording: the ring is allocated once; Event is a
+//     flat struct whose string fields alias names that already exist
+//     (actor, port, module). Payload rendering — the only allocating
+//     path — is opt-in (SetPayloads) and only the post-mortem trace
+//     comparator asks for it.
+//   - Single writer per kernel: the baton-passing protocol guarantees
+//     one process runs at a time, so the ring needs no locks. Metrics
+//     use atomics so an optional net/http exposition endpoint can read
+//     them from another goroutine.
+//   - Passive: recording never notifies events, sleeps, or touches
+//     framework state, so enabling it cannot alter token order
+//     (checked by the P2-style determinism test).
+package obs
+
+// Kind classifies a recorded event.
+type Kind uint8
+
+const (
+	// KNone is the zero Kind (never recorded).
+	KNone Kind = iota
+
+	// Simulation-kernel events.
+
+	// KDispatch: a process received the execution baton. Actor is the
+	// process name, Arg its id.
+	KDispatch
+	// KTimeAdvance: the virtual clock moved. Arg is the delta in ns.
+	KTimeAdvance
+	// KEventFire: a sim.Event notification woke waiters. Actor is the
+	// event name, Arg the number of processes woken.
+	KEventFire
+
+	// PEDF runtime events.
+
+	// KFireBegin/KFireEnd bracket one filter WORK firing. Actor is the
+	// filter, PE its processing element, Arg the firing index; KFireEnd
+	// carries the simulated duration in Arg2.
+	KFireBegin
+	KFireEnd
+	// KCtlBegin/KCtlEnd bracket one controller WORK invocation. Actor
+	// is the controller, Arg the module step index.
+	KCtlBegin
+	KCtlEnd
+	// KStepBegin/KStepEnd bracket the module step protocol. Actor is
+	// the module, Arg the step index.
+	KStepBegin
+	KStepEnd
+	// KActorStart/KActorSync: controller scheduling calls. Actor is the
+	// target filter, Other the module.
+	KActorStart
+	KActorSync
+	// KPush: a token landed on a link. Actor is the producer, Other the
+	// consumer, Port the producing port, Link the link id, Arg the
+	// occupancy after the push, Arg2 the production sequence number.
+	// Val is the rendered payload when payload recording is on.
+	KPush
+	// KPop: a token left a link. Actor is the consumer, Other the
+	// producer, Port the consuming port, Arg the occupancy after the
+	// pop, Arg2 the consumption sequence number.
+	KPop
+	// KBlockBegin/KBlockEnd bracket a link-operation or scheduling wait
+	// (blocked producer/consumer, controller waiting for sync). Actor
+	// is the blocked actor, Other the reason ("push:o", "pop:i",
+	// "wait:sync"); KBlockEnd carries the blocked span in Arg2.
+	KBlockBegin
+	KBlockEnd
+
+	// Machine-model events.
+
+	// KTransfer: a token transfer crossed the memory hierarchy. Actor
+	// is the moving process, PE the destination, Link the memory level
+	// (0=L1, 1=L2, 2=L3/DMA), Arg the word count, Arg2 the charged
+	// simulated cost in ns.
+	KTransfer
+
+	// Low-level debugger events.
+
+	// KBpHit: breakpoint actions ran at a hook crossing. Actor is the
+	// symbol, Arg the host-side handler cost in wall-clock ns (the live
+	// intrusiveness accounting of experiment P1), Arg2 the number of
+	// breakpoints that fired.
+	KBpHit
+
+	numKinds
+)
+
+func (k Kind) String() string {
+	names := [...]string{
+		KNone: "none", KDispatch: "dispatch", KTimeAdvance: "advance",
+		KEventFire: "fire", KFireBegin: "work+", KFireEnd: "work-",
+		KCtlBegin: "ctl+", KCtlEnd: "ctl-", KStepBegin: "step+",
+		KStepEnd: "step-", KActorStart: "start", KActorSync: "sync",
+		KPush: "push", KPop: "pop", KBlockBegin: "block+",
+		KBlockEnd: "block-", KTransfer: "xfer", KBpHit: "bphit",
+	}
+	if int(k) < len(names) && names[k] != "" {
+		return names[k]
+	}
+	return "Kind(?)"
+}
+
+// Mask selects which kinds a Recorder stores.
+type Mask uint64
+
+// Bit returns the mask bit of one kind.
+func Bit(k Kind) Mask { return 1 << k }
+
+// Predefined masks.
+const (
+	// MaskSim: kernel-level events (very high volume; opt-in).
+	MaskSim Mask = 1<<KDispatch | 1<<KTimeAdvance | 1<<KEventFire
+	// MaskDataflow: token and scheduling events of the PEDF runtime.
+	MaskDataflow Mask = 1<<KFireBegin | 1<<KFireEnd | 1<<KCtlBegin |
+		1<<KCtlEnd | 1<<KStepBegin | 1<<KStepEnd | 1<<KActorStart |
+		1<<KActorSync | 1<<KPush | 1<<KPop | 1<<KBlockBegin | 1<<KBlockEnd
+	// MaskMach: memory-hierarchy transfers.
+	MaskMach Mask = 1 << KTransfer
+	// MaskDebug: debugger intrusiveness events.
+	MaskDebug Mask = 1 << KBpHit
+	// MaskAll records everything.
+	MaskAll Mask = 1<<numKinds - 1
+	// MaskDefault is everything except the kernel-internal events,
+	// which flood the ring without helping dataflow-level analysis.
+	MaskDefault = MaskAll &^ MaskSim
+)
+
+// Event is one ring entry. The struct is flat so recording is a single
+// slot assignment; string fields alias already-interned names and Val
+// stays empty unless payload recording is on.
+type Event struct {
+	At    uint64 // simulated time, ns
+	Kind  Kind
+	PE    int32  // processing element id (-1 host, 0 when not applicable)
+	Link  int32  // link id or memory level, kind-specific
+	Arg   int64  // kind-specific scalar (occupancy, words, step, ...)
+	Arg2  int64  // second scalar (duration, sequence, cost, ...)
+	Actor string // acting side (producer, consumer, process, symbol)
+	Other string // peer actor, module, or wait reason
+	Port  string // port name for KPush/KPop
+	Val   string // rendered payload (only with SetPayloads(true))
+}
+
+// DefaultCap is the ring capacity used when none is given.
+const DefaultCap = 1 << 14
+
+// Recorder is the fixed-capacity drop-oldest event ring plus the
+// metrics registry of one simulation kernel. All Record calls must come
+// from the kernel's driver/process goroutines (single writer); the
+// read-side methods (Snapshot, Dropped, ...) are meant for the same
+// goroutine between runs.
+type Recorder struct {
+	ring     []Event
+	head     uint64 // total events ever recorded
+	mask     Mask
+	payloads bool
+
+	// Metrics is the registry the instrumented layers publish into.
+	Metrics *Registry
+}
+
+// NewRecorder creates a recorder with the given ring capacity
+// (DefaultCap if <= 0) and the default kind mask.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCap
+	}
+	r := &Recorder{
+		ring:    make([]Event, capacity),
+		mask:    MaskDefault,
+		Metrics: NewRegistry(),
+	}
+	// The recorder's own health, function-backed like every other layer.
+	r.Metrics.CounterFunc("obs_events_total", "events ever recorded into the ring",
+		func() float64 { return float64(r.Total()) })
+	r.Metrics.CounterFunc("obs_events_dropped_total", "events overwritten by drop-oldest",
+		func() float64 { return float64(r.Dropped()) })
+	r.Metrics.GaugeFunc("obs_ring_capacity", "event ring capacity",
+		func() float64 { return float64(len(r.ring)) })
+	return r
+}
+
+// Wants reports whether events of kind k should be recorded. It is
+// nil-receiver-safe so hook points can be written as
+// `if rec.Wants(obs.KPush) { rec.Record(...) }` with rec possibly nil —
+// the disabled path costs one comparison.
+func (r *Recorder) Wants(k Kind) bool {
+	return r != nil && r.mask&(1<<k) != 0
+}
+
+// Payloads reports whether token payload rendering is requested
+// (nil-receiver-safe).
+func (r *Recorder) Payloads() bool { return r != nil && r.payloads }
+
+// SetPayloads toggles payload rendering on KPush/KPop events. Rendering
+// allocates, so it is off unless a trace consumer asks for it.
+func (r *Recorder) SetPayloads(on bool) { r.payloads = on }
+
+// SetMask replaces the kind mask.
+func (r *Recorder) SetMask(m Mask) { r.mask = m }
+
+// EnableKinds adds kinds to the mask.
+func (r *Recorder) EnableKinds(m Mask) { r.mask |= m }
+
+// Mask returns the current kind mask.
+func (r *Recorder) Mask() Mask { return r.mask }
+
+// Record stores one event, overwriting the oldest when the ring is
+// full. Callers are expected to gate on Wants; Record itself is
+// unconditional (and nil-safe).
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	r.ring[r.head%uint64(len(r.ring))] = ev
+	r.head++
+}
+
+// Cap returns the ring capacity.
+func (r *Recorder) Cap() int { return len(r.ring) }
+
+// Len returns the number of events currently held.
+func (r *Recorder) Len() int {
+	if r.head < uint64(len(r.ring)) {
+		return int(r.head)
+	}
+	return len(r.ring)
+}
+
+// Total returns the number of events ever recorded.
+func (r *Recorder) Total() uint64 { return r.head }
+
+// Dropped returns how many events were overwritten (drop-oldest).
+func (r *Recorder) Dropped() uint64 {
+	if r.head <= uint64(len(r.ring)) {
+		return 0
+	}
+	return r.head - uint64(len(r.ring))
+}
+
+// Snapshot copies the retained events in chronological order.
+func (r *Recorder) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	n := r.Len()
+	out := make([]Event, n)
+	start := r.head - uint64(n)
+	for i := 0; i < n; i++ {
+		out[i] = r.ring[(start+uint64(i))%uint64(len(r.ring))]
+	}
+	return out
+}
+
+// Reset discards all retained events (the ring keeps its capacity).
+func (r *Recorder) Reset() { r.head = 0 }

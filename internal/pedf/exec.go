@@ -5,6 +5,7 @@ import (
 
 	"dfdbg/internal/filterc"
 	"dfdbg/internal/lowdbg"
+	"dfdbg/internal/obs"
 	"dfdbg/internal/sim"
 )
 
@@ -24,6 +25,7 @@ func (rt *Runtime) Start() error {
 	}
 	rt.started = true
 	rt.registerTargetFuncs()
+	rt.registerObsMetrics()
 	rt.K.Spawn("pedf.init", func(p *sim.Proc) {
 		rt.replayRegistrations(p)
 		rt.spawnActors()
@@ -389,6 +391,14 @@ func (rt *Runtime) invokeWork(p *sim.Proc, f *Filter) error {
 		{Name: "module", Val: f.Module.Name},
 		{Name: "firing", Val: int64(f.firings)},
 	})
+	rec := rt.K.Observer()
+	t0 := p.Now()
+	if rec.Wants(obs.KFireBegin) {
+		rec.Record(obs.Event{
+			At: uint64(t0), Kind: obs.KFireBegin, PE: int32(f.PE.ID),
+			Arg: int64(f.firings), Actor: f.Name, Other: f.Module.Name,
+		})
+	}
 	var err error
 	var ret any
 	if f.Prog != nil {
@@ -397,6 +407,16 @@ func (rt *Runtime) invokeWork(p *sim.Proc, f *Filter) error {
 		ret = v
 	} else {
 		err = f.NativeWork(&WorkCtx{f: f, p: p})
+	}
+	dur := p.Now() - t0
+	if rec.Wants(obs.KFireEnd) {
+		rec.Record(obs.Event{
+			At: uint64(p.Now()), Kind: obs.KFireEnd, PE: int32(f.PE.ID),
+			Arg: int64(f.firings), Arg2: int64(dur), Actor: f.Name, Other: f.Module.Name,
+		})
+	}
+	if rt.fireHist != nil {
+		rt.fireHist.Observe(float64(dur))
 	}
 	if exit != nil {
 		exit(ret)
@@ -415,6 +435,12 @@ func (rt *Runtime) controllerLoop(p *sim.Proc, c *Filter) {
 		if exitBegin != nil {
 			exitBegin(nil)
 		}
+		if rec := rt.K.Observer(); rec.Wants(obs.KStepBegin) {
+			rec.Record(obs.Event{
+				At: uint64(p.Now()), Kind: obs.KStepBegin, PE: int32(c.PE.ID),
+				Arg: int64(m.step), Actor: m.Name,
+			})
+		}
 		c.resetWindows()
 		cont, err := rt.invokeController(p, c)
 		if err != nil {
@@ -425,6 +451,12 @@ func (rt *Runtime) controllerLoop(p *sim.Proc, c *Filter) {
 		})
 		if exitEnd != nil {
 			exitEnd(nil)
+		}
+		if rec := rt.K.Observer(); rec.Wants(obs.KStepEnd) {
+			rec.Record(obs.Event{
+				At: uint64(p.Now()), Kind: obs.KStepEnd, PE: int32(c.PE.ID),
+				Arg: int64(m.step), Actor: m.Name,
+			})
 		}
 		m.step++
 		if !cont {
@@ -447,6 +479,13 @@ func (rt *Runtime) invokeController(p *sim.Proc, c *Filter) (bool, error) {
 		{Name: "module", Val: c.Module.Name},
 		{Name: "step", Val: int64(c.Module.step)},
 	})
+	rec := rt.K.Observer()
+	if rec.Wants(obs.KCtlBegin) {
+		rec.Record(obs.Event{
+			At: uint64(p.Now()), Kind: obs.KCtlBegin, PE: int32(c.PE.ID),
+			Arg: int64(c.Module.step), Actor: c.Name, Other: c.Module.Name,
+		})
+	}
 	var cont bool
 	var err error
 	var ret any
@@ -457,6 +496,12 @@ func (rt *Runtime) invokeController(p *sim.Proc, c *Filter) (bool, error) {
 		ret = v
 	} else {
 		cont, err = c.NativeCtl(&CtlCtx{WorkCtx{f: c, p: p}})
+	}
+	if rec.Wants(obs.KCtlEnd) {
+		rec.Record(obs.Event{
+			At: uint64(p.Now()), Kind: obs.KCtlEnd, PE: int32(c.PE.ID),
+			Arg: int64(c.Module.step), Actor: c.Name, Other: c.Module.Name,
+		})
 	}
 	if exit != nil {
 		exit(ret)
@@ -474,6 +519,12 @@ func (rt *Runtime) actorStart(p *sim.Proc, m *Module, name string) error {
 	exit := rt.hook(p, SymActorStart, []lowdbg.Arg{
 		{Name: "module", Val: m.Name}, {Name: "filter", Val: name},
 	})
+	if rec := rt.K.Observer(); rec.Wants(obs.KActorStart) {
+		rec.Record(obs.Event{
+			At: uint64(p.Now()), Kind: obs.KActorStart, PE: int32(f.PE.ID),
+			Actor: name, Other: m.Name,
+		})
+	}
 	f.startReq = true
 	f.pendingInit = true
 	if f.state == StateIdle || f.state == StateSynced {
@@ -498,6 +549,12 @@ func (rt *Runtime) actorSync(p *sim.Proc, m *Module, name string) error {
 	exit := rt.hook(p, SymActorSync, []lowdbg.Arg{
 		{Name: "module", Val: m.Name}, {Name: "filter", Val: name},
 	})
+	if rec := rt.K.Observer(); rec.Wants(obs.KActorSync) {
+		rec.Record(obs.Event{
+			At: uint64(p.Now()), Kind: obs.KActorSync, PE: int32(f.PE.ID),
+			Actor: name, Other: m.Name,
+		})
+	}
 	if f.state == StateRunning || f.state == StateScheduled || f.startReq {
 		f.syncReq = true
 		f.pendingSync = true
@@ -511,19 +568,14 @@ func (rt *Runtime) actorSync(p *sim.Proc, m *Module, name string) error {
 // waitActorInit implements WAIT_FOR_ACTOR_INIT().
 func (rt *Runtime) waitActorInit(p *sim.Proc, m *Module) {
 	exit := rt.hook(p, SymWaitActorInit, []lowdbg.Arg{{Name: "module", Val: m.Name}})
-	for {
-		pending := false
+	rt.waitPending(p, m, "wait:init", func() bool {
 		for _, f := range m.Filters {
 			if f.pendingInit {
-				pending = true
-				break
+				return true
 			}
 		}
-		if !pending {
-			break
-		}
-		p.Wait(m.stateChange)
-	}
+		return false
+	})
 	if exit != nil {
 		exit(nil)
 	}
@@ -532,20 +584,46 @@ func (rt *Runtime) waitActorInit(p *sim.Proc, m *Module) {
 // waitActorSync implements WAIT_FOR_ACTOR_SYNC().
 func (rt *Runtime) waitActorSync(p *sim.Proc, m *Module) {
 	exit := rt.hook(p, SymWaitActorSync, []lowdbg.Arg{{Name: "module", Val: m.Name}})
-	for {
-		pending := false
+	rt.waitPending(p, m, "wait:sync", func() bool {
 		for _, f := range m.Filters {
 			if f.pendingSync {
-				pending = true
-				break
+				return true
 			}
 		}
-		if !pending {
-			break
-		}
-		p.Wait(m.stateChange)
-	}
+		return false
+	})
 	if exit != nil {
 		exit(nil)
+	}
+}
+
+// waitPending blocks the controller on the module's state-change event
+// until pending() clears, attributing the wait as a blocked span.
+func (rt *Runtime) waitPending(p *sim.Proc, m *Module, reason string, pending func() bool) {
+	if !pending() {
+		return
+	}
+	c := m.Controller
+	rec := rt.K.Observer()
+	t0 := p.Now()
+	if c != nil && rec.Wants(obs.KBlockBegin) {
+		rec.Record(obs.Event{
+			At: uint64(t0), Kind: obs.KBlockBegin, PE: int32(c.PE.ID),
+			Actor: c.Name, Other: reason,
+		})
+	}
+	for pending() {
+		p.Wait(m.stateChange)
+	}
+	if c == nil {
+		return
+	}
+	d := p.Now() - t0
+	c.blockedNS += uint64(d)
+	if rec.Wants(obs.KBlockEnd) {
+		rec.Record(obs.Event{
+			At: uint64(p.Now()), Kind: obs.KBlockEnd, PE: int32(c.PE.ID),
+			Arg2: int64(d), Actor: c.Name, Other: reason,
+		})
 	}
 }

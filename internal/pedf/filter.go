@@ -174,6 +174,7 @@ type Filter struct {
 	pendingSync bool
 	shutdown    bool
 	firings     uint64 // completed WORK invocations
+	blockedNS   uint64 // simulated ns spent blocked (link waits + sync waits)
 
 	startEv *sim.Event
 
@@ -191,6 +192,9 @@ func (f *Filter) BlockedOn() string { return f.blockedOn }
 
 // Firings returns the number of completed WORK invocations.
 func (f *Filter) Firings() uint64 { return f.firings }
+
+// BlockedNS returns the simulated ns the actor has spent blocked.
+func (f *Filter) BlockedNS() uint64 { return f.blockedNS }
 
 // Proc returns the simulation process executing this actor.
 func (f *Filter) Proc() *sim.Proc { return f.proc }

@@ -6,6 +6,7 @@ import (
 	"dfdbg/internal/filterc"
 	"dfdbg/internal/lowdbg"
 	"dfdbg/internal/mach"
+	"dfdbg/internal/obs"
 	"dfdbg/internal/sim"
 )
 
@@ -185,11 +186,17 @@ func (l *Link) push(p *sim.Proc, producer *Filter, pe *mach.PE, v filterc.Value)
 	seq := l.pushes
 	args := append(l.callArgs(seq), lowdbg.Arg{Name: "value", Val: v})
 	exit := l.rt.hookData(p, l.Src.ActorName, l.pushSym(), args)
-	for len(l.fifo) >= l.Cap {
-		if producer != nil {
-			producer.setBlocked("push:" + l.Src.Name)
+	rec := l.rt.K.Observer()
+	if len(l.fifo) >= l.Cap {
+		reason := "push:" + l.Src.Name
+		t0 := l.blockBegin(rec, p, producer, int32(pe.ID), reason)
+		for len(l.fifo) >= l.Cap {
+			if producer != nil {
+				producer.setBlocked(reason)
+			}
+			p.Wait(l.notFull)
 		}
-		p.Wait(l.notFull)
+		l.blockEnd(rec, p, producer, int32(pe.ID), reason, t0)
 	}
 	if producer != nil {
 		producer.setBlocked("")
@@ -200,10 +207,50 @@ func (l *Link) push(p *sim.Proc, producer *Filter, pe *mach.PE, v filterc.Value)
 	l.fifo = append(l.fifo, Token{Seq: seq, Val: v.Clone(), PushedAt: p.Now()})
 	l.pushes++
 	l.notEmpty.Notify()
+	if rec.Wants(obs.KPush) {
+		ev := obs.Event{
+			At: uint64(p.Now()), Kind: obs.KPush, PE: int32(pe.ID),
+			Link: int32(l.ID), Arg: int64(len(l.fifo)), Arg2: int64(seq),
+			Actor: l.Src.ActorName, Other: l.Dst.ActorName, Port: l.Src.Name,
+		}
+		if rec.Payloads() {
+			ev.Val = v.String()
+		}
+		rec.Record(ev)
+	}
 	if exit != nil {
 		exit(nil)
 	}
 	return nil
+}
+
+// blockBegin starts a blocked span: records KBlockBegin (actors only;
+// environment feeders and drains have no attribution target) and returns
+// the span start time.
+func (l *Link) blockBegin(rec *obs.Recorder, p *sim.Proc, f *Filter, pe int32, reason string) sim.Time {
+	t0 := p.Now()
+	if f != nil && rec.Wants(obs.KBlockBegin) {
+		rec.Record(obs.Event{
+			At: uint64(t0), Kind: obs.KBlockBegin, PE: pe,
+			Link: int32(l.ID), Actor: f.Name, Other: reason,
+		})
+	}
+	return t0
+}
+
+// blockEnd closes a blocked span, accumulating it on the actor.
+func (l *Link) blockEnd(rec *obs.Recorder, p *sim.Proc, f *Filter, pe int32, reason string, t0 sim.Time) {
+	if f == nil {
+		return
+	}
+	d := p.Now() - t0
+	f.blockedNS += uint64(d)
+	if rec.Wants(obs.KBlockEnd) {
+		rec.Record(obs.Event{
+			At: uint64(p.Now()), Kind: obs.KBlockEnd, PE: pe,
+			Link: int32(l.ID), Arg2: int64(d), Actor: f.Name, Other: reason,
+		})
+	}
 }
 
 // pop removes the head token, blocking while the FIFO is empty. consumer
@@ -211,11 +258,18 @@ func (l *Link) push(p *sim.Proc, producer *Filter, pe *mach.PE, v filterc.Value)
 func (l *Link) pop(p *sim.Proc, consumer *Filter) (Token, error) {
 	seq := l.pops
 	exit := l.rt.hookData(p, l.Dst.ActorName, l.popSym(), l.callArgs(seq))
-	for len(l.fifo) == 0 {
-		if consumer != nil {
-			consumer.setBlocked("pop:" + l.Dst.Name)
+	rec := l.rt.K.Observer()
+	dstPE := int32(l.rt.portPE(l.Dst).ID)
+	if len(l.fifo) == 0 {
+		reason := "pop:" + l.Dst.Name
+		t0 := l.blockBegin(rec, p, consumer, dstPE, reason)
+		for len(l.fifo) == 0 {
+			if consumer != nil {
+				consumer.setBlocked(reason)
+			}
+			p.Wait(l.notEmpty)
 		}
-		p.Wait(l.notEmpty)
+		l.blockEnd(rec, p, consumer, dstPE, reason, t0)
 	}
 	if consumer != nil {
 		consumer.setBlocked("")
@@ -226,6 +280,17 @@ func (l *Link) pop(p *sim.Proc, consumer *Filter) (Token, error) {
 	l.notFull.Notify()
 	// Local read cost on the consumer side.
 	p.Sleep(l.rt.M.Cfg.L1Latency)
+	if rec.Wants(obs.KPop) {
+		ev := obs.Event{
+			At: uint64(p.Now()), Kind: obs.KPop, PE: dstPE,
+			Link: int32(l.ID), Arg: int64(len(l.fifo)), Arg2: int64(seq),
+			Actor: l.Dst.ActorName, Other: l.Src.ActorName, Port: l.Dst.Name,
+		}
+		if rec.Payloads() {
+			ev.Val = tok.Val.String()
+		}
+		rec.Record(ev)
+	}
 	if exit != nil {
 		exit(tok.Val)
 	}

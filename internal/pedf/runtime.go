@@ -7,6 +7,7 @@ import (
 	"dfdbg/internal/filterc"
 	"dfdbg/internal/lowdbg"
 	"dfdbg/internal/mach"
+	"dfdbg/internal/obs"
 	"dfdbg/internal/sim"
 )
 
@@ -124,6 +125,10 @@ type Runtime struct {
 	coop       map[string]bool
 	elaborated bool
 	started    bool
+
+	// fireHist is the firing-duration histogram, registered by Start when
+	// the kernel has an observer installed (nil otherwise).
+	fireHist *obs.Histogram
 }
 
 // NewRuntime creates a runtime. dbg may be nil (undebugged run).
@@ -186,6 +191,39 @@ func (rt *Runtime) hookData(p *sim.Proc, actor, fn string, args []lowdbg.Arg) fu
 		return nil
 	}
 	return rt.Dbg.EnterFunc(p, fn, args)
+}
+
+// registerObsMetrics publishes per-link and per-actor metrics into the
+// kernel's observability registry. Everything is function-backed —
+// values are read from state the runtime keeps anyway, so the hot path
+// pays nothing — except the firing-duration histogram, which invokeWork
+// feeds only while an observer is installed.
+func (rt *Runtime) registerObsMetrics() {
+	rec := rt.K.Observer()
+	if rec == nil {
+		return
+	}
+	m := rec.Metrics
+	for _, l := range rt.links {
+		l := l
+		label := l.Src.Qualified() + "->" + l.Dst.Qualified()
+		m.GaugeFunc("pedf_link_occupancy", "tokens currently queued on a link",
+			func() float64 { return float64(len(l.fifo)) }, "link", label)
+		m.CounterFunc("pedf_link_pushes_total", "tokens ever pushed on a link",
+			func() float64 { return float64(l.pushes) }, "link", label)
+		m.CounterFunc("pedf_link_pops_total", "tokens ever popped from a link",
+			func() float64 { return float64(l.pops) }, "link", label)
+	}
+	for _, f := range rt.actorList {
+		f := f
+		m.CounterFunc("pedf_actor_firings_total", "completed WORK invocations",
+			func() float64 { return float64(f.firings) }, "actor", f.Name)
+		m.CounterFunc("pedf_actor_blocked_ns_total", "simulated ns spent blocked on links or sync",
+			func() float64 { return float64(f.blockedNS) }, "actor", f.Name)
+	}
+	rt.fireHist = m.Histogram("pedf_firing_duration_ns",
+		"simulated duration of one WORK firing",
+		[]float64{100, 1000, 10_000, 100_000, 1_000_000})
 }
 
 // portPE returns the PE an endpoint lives on (environment ports live on

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"dfdbg/internal/obs"
+)
 
 // Event is a SystemC-style notification channel. Processes block on an
 // Event with Proc.Wait; Notify wakes every waiter. Events have no payload;
@@ -37,6 +41,9 @@ func (e *Event) String() string {
 // the currently running process yields (delta-cycle semantics).
 func (e *Event) Notify() {
 	e.notifies++
+	if len(e.waiters) > 0 {
+		e.k.deltaWakes++
+	}
 	e.fire()
 }
 
@@ -57,6 +64,13 @@ func (e *Event) fire() {
 	for _, p := range woken {
 		p.wokenByEvent = true
 		e.k.makeRunnable(p)
+	}
+	e.k.eventFires++
+	if e.k.obs.Wants(obs.KEventFire) {
+		e.k.obs.Record(obs.Event{
+			At: uint64(e.k.now), Kind: obs.KEventFire,
+			PE: -1, Arg: int64(len(woken)), Actor: e.name,
+		})
 	}
 }
 

@@ -18,6 +18,8 @@ package sim
 import (
 	"fmt"
 	"sort"
+
+	"dfdbg/internal/obs"
 )
 
 // Time is a point on the simulated clock, in nanoseconds.
@@ -173,6 +175,15 @@ type Kernel struct {
 
 	preRun     []func()
 	preRunDone bool
+
+	// Observability. obs is nil unless SetObserver installed a recorder;
+	// the counters are plain uint64 bumps (noise-level when unobserved)
+	// exposed as metrics at exposition time.
+	obs        *obs.Recorder
+	dispatches uint64
+	advances   uint64
+	eventFires uint64 // timed + immediate notifications that woke waiters
+	deltaWakes uint64 // immediate Notify calls that woke waiters
 }
 
 // NewKernel returns an empty kernel at time zero.
@@ -182,6 +193,35 @@ func NewKernel() *Kernel {
 
 // Now returns the current simulated time.
 func (k *Kernel) Now() Time { return k.now }
+
+// SetObserver installs (or, with nil, removes) the event recorder fed by
+// the kernel's hook points. The recorder is shared down the stack: every
+// layer reaches it through Kernel.Observer, so the kernel's single-writer
+// guarantee extends to the ring. Installing a recorder also registers the
+// kernel's scheduler metrics.
+func (k *Kernel) SetObserver(r *obs.Recorder) {
+	k.obs = r
+	if r == nil {
+		return
+	}
+	m := r.Metrics
+	m.CounterFunc("sim_dispatches_total", "process dispatches",
+		func() float64 { return float64(k.dispatches) })
+	m.CounterFunc("sim_time_advances_total", "virtual clock advances",
+		func() float64 { return float64(k.advances) })
+	m.CounterFunc("sim_event_fires_total", "event notifications that woke waiters",
+		func() float64 { return float64(k.eventFires) })
+	m.CounterFunc("sim_delta_wakes_total", "immediate (delta-cycle) wakes",
+		func() float64 { return float64(k.deltaWakes) })
+	m.GaugeFunc("sim_now_ns", "current simulated time",
+		func() float64 { return float64(k.now) })
+	m.GaugeFunc("sim_processes", "processes ever spawned",
+		func() float64 { return float64(len(k.procs)) })
+}
+
+// Observer returns the installed recorder (nil when observability is
+// off). The obs hook-point idiom `k.Observer().Wants(kind)` is nil-safe.
+func (k *Kernel) Observer() *obs.Recorder { return k.obs }
 
 // Current returns the currently executing process, or nil if the kernel
 // is not dispatching.
@@ -282,6 +322,13 @@ func (k *Kernel) RunUntil(until Time) (RunStatus, error) {
 				p.thawPending = true
 				continue
 			}
+			k.dispatches++
+			if k.obs.Wants(obs.KDispatch) {
+				k.obs.Record(obs.Event{
+					At: uint64(k.now), Kind: obs.KDispatch,
+					PE: -1, Arg: int64(p.id), Actor: p.name,
+				})
+			}
 			k.dispatch(p)
 			continue
 		}
@@ -293,6 +340,15 @@ func (k *Kernel) RunUntil(until Time) (RunStatus, error) {
 		if next.at > until {
 			k.now = until
 			return RunHorizon, nil
+		}
+		if next.at > k.now {
+			k.advances++
+			if k.obs.Wants(obs.KTimeAdvance) {
+				k.obs.Record(obs.Event{
+					At: uint64(next.at), Kind: obs.KTimeAdvance,
+					PE: -1, Arg: int64(next.at - k.now),
+				})
+			}
 		}
 		k.now = next.at
 		// Fire every notification scheduled for this instant, in

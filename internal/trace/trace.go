@@ -1,18 +1,23 @@
-// Package trace records dataflow runtime events into a post-mortem
-// buffer. It is the "execution traces analysis" comparator the paper's
-// qualitative analysis mentions: instead of stopping interactively, a
-// trace session runs the application to completion under event-recording
-// function breakpoints and answers questions offline.
+// Package trace is the post-mortem "execution traces analysis"
+// comparator the paper's qualitative analysis mentions: instead of
+// stopping interactively, a trace session runs the application to
+// completion and answers questions offline.
 //
-// Like internal/core, it only observes the framework through lowdbg
-// function breakpoints, never modifying or importing the framework.
+// Since the observability layer (internal/obs) landed, trace no longer
+// maintains its own recording path through function breakpoints: it is a
+// read-only *view* over the kernel's obs event ring, translating the
+// unified event vocabulary into the trace-analysis event model. One
+// recording path, two consumers (live metrics/profiles and this
+// post-mortem comparator).
 package trace
 
 import (
 	"fmt"
 	"strings"
 
+	"dfdbg/internal/dbginfo"
 	"dfdbg/internal/lowdbg"
+	"dfdbg/internal/obs"
 	"dfdbg/internal/sim"
 )
 
@@ -54,7 +59,7 @@ type Event struct {
 	Other string // peer actor ("" when not applicable)
 	Port  string
 	Link  int64
-	Value string // rendered payload ("" for pops/sched)
+	Value string // rendered payload ("" for sched)
 }
 
 func (e Event) String() string {
@@ -71,102 +76,103 @@ func (e Event) String() string {
 	return s
 }
 
-// Recorder captures runtime events through internal function breakpoints.
+// Recorder is a trace-analysis view over an obs event ring.
 type Recorder struct {
-	Events []Event
-	// Cap bounds the buffer (0 = unbounded). When full, recording wraps
-	// by dropping the oldest half — traces of long runs keep the tail.
-	Cap int
+	rec *obs.Recorder
+	// workSyms, when non-empty, selects which actors' WORK firings count
+	// as EvWork (the recorder learns the mangled symbols from the debug
+	// information, like the interactive debugger). Empty = none, matching
+	// the pre-obs behaviour where WORK recording was opt-in.
+	workSyms map[string]bool
 }
 
-// Attach installs the recorder on a low-level debugger. Data-exchange
-// recording honours the DataBreakpointsEnabled switch like any other
-// data breakpoint.
+// Attach ensures the debugger's kernel has an observability recorder,
+// enables the dataflow event kinds plus payload rendering (the
+// comparator needs token values), and returns a trace view over it.
 func Attach(low *lowdbg.Debugger) *Recorder {
-	r := &Recorder{}
-	record := func(ev Event) {
-		if r.Cap > 0 && len(r.Events) >= r.Cap {
-			half := r.Cap / 2
-			r.Events = append(r.Events[:0], r.Events[len(r.Events)-half:]...)
-		}
-		r.Events = append(r.Events, ev)
+	rec := low.K.Observer()
+	if rec == nil {
+		rec = obs.NewRecorder(0)
+		low.K.SetObserver(rec)
 	}
-	push := func(ctx *lowdbg.StopCtx) lowdbg.Disposition {
-		record(Event{
-			At: ctx.Proc.Now(), Kind: EvPush, Fn: ctx.Fn,
-			Actor: lowdbg.ArgString(ctx.Args, "src"),
-			Other: lowdbg.ArgString(ctx.Args, "dst"),
-			Port:  lowdbg.ArgString(ctx.Args, "src_port"),
-			Link:  lowdbg.ArgInt(ctx.Args, "link"),
-			Value: fmt.Sprint(argValue(ctx.Args)),
-		})
-		return lowdbg.DispContinue
-	}
-	// Pops are recorded at the function's *return* (a finish breakpoint):
-	// a consumer blocked on an empty link has entered pedf_link_pop but
-	// consumed nothing yet, and the return value carries the token.
-	pop := func(ctx *lowdbg.StopCtx) lowdbg.Disposition {
-		record(Event{
-			At: ctx.Proc.Now(), Kind: EvPop, Fn: ctx.Fn,
-			Actor: lowdbg.ArgString(ctx.Args, "dst"),
-			Other: lowdbg.ArgString(ctx.Args, "src"),
-			Port:  lowdbg.ArgString(ctx.Args, "dst_port"),
-			Link:  lowdbg.ArgInt(ctx.Args, "link"),
-			Value: fmt.Sprint(ctx.Ret),
-		})
-		return lowdbg.DispContinue
-	}
-	for _, sym := range []string{"pedf_link_push", "pedf_ctrl_push"} {
-		bp := low.BreakFuncInternal(sym, push, nil)
-		bp.IsData = sym == "pedf_link_push"
-	}
-	for _, sym := range []string{"pedf_link_pop", "pedf_ctrl_pop"} {
-		bp := low.BreakFuncInternal(sym, nil, pop)
-		bp.IsData = sym == "pedf_link_pop"
-	}
-	sched := func(ctx *lowdbg.StopCtx) lowdbg.Disposition {
-		actor := lowdbg.ArgString(ctx.Args, "filter")
-		if actor == "" {
-			actor = lowdbg.ArgString(ctx.Args, "module")
-		}
-		record(Event{At: ctx.Proc.Now(), Kind: EvSched, Fn: ctx.Fn, Actor: actor})
-		return lowdbg.DispContinue
-	}
-	for _, sym := range []string{"pedf_actor_start", "pedf_actor_sync",
-		"pedf_step_begin", "pedf_step_end"} {
-		low.BreakFuncInternal(sym, sched, nil)
-	}
-	return r
+	rec.EnableKinds(obs.MaskDataflow)
+	rec.SetPayloads(true)
+	return View(rec)
 }
 
-func argValue(args []lowdbg.Arg) any {
-	v, _ := lowdbg.ArgVal(args, "value")
-	return v
+// View wraps an existing obs recorder without touching its mask.
+func View(rec *obs.Recorder) *Recorder {
+	return &Recorder{rec: rec, workSyms: make(map[string]bool)}
 }
 
-// AttachWork additionally records WORK invocations of the given mangled
-// symbols (the recorder cannot invent them: like the interactive
-// debugger, it learns them from the debug information).
-func (r *Recorder) AttachWork(low *lowdbg.Debugger, workSyms []string) {
+// Obs returns the underlying observability recorder.
+func (r *Recorder) Obs() *obs.Recorder { return r.rec }
+
+// AttachWork selects the mangled WORK symbols whose firings appear as
+// EvWork events (the low parameter is kept for call-site compatibility;
+// the selection is purely a view filter now).
+func (r *Recorder) AttachWork(_ *lowdbg.Debugger, workSyms []string) {
 	for _, sym := range workSyms {
-		sym := sym
-		low.BreakFuncInternal(sym, func(ctx *lowdbg.StopCtx) lowdbg.Disposition {
-			ev := Event{At: ctx.Proc.Now(), Kind: EvWork, Fn: sym,
-				Actor: lowdbg.ArgString(ctx.Args, "self")}
-			if r.Cap > 0 && len(r.Events) >= r.Cap {
-				half := r.Cap / 2
-				r.Events = append(r.Events[:0], r.Events[len(r.Events)-half:]...)
-			}
-			r.Events = append(r.Events, ev)
-			return lowdbg.DispContinue
-		}, nil)
+		r.workSyms[sym] = true
 	}
+}
+
+// Events translates the retained obs events into trace events.
+func (r *Recorder) Events() []Event {
+	var out []Event
+	for _, ev := range r.rec.Snapshot() {
+		switch ev.Kind {
+		case obs.KPush:
+			out = append(out, Event{
+				At: sim.Time(ev.At), Kind: EvPush, Fn: "pedf_link_push",
+				Actor: ev.Actor, Other: ev.Other, Port: ev.Port,
+				Link: int64(ev.Link), Value: ev.Val,
+			})
+		case obs.KPop:
+			out = append(out, Event{
+				At: sim.Time(ev.At), Kind: EvPop, Fn: "pedf_link_pop",
+				Actor: ev.Actor, Other: ev.Other, Port: ev.Port,
+				Link: int64(ev.Link), Value: ev.Val,
+			})
+		case obs.KFireBegin:
+			if r.workSyms[dbginfo.MangleFilterWork(ev.Actor)] {
+				out = append(out, Event{
+					At: sim.Time(ev.At), Kind: EvWork,
+					Fn: dbginfo.MangleFilterWork(ev.Actor), Actor: ev.Actor,
+				})
+			}
+		case obs.KCtlBegin:
+			if r.workSyms[dbginfo.MangleControllerWork(ev.Other)] {
+				out = append(out, Event{
+					At: sim.Time(ev.At), Kind: EvWork,
+					Fn: dbginfo.MangleControllerWork(ev.Other), Actor: ev.Actor,
+				})
+			}
+		case obs.KActorStart:
+			out = append(out, Event{
+				At: sim.Time(ev.At), Kind: EvSched, Fn: "pedf_actor_start", Actor: ev.Actor,
+			})
+		case obs.KActorSync:
+			out = append(out, Event{
+				At: sim.Time(ev.At), Kind: EvSched, Fn: "pedf_actor_sync", Actor: ev.Actor,
+			})
+		case obs.KStepBegin:
+			out = append(out, Event{
+				At: sim.Time(ev.At), Kind: EvSched, Fn: "pedf_step_begin", Actor: ev.Actor,
+			})
+		case obs.KStepEnd:
+			out = append(out, Event{
+				At: sim.Time(ev.At), Kind: EvSched, Fn: "pedf_step_end", Actor: ev.Actor,
+			})
+		}
+	}
+	return out
 }
 
 // CountByKind tallies events per kind.
 func (r *Recorder) CountByKind() map[EventKind]int {
 	out := make(map[EventKind]int)
-	for _, e := range r.Events {
+	for _, e := range r.Events() {
 		out[e.Kind]++
 	}
 	return out
@@ -177,7 +183,7 @@ func (r *Recorder) CountByKind() map[EventKind]int {
 // rate mismatches offline.
 func (r *Recorder) LinkBalance() map[int64]int {
 	out := make(map[int64]int)
-	for _, e := range r.Events {
+	for _, e := range r.Events() {
 		switch e.Kind {
 		case EvPush:
 			out[e.Link]++
@@ -191,7 +197,7 @@ func (r *Recorder) LinkBalance() map[int64]int {
 // ActorActivity returns per-actor event counts.
 func (r *Recorder) ActorActivity() map[string]int {
 	out := make(map[string]int)
-	for _, e := range r.Events {
+	for _, e := range r.Events() {
 		if e.Actor != "" {
 			out[e.Actor]++
 		}
@@ -201,7 +207,7 @@ func (r *Recorder) ActorActivity() map[string]int {
 
 // Dump renders the last n events (all if n <= 0).
 func (r *Recorder) Dump(n int) string {
-	evs := r.Events
+	evs := r.Events()
 	if n > 0 && len(evs) > n {
 		evs = evs[len(evs)-n:]
 	}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"dfdbg/internal/filterc"
 	"dfdbg/internal/lowdbg"
 	"dfdbg/internal/mach"
+	"dfdbg/internal/obs"
 	"dfdbg/internal/pedf"
 	"dfdbg/internal/sim"
 )
@@ -113,31 +115,30 @@ func TestDump(t *testing.T) {
 
 func TestCapWraps(t *testing.T) {
 	k := sim.NewKernel()
+	orec := obs.NewRecorder(8)
+	orec.SetPayloads(true)
+	k.SetObserver(orec)
 	low := lowdbg.New(k, dbginfo.NewTable())
 	rec := Attach(low)
-	rec.Cap = 8
-	// Feed events directly through the breakpoint surface.
-	p := k.Spawn("t", func(proc *sim.Proc) {
-		for i := 0; i < 50; i++ {
-			exit := low.EnterFunc(proc, "pedf_link_push", []lowdbg.Arg{
-				{Name: "src", Val: "a"}, {Name: "dst", Val: "b"},
-				{Name: "src_port", Val: "o"}, {Name: "link", Val: int64(1)},
-				{Name: "value", Val: int64(i)},
-			})
-			if exit != nil {
-				exit(nil)
-			}
-		}
-	})
-	_ = p
-	if ev := low.Continue(); ev.Kind != lowdbg.StopDone {
-		t.Fatalf("run = %v", ev)
+	if rec.Obs() != orec {
+		t.Fatal("Attach did not reuse the installed recorder")
 	}
-	if len(rec.Events) > rec.Cap {
-		t.Errorf("buffer exceeded cap: %d", len(rec.Events))
+	// Feed push events directly into the ring.
+	for i := 0; i < 50; i++ {
+		orec.Record(obs.Event{
+			Kind: obs.KPush, Actor: "a", Other: "b", Port: "o", Link: 1,
+			Val: fmt.Sprint(i),
+		})
+	}
+	evs := rec.Events()
+	if len(evs) > orec.Cap() {
+		t.Errorf("buffer exceeded cap: %d", len(evs))
+	}
+	if got := orec.Dropped(); got != 42 {
+		t.Errorf("dropped = %d, want 42", got)
 	}
 	// The tail survived.
-	last := rec.Events[len(rec.Events)-1]
+	last := evs[len(evs)-1]
 	if last.Value != "49" {
 		t.Errorf("last value = %q, want 49", last.Value)
 	}
