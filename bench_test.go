@@ -357,6 +357,89 @@ u32 work(u32 n) {
 	b.ReportMetric(1000, "stmts/op")
 }
 
+// BenchmarkFilterCCompiled runs the BenchmarkFilterC workload on the
+// explicit engine × hooks matrix: the tree-walking oracle vs the bytecode
+// VM, each with and without statement hooks installed. The paper's
+// debuggability constraint is the "hooks" column: attaching a debugger
+// must not cost more on the VM than it did on the walker. Ratios are
+// recorded in BENCH_filterc.json.
+func BenchmarkFilterCCompiled(b *testing.B) {
+	src := `
+u32 work(u32 n) {
+	u32 s = 0;
+	for (u32 i = 0; i < n; i++) {
+		s = s + (i ^ (s << 1)) % 1021;
+	}
+	return s;
+}`
+	engines := []struct {
+		name string
+		eng  filterc.Engine
+	}{
+		{"walker", filterc.EngineWalker},
+		{"vm", filterc.EngineVM},
+	}
+	for _, e := range engines {
+		for _, hooked := range []bool{false, true} {
+			name := e.name + "/nohooks"
+			if hooked {
+				name = e.name + "/hooks"
+			}
+			b.Run(name, func(b *testing.B) {
+				prog := filterc.MustParse("bench.c", src)
+				in := filterc.New(prog, benchEnv{})
+				in.Engine = e.eng
+				var h *countingHooks
+				if hooked {
+					h = &countingHooks{}
+					in.Hooks = h
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := in.CallFunc("work", []filterc.Value{filterc.Int(filterc.U32, 1000)}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if hooked && h.stmts == 0 {
+					b.Fatal("hooks installed but never fired")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFilterCCompile measures the one-time cost of compiling a
+// filter program to bytecode (paid once per parsed program; amortized
+// away by the compiled-code cache on every later Interp).
+func BenchmarkFilterCCompile(b *testing.B) {
+	prog := filterc.MustParse("bench.c", `
+u32 work(u32 n) {
+	u32 s = 0;
+	for (u32 i = 0; i < n; i++) {
+		s = s + (i ^ (s << 1)) % 1021;
+	}
+	return s;
+}`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if c := filterc.Compile(prog); c == nil {
+			b.Fatal("nil code")
+		}
+	}
+}
+
+// countingHooks is the cheapest possible Hooks implementation: it only
+// counts, so the hooked benchmarks measure dispatch overhead, not the
+// hook body.
+type countingHooks struct {
+	stmts, enters, exits int
+}
+
+func (h *countingHooks) OnStmt(*filterc.Frame, filterc.Pos)   { h.stmts++ }
+func (h *countingHooks) OnEnter(*filterc.Frame)               { h.enters++ }
+func (h *countingHooks) OnExit(*filterc.Frame, filterc.Value) { h.exits++ }
+
 type benchEnv struct{}
 
 func (benchEnv) IORead(string, int64) (filterc.Value, error) { return filterc.Value{}, nil }

@@ -1,0 +1,8 @@
+//go:build slowinterp
+
+package filterc
+
+// buildDefaultVM is false under -tags slowinterp: every Interp with
+// Engine == EngineDefault runs the tree-walking interpreter, which is
+// kept as the differential-testing oracle for the bytecode VM.
+const buildDefaultVM = false

@@ -301,81 +301,112 @@ func b2i(b bool) int64 {
 }
 
 // applyBinary performs a scalar binary operation with C-like promotion.
+// It delegates to applyBinaryID, the arithmetic kernel shared with the
+// bytecode VM, so the two engines cannot diverge on operator semantics.
 func applyBinary(op string, l, r Value, at Pos) (Value, error) {
-	res := promoteBase(l.Type.Base, r.Type.Base)
-	a, b := l.I, r.I
+	return applyBinaryID(binOpID(op), op, l, r, at)
+}
+
+func applyBinaryID(id int, op string, l, r Value, at Pos) (Value, error) {
+	if v, ok := applyBinaryFast(id, l.Type.Base, r.Type.Base, l.I, r.I); ok {
+		return v, nil
+	}
+	return Value{}, applyBinaryErr(id, op, r.I, at)
+}
+
+// applyBinaryErr reconstructs the error applyBinaryFast refused to build
+// (the fast kernel takes no position, so errors are assembled here).
+func applyBinaryErr(id int, op string, b int64, at Pos) error {
+	switch id {
+	case bDiv:
+		return &RuntimeError{Pos: at, Msg: "division by zero"}
+	case bMod:
+		return &RuntimeError{Pos: at, Msg: "modulo by zero"}
+	case bShl, bShr:
+		return &RuntimeError{Pos: at, Msg: fmt.Sprintf("shift amount %d out of range", b)}
+	default:
+		return &RuntimeError{Pos: at, Msg: fmt.Sprintf("unknown operator %s", op)}
+	}
+}
+
+// applyBinaryFast is the arithmetic kernel proper. It works on base
+// types and raw 64-bit payloads (register arguments, no Value copies) and
+// reports ok=false for the error cases, which the caller turns into the
+// walker's exact RuntimeError via applyBinaryErr.
+func applyBinaryFast(id int, lb, rb BaseType, a, b int64) (Value, bool) {
+	res := promoteBase(lb, rb)
 	// For unsigned result types, reinterpret operands as their unsigned
 	// 32-bit patterns so comparisons and division behave unsigned.
 	ua, ub := uint64(uint32(a)), uint64(uint32(b))
 	unsigned := res == U32
-	switch op {
-	case "+":
-		return Int(res, a+b), nil
-	case "-":
-		return Int(res, a-b), nil
-	case "*":
-		return Int(res, a*b), nil
-	case "/":
+	switch id {
+	case bAdd:
+		return Int(res, a+b), true
+	case bSub:
+		return Int(res, a-b), true
+	case bMul:
+		return Int(res, a*b), true
+	case bDiv:
 		if b == 0 {
-			return Value{}, &RuntimeError{Pos: at, Msg: "division by zero"}
+			return Value{}, false
 		}
 		if unsigned {
-			return Int(res, int64(ua/ub)), nil
+			return Int(res, int64(ua/ub)), true
 		}
-		return Int(res, a/b), nil
-	case "%":
+		return Int(res, a/b), true
+	case bMod:
 		if b == 0 {
-			return Value{}, &RuntimeError{Pos: at, Msg: "modulo by zero"}
+			return Value{}, false
 		}
 		if unsigned {
-			return Int(res, int64(ua%ub)), nil
+			return Int(res, int64(ua%ub)), true
 		}
-		return Int(res, a%b), nil
-	case "&":
-		return Int(res, a&b), nil
-	case "|":
-		return Int(res, a|b), nil
-	case "^":
-		return Int(res, a^b), nil
-	case "<<":
+		return Int(res, a%b), true
+	case bAnd:
+		return Int(res, a&b), true
+	case bOr:
+		return Int(res, a|b), true
+	case bXor:
+		return Int(res, a^b), true
+	case bShl:
 		if b < 0 || b >= 32 {
-			return Value{}, &RuntimeError{Pos: at, Msg: fmt.Sprintf("shift amount %d out of range", b)}
+			return Value{}, false
 		}
-		return Int(promote32(l.Type.Base), a<<uint(b)), nil
-	case ">>":
+		return Int(promote32(lb), a<<uint(b)), true
+	case bShr:
 		if b < 0 || b >= 32 {
-			return Value{}, &RuntimeError{Pos: at, Msg: fmt.Sprintf("shift amount %d out of range", b)}
+			return Value{}, false
 		}
-		if l.Type.Base == U32 || !l.Type.Base.Signed() {
-			return Int(promote32(l.Type.Base), int64(uint64(uint32(a))>>uint(b))), nil
+		if lb == U32 || !lb.Signed() {
+			return Int(promote32(lb), int64(uint64(uint32(a))>>uint(b))), true
 		}
-		return Int(promote32(l.Type.Base), a>>uint(b)), nil
-	case "==":
-		return Int(Bool, b2i(a == b)), nil
-	case "!=":
-		return Int(Bool, b2i(a != b)), nil
-	case "<":
+		return Int(promote32(lb), a>>uint(b)), true
+	case bEq:
+		return Int(Bool, b2i(a == b)), true
+	case bNe:
+		return Int(Bool, b2i(a != b)), true
+	case bLt:
 		if unsigned {
-			return Int(Bool, b2i(ua < ub)), nil
+			return Int(Bool, b2i(ua < ub)), true
 		}
-		return Int(Bool, b2i(a < b)), nil
-	case "<=":
+		return Int(Bool, b2i(a < b)), true
+	case bLe:
 		if unsigned {
-			return Int(Bool, b2i(ua <= ub)), nil
+			return Int(Bool, b2i(ua <= ub)), true
 		}
-		return Int(Bool, b2i(a <= b)), nil
-	case ">":
+		return Int(Bool, b2i(a <= b)), true
+	case bGt:
 		if unsigned {
-			return Int(Bool, b2i(ua > ub)), nil
+			return Int(Bool, b2i(ua > ub)), true
 		}
-		return Int(Bool, b2i(a > b)), nil
-	case ">=":
+		return Int(Bool, b2i(a > b)), true
+	case bGe:
 		if unsigned {
-			return Int(Bool, b2i(ua >= ub)), nil
+			return Int(Bool, b2i(ua >= ub)), true
 		}
-		return Int(Bool, b2i(a >= b)), nil
+		return Int(Bool, b2i(a >= b)), true
 	default:
-		return Value{}, &RuntimeError{Pos: at, Msg: fmt.Sprintf("unknown operator %s", op)}
+		return Value{}, false
 	}
 }
 

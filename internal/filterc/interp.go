@@ -46,12 +46,19 @@ type VarBinding struct {
 	Val  *Value
 }
 
-// Frame is one activation record.
+// Frame is one activation record. Frames come in two layouts sharing one
+// inspection API: the tree-walker uses a stack of name→value scopes, the
+// bytecode VM uses compile-time-resolved slots plus a liveness bitmap
+// (fc != nil). Debugger code never needs to know which engine produced
+// a frame.
 type Frame struct {
 	Fn     *FuncDecl
 	Line   int
 	parent *Frame
-	scopes []scope
+	scopes []scope   // tree-walker engine
+	fc     *funcCode // bytecode engine: compiled metadata (slot→name map)
+	slots  []Value   // bytecode engine: variable storage
+	live   []bool    // bytecode engine: which slots are in scope
 }
 
 type scope struct {
@@ -70,6 +77,26 @@ func (fr *Frame) Parent() *Frame { return fr.parent }
 func (fr *Frame) Locals() []VarBinding {
 	seen := make(map[string]bool)
 	var out []VarBinding
+	if fr.fc != nil {
+		// Lexical scopes are numbered in open order; the live ones at any
+		// program point are nested, so a higher id means a deeper scope —
+		// iterating ids downwards visits innermost first, exactly like
+		// walking the tree-walker's scope stack from the top.
+		for s := len(fr.fc.scopeSlots) - 1; s >= 0; s-- {
+			for _, slot := range fr.fc.scopeSlots[s] {
+				if !fr.live[slot] {
+					continue
+				}
+				n := fr.fc.slotNames[slot]
+				if n == "" || seen[n] {
+					continue
+				}
+				seen[n] = true
+				out = append(out, VarBinding{Name: n, Val: &fr.slots[slot]})
+			}
+		}
+		return out
+	}
 	for i := len(fr.scopes) - 1; i >= 0; i-- {
 		sc := fr.scopes[i]
 		for _, n := range sc.names {
@@ -85,6 +112,18 @@ func (fr *Frame) Locals() []VarBinding {
 
 // Lookup finds a visible variable by name.
 func (fr *Frame) Lookup(name string) (*Value, bool) {
+	if fr.fc != nil {
+		// Slots are allocated in declaration order, and among live slots
+		// with the same name the later-declared one is the inner binding,
+		// so a reverse scan resolves shadowing the way the walker does.
+		names := fr.fc.slotNames
+		for i := len(names) - 1; i >= 0; i-- {
+			if names[i] == name && fr.live[i] {
+				return &fr.slots[i], true
+			}
+		}
+		return nil, false
+	}
 	for i := len(fr.scopes) - 1; i >= 0; i-- {
 		if v, ok := fr.scopes[i].vars[name]; ok {
 			return v, true
@@ -126,15 +165,21 @@ const (
 	ctrlReturn
 )
 
-// Interp executes a Program against an Env.
+// Interp executes a Program against an Env. By default it runs compiled
+// bytecode on a stack VM (see compile.go / vm.go); set Engine (or build
+// with -tags slowinterp, or set DFDBG_FILTERC_INTERP=walker) to select
+// the tree-walking interpreter, which is kept as the differential-testing
+// oracle. Both engines expose identical observable behaviour.
 type Interp struct {
 	Prog     *Program
 	Env      Env
 	Hooks    Hooks
 	MaxSteps int64
+	Engine   Engine
 
 	steps int64
 	top   *Frame
+	code  *Code // cached compiled form (VM engine)
 }
 
 // New creates an interpreter.
@@ -173,6 +218,12 @@ func (in *Interp) CallFunc(name string, args []Value) (Value, error) {
 		return Value{}, fmt.Errorf("filterc: no function %q in %s", name, in.Prog.File)
 	}
 	in.steps = 0
+	if in.useVM() {
+		if in.code == nil {
+			in.code = compiledFor(in.Prog)
+		}
+		return in.vmCall(in.code, in.code.funcs[name], args, fn.Pos)
+	}
 	return in.call(fn, args, fn.Pos)
 }
 

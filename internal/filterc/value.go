@@ -135,8 +135,28 @@ type Type struct {
 	Fields []Field  // KStruct members
 }
 
-// Scalar returns the canonical scalar type for a base type.
-func Scalar(b BaseType) *Type { return &Type{Kind: KScalar, Base: b} }
+// scalarTypes holds the canonical (shared, immutable) scalar types so
+// that Int() — called for every arithmetic result — does not allocate.
+var scalarTypes = [...]Type{
+	U8:   {Kind: KScalar, Base: U8},
+	U16:  {Kind: KScalar, Base: U16},
+	U32:  {Kind: KScalar, Base: U32},
+	I8:   {Kind: KScalar, Base: I8},
+	I16:  {Kind: KScalar, Base: I16},
+	I32:  {Kind: KScalar, Base: I32},
+	Bool: {Kind: KScalar, Base: Bool},
+	Str:  {Kind: KScalar, Base: Str},
+	Void: {Kind: KScalar, Base: Void},
+}
+
+// Scalar returns the canonical scalar type for a base type. The result
+// is shared and must not be mutated.
+func Scalar(b BaseType) *Type {
+	if int(b) < len(scalarTypes) {
+		return &scalarTypes[b]
+	}
+	return &Type{Kind: KScalar, Base: b}
+}
 
 // ArrayOf returns an array type.
 func ArrayOf(elem *Type, n int) *Type { return &Type{Kind: KArray, Elem: elem, Len: n} }
@@ -196,8 +216,21 @@ func Zero(t *Type) Value {
 }
 
 // Int builds a scalar value of the given base type, truncating i to the
-// type's width and signedness.
+// type's width and signedness. The common 32-bit bases are special-cased
+// to plain register conversions (equivalent to truncate, measurably
+// cheaper on the interpreter hot path).
 func Int(b BaseType, i int64) Value {
+	switch b {
+	case I32:
+		return Value{Type: &scalarTypes[I32], I: int64(int32(i))}
+	case U32:
+		return Value{Type: &scalarTypes[U32], I: int64(uint32(i))}
+	case Bool:
+		if i != 0 {
+			i = 1
+		}
+		return Value{Type: &scalarTypes[Bool], I: i}
+	}
 	return Value{Type: Scalar(b), I: truncate(b, i)}
 }
 

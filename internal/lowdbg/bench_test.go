@@ -1,0 +1,48 @@
+package lowdbg
+
+import (
+	"testing"
+
+	"dfdbg/internal/dbginfo"
+	"dfdbg/internal/filterc"
+	"dfdbg/internal/sim"
+)
+
+// These benchmarks pin the always-attached cost of the two debugger
+// surfaces the target program calls unconditionally: function entries and
+// statement executions. With nothing armed, both must stay at roughly an
+// integer-compare apiece — no map lookup, no key hashing, no allocation.
+
+func BenchmarkEnterFuncIdle(b *testing.B) {
+	d := New(sim.NewKernel(), dbginfo.NewTable())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if exit := d.EnterFunc(nil, "pipe::Red2PipeCbMB_in", nil); exit != nil {
+			b.Fatal("unexpected finisher")
+		}
+	}
+}
+
+// BenchmarkEnterFuncArmedElsewhere measures the hook when a function
+// breakpoint exists on an unrelated symbol: the armed counter is nonzero,
+// so the per-call map lookup comes back.
+func BenchmarkEnterFuncArmedElsewhere(b *testing.B) {
+	d := New(sim.NewKernel(), dbginfo.NewTable())
+	d.BreakFuncInternal("other_symbol", nil, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if exit := d.EnterFunc(nil, "pipe::Red2PipeCbMB_in", nil); exit != nil {
+			b.Fatal("unexpected finisher")
+		}
+	}
+}
+
+func BenchmarkOnStmtIdle(b *testing.B) {
+	d := New(sim.NewKernel(), dbginfo.NewTable())
+	h := &interpHooks{d: d}
+	pos := filterc.Pos{File: "t.c", Line: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.OnStmt(nil, pos)
+	}
+}

@@ -163,9 +163,11 @@ func (d *Debugger) insertBp(bp *Breakpoint) {
 	switch bp.Kind {
 	case BpFunc:
 		d.funcBPs[bp.Sym] = append(d.funcBPs[bp.Sym], bp)
+		d.armedFunc++
 	case BpLine:
 		key := lineKey(bp.File, bp.Line)
 		d.lineBPs[key] = append(d.lineBPs[key], bp)
+		d.armedStmt++
 	}
 }
 
@@ -189,6 +191,9 @@ func (d *Debugger) DeleteInternalBp(bp *Breakpoint) {
 }
 
 func (d *Debugger) removeBp(bp *Breakpoint) {
+	if _, ok := d.bps[bp.ID]; !ok {
+		return // already removed (e.g. a temporary hit twice in one scan)
+	}
 	delete(d.bps, bp.ID)
 	switch bp.Kind {
 	case BpFunc:
@@ -196,12 +201,14 @@ func (d *Debugger) removeBp(bp *Breakpoint) {
 		if len(d.funcBPs[bp.Sym]) == 0 {
 			delete(d.funcBPs, bp.Sym)
 		}
+		d.armedFunc--
 	case BpLine:
 		key := lineKey(bp.File, bp.Line)
 		d.lineBPs[key] = removeFrom(d.lineBPs[key], bp)
 		if len(d.lineBPs[key]) == 0 {
 			delete(d.lineBPs, key)
 		}
+		d.armedStmt--
 	}
 }
 
@@ -262,6 +269,7 @@ func (d *Debugger) Watch(sym string) (*Watchpoint, error) {
 	d.nextBpID++
 	w := &Watchpoint{ID: d.nextBpID, Sym: sym, Enabled: true, val: v, old: v.Clone()}
 	d.watchpoints = append(d.watchpoints, w)
+	d.armedStmt++
 	return w, nil
 }
 
@@ -277,6 +285,7 @@ func (d *Debugger) DeleteWatch(id int) error {
 	for i, w := range d.watchpoints {
 		if w.ID == id {
 			d.watchpoints = append(d.watchpoints[:i], d.watchpoints[i+1:]...)
+			d.armedStmt--
 			return nil
 		}
 	}

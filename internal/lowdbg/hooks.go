@@ -21,6 +21,11 @@ import (
 // stop the world.
 func (d *Debugger) EnterFunc(p *sim.Proc, fn string, args []Arg) func(ret any) {
 	d.HookCalls++
+	// Armed-count fast path: with no function breakpoint planted anywhere
+	// the cost is one integer compare — no map lookup, no hashing of fn.
+	if d.armedFunc == 0 {
+		return nil
+	}
 	bps := d.funcBPs[fn]
 	if len(bps) == 0 {
 		return nil
@@ -163,10 +168,10 @@ func (h *interpHooks) OnStmt(fr *filterc.Frame, pos filterc.Pos) {
 	d := h.d
 	d.HookCalls++
 
-	// Line breakpoints. The key is only materialized when any line
-	// breakpoint exists at all: with none planted, a statement costs a
-	// counter bump and three nil checks.
-	if len(d.lineBPs) == 0 && len(d.watchpoints) == 0 && d.stepKind == stepNone {
+	// Armed-count fast path: with no line breakpoint, watchpoint or step
+	// request anywhere, a statement costs a counter bump and one integer
+	// compare. The lineKey string is only materialized further down.
+	if d.armedStmt == 0 {
 		return
 	}
 	if bps := d.lineBPs[lineKey(pos.File, pos.Line)]; len(bps) > 0 {

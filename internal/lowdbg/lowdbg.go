@@ -150,6 +150,13 @@ type Debugger struct {
 
 	watchpoints []*Watchpoint
 
+	// Armed-surface counters, maintained by insertBp/removeBp, Watch/
+	// DeleteWatch and stepCommon/clearStep. EnterFunc and OnStmt compare
+	// them to zero before touching any map, so an attached-but-idle
+	// debugger costs one integer compare per call / statement.
+	armedFunc int // breakpoints in funcBPs
+	armedStmt int // line breakpoints + watchpoints + pending step request
+
 	objects map[string]*filterc.Value // registered data objects by symbol
 	interps map[*sim.Proc]*filterc.Interp
 	sources map[string][]string // file → lines, for the `list` command
@@ -351,6 +358,9 @@ func (d *Debugger) FinishStep(p *sim.Proc) *StopEvent {
 
 func (d *Debugger) stepCommon(p *sim.Proc, mode stepMode) *StopEvent {
 	in := d.interps[p]
+	if d.stepKind == stepNone {
+		d.armedStmt++
+	}
 	d.stepProc = p
 	d.stepKind = mode
 	d.stepDepth = 0
@@ -373,6 +383,9 @@ func (d *Debugger) stepCommon(p *sim.Proc, mode stepMode) *StopEvent {
 }
 
 func (d *Debugger) clearStep() {
+	if d.stepKind != stepNone {
+		d.armedStmt--
+	}
 	d.stepProc = nil
 	d.stepKind = stepNone
 }

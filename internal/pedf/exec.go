@@ -325,6 +325,7 @@ func (rt *Runtime) spawnActors() {
 		}
 		if f.Prog != nil {
 			f.interp = filterc.New(f.Prog, &filterEnv{f: f})
+			f.interp.Engine = rt.FilterCEngine
 			f.interp.Hooks = &costHooks{f: f}
 			if rt.Dbg != nil {
 				rt.Dbg.AttachInterp(f.proc, f.interp)

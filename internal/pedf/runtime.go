@@ -114,6 +114,12 @@ type Runtime struct {
 	// LinkCap overrides the default FIFO capacity for new links.
 	LinkCap int
 
+	// FilterCEngine selects the filterc execution engine for every actor
+	// interpreter this runtime creates (filterc.EngineDefault follows the
+	// build tag / DFDBG_FILTERC_INTERP). The differential replay tests use
+	// it to run the same application on the walker and on the VM.
+	FilterCEngine filterc.Engine
+
 	modules    map[string]*Module
 	moduleList []*Module
 	actors     map[string]*Filter // filters AND controllers by name
@@ -224,6 +230,12 @@ func (rt *Runtime) registerObsMetrics() {
 	rt.fireHist = m.Histogram("pedf_firing_duration_ns",
 		"simulated duration of one WORK firing",
 		[]float64{100, 1000, 10_000, 100_000, 1_000_000})
+	// Bytecode-compiler counters (process-wide: the compiled-code cache is
+	// shared across runtimes).
+	m.CounterFunc("filterc_compile_total", "filter programs compiled to bytecode",
+		func() float64 { return float64(filterc.CompileTotal()) })
+	m.CounterFunc("filterc_cache_hits_total", "compiled-code cache hits",
+		func() float64 { return float64(filterc.CacheHits()) })
 }
 
 // portPE returns the PE an endpoint lives on (environment ports live on
