@@ -5,6 +5,7 @@
 // Usage:
 //
 //	dfdbg [-w 32] [-h 32] [-qp 8] [-seed 7] [-bug none|swapped-mb-inputs|rate-stall|bad-dc]
+//	      [-faults <spec|file>] [-fault-seed N] [-watchdog 2ms]
 //
 // Commands arrive on stdin; start with `help`. Typical session:
 //
@@ -25,6 +26,7 @@ import (
 	"dfdbg/internal/cli"
 	"dfdbg/internal/core"
 	"dfdbg/internal/dbginfo"
+	"dfdbg/internal/fault"
 	"dfdbg/internal/h264"
 	"dfdbg/internal/lowdbg"
 	"dfdbg/internal/mach"
@@ -45,10 +47,14 @@ func main() {
 		qp   = flag.Int("qp", 8, "quantization step")
 		seed = flag.Int64("seed", 7, "synthetic content seed")
 		bug  = flag.String("bug", "none", "inject a defect: none, swapped-mb-inputs, rate-stall, bad-dc")
+		flts = flag.String("faults", "", "fault plan: inline spec (;-separated) or a file path")
+		fsd  = flag.Int64("fault-seed", 0, "arm a seeded random fault plan (0 = off)")
+		wdog = flag.String("watchdog", "", "progress watchdog threshold, e.g. 2ms (empty = off)")
 	)
 	flag.Parse()
 	p := h264.Params{W: *w, H: *h, QP: *qp, Seed: *seed}
-	if err := run(p, *bug, os.Stdin, os.Stdout); err != nil {
+	fo := faultOpts{spec: *flts, seed: *fsd, watchdog: *wdog}
+	if err := run(p, *bug, fo, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "dfdbg: %v\n", err)
 		os.Exit(1)
 	}
@@ -112,7 +118,45 @@ func parseBug(s string) (h264.Bug, error) {
 	}
 }
 
-func run(p h264.Params, bugName string, in io.Reader, out io.Writer) error {
+// faultOpts bundles the fault-injection flags of one session.
+type faultOpts struct {
+	spec     string // inline plan or file path ("" = none)
+	seed     int64  // random-plan seed (0 = none)
+	watchdog string // watchdog threshold ("" = off)
+}
+
+// armFaults installs the requested fault plan and watchdog on the
+// kernel. An explicit spec wins over a seed; a spec naming an existing
+// file is read from disk, anything else parses as an inline plan.
+func armFaults(k *sim.Kernel, rt *pedf.Runtime, fo faultOpts, out io.Writer) error {
+	switch {
+	case fo.spec != "":
+		text := fo.spec
+		if b, err := os.ReadFile(fo.spec); err == nil {
+			text = string(b)
+		}
+		plan, err := fault.ParsePlan(text)
+		if err != nil {
+			return err
+		}
+		k.SetFaults(fault.NewInjector(plan))
+		fmt.Fprintf(out, "armed %d fault(s)\n", len(plan.Faults))
+	case fo.seed != 0:
+		plan := fault.Generate(fo.seed, rt.FaultTargets())
+		k.SetFaults(fault.NewInjector(plan))
+		fmt.Fprintf(out, "fault plan (seed %d):\n%s", fo.seed, plan)
+	}
+	if fo.watchdog != "" {
+		ns, err := fault.ParseDurationNS(fo.watchdog)
+		if err != nil {
+			return err
+		}
+		k.SetWatchdog(sim.Duration(ns))
+	}
+	return nil
+}
+
+func run(p h264.Params, bugName string, fo faultOpts, in io.Reader, out io.Writer) error {
 	bug, err := parseBug(bugName)
 	if err != nil {
 		return err
@@ -135,6 +179,9 @@ func run(p h264.Params, bugName string, in io.Reader, out io.Writer) error {
 	if err := rt.Start(); err != nil {
 		return err
 	}
+	if err := armFaults(k, rt, fo, out); err != nil {
+		return err
+	}
 	// Static pre-flight: warnings surface before the first dispatch (the
 	// run proceeds regardless; `dfdbg analyze` is the gating form).
 	pedfgraph.InstallPreRun(k, rt, "h264", out)
@@ -150,6 +197,7 @@ func run(p h264.Params, bugName string, in io.Reader, out io.Writer) error {
 	c := cli.New(d, out)
 	c.Rec = rec
 	c.Obs = orec
+	c.Targets = rt.FaultTargets()
 	c.Run(in)
 	return nil
 }

@@ -19,7 +19,7 @@ func TestScriptedSession(t *testing.T) {
 		"quit",
 	}, "\n")
 	var out strings.Builder
-	if err := run(p, "none", strings.NewReader(script), &out); err != nil {
+	if err := run(p, "none", faultOpts{}, strings.NewReader(script), &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -47,7 +47,7 @@ func TestTraceCommands(t *testing.T) {
 		"quit",
 	}, "\n")
 	var out strings.Builder
-	if err := run(p, "none", strings.NewReader(script), &out); err != nil {
+	if err := run(p, "none", faultOpts{}, strings.NewReader(script), &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -59,7 +59,7 @@ func TestTraceCommands(t *testing.T) {
 func TestSessionWithInjectedBug(t *testing.T) {
 	p := h264.Params{W: 16, H: 16, QP: 8, Seed: 7}
 	var out strings.Builder
-	err := run(p, "swapped-mb-inputs", strings.NewReader("continue\nquit\n"), &out)
+	err := run(p, "swapped-mb-inputs", faultOpts{}, strings.NewReader("continue\nquit\n"), &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestParseBug(t *testing.T) {
 		t.Error("bogus bug accepted")
 	}
 	var out strings.Builder
-	if err := run(h264.Params{W: 16, H: 16, QP: 8}, "bogus", strings.NewReader(""), &out); err == nil {
+	if err := run(h264.Params{W: 16, H: 16, QP: 8}, "bogus", faultOpts{}, strings.NewReader(""), &out); err == nil {
 		t.Error("run with bogus bug accepted")
 	}
 }

@@ -7,6 +7,12 @@
 //
 //	h264dec [-w 48] [-h 32] [-qp 8] [-seed 7] [-pgm out.pgm]
 //	        [-obs] [-timeline trace.json] [-metrics-addr :9090]
+//	        [-faults <spec|file>] [-fault-seed N] [-watchdog 2ms]
+//
+// With -faults or -fault-seed the run becomes a chaos experiment: the
+// reference comparison is skipped, stall reports and the fault trace
+// are printed, and the exit code is 0 unless a panic escapes the
+// containment layers (the CI assertion).
 package main
 
 import (
@@ -14,7 +20,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
+	"dfdbg/internal/fault"
 	"dfdbg/internal/h264"
 	"dfdbg/internal/mach"
 	"dfdbg/internal/obs"
@@ -34,10 +42,14 @@ func main() {
 		obsOn  = flag.Bool("obs", false, "record observability events and print a profile + metrics")
 		tl     = flag.String("timeline", "", "write a Chrome trace / Perfetto JSON timeline (implies -obs)")
 		maddr  = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (implies -obs)")
+		flts   = flag.String("faults", "", "fault plan: inline spec (;-separated) or a file path")
+		fsd    = flag.Int64("fault-seed", 0, "arm a seeded random fault plan (0 = off)")
+		wdog   = flag.String("watchdog", "", "progress watchdog threshold (default 2ms in fault mode)")
 	)
 	flag.Parse()
 	p := h264.Params{W: *w, H: *h, QP: *qp, Seed: *seed, Frames: *frames, Chroma: *chroma}
-	o := decodeOpts{pgm: *pgm, obs: *obsOn, timeline: *tl, metricsAddr: *maddr}
+	o := decodeOpts{pgm: *pgm, obs: *obsOn, timeline: *tl, metricsAddr: *maddr,
+		faults: *flts, faultSeed: *fsd, watchdog: *wdog}
 	if err := decode(p, o, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "h264dec: %v\n", err)
 		os.Exit(1)
@@ -50,7 +62,13 @@ type decodeOpts struct {
 	obs         bool   // record observability events
 	timeline    string // Chrome trace JSON path ("" = none)
 	metricsAddr string // Prometheus listen address ("" = none)
+	faults      string // fault plan spec or file ("" = none)
+	faultSeed   int64  // random fault plan seed (0 = none)
+	watchdog    string // watchdog threshold ("" = default in fault mode)
 }
+
+// faultMode reports whether this run is a chaos experiment.
+func (o decodeOpts) faultMode() bool { return o.faults != "" || o.faultSeed != 0 }
 
 func decode(p h264.Params, o decodeOpts, w io.Writer) error {
 	video := h264.GenerateSequence(p)
@@ -75,6 +93,9 @@ func decode(p h264.Params, o decodeOpts, w io.Writer) error {
 	}
 	if err := rt.Start(); err != nil {
 		return err
+	}
+	if o.faultMode() {
+		return chaosDecode(k, rt, o, w)
 	}
 	st, err := k.Run()
 	if err != nil {
@@ -141,6 +162,63 @@ func decode(p h264.Params, o decodeOpts, w io.Writer) error {
 			defer closer.Close()
 			fmt.Fprintf(w, "serving metrics on %s/metrics — press Enter to exit\n", o.metricsAddr)
 			fmt.Scanln()
+		}
+	}
+	return nil
+}
+
+// chaosDecode runs the decoder as a chaos experiment: arm the fault
+// plan and the watchdog, run, and report what happened — contained
+// crashes, watchdog stalls with their wait-for explanation, and the
+// deterministic fault trace. The exit code stays 0; only a panic that
+// escapes the containment layers crashes the process, which is exactly
+// what the CI chaos-smoke job asserts against.
+func chaosDecode(k *sim.Kernel, rt *pedf.Runtime, o decodeOpts, w io.Writer) error {
+	switch {
+	case o.faults != "":
+		text := o.faults
+		if b, err := os.ReadFile(o.faults); err == nil {
+			text = string(b)
+		}
+		plan, err := fault.ParsePlan(text)
+		if err != nil {
+			return err
+		}
+		k.SetFaults(fault.NewInjector(plan))
+		fmt.Fprintf(w, "fault plan:\n%s", plan)
+	default:
+		plan := fault.Generate(o.faultSeed, rt.FaultTargets())
+		k.SetFaults(fault.NewInjector(plan))
+		fmt.Fprintf(w, "fault plan (seed %d):\n%s", o.faultSeed, plan)
+	}
+	wd := o.watchdog
+	if wd == "" {
+		wd = "2ms"
+	}
+	ns, err := fault.ParseDurationNS(wd)
+	if err != nil {
+		return err
+	}
+	k.SetWatchdog(sim.Duration(ns))
+	k.SetWallBudget(30 * time.Second)
+
+	st, err := k.Run()
+	switch {
+	case err != nil:
+		fmt.Fprintf(w, "contained crash: %v\n", err)
+	case st == sim.RunStalled:
+		if r := k.LastStall(); r != nil {
+			fmt.Fprintf(w, "%s\n", r)
+		}
+	default:
+		fmt.Fprintf(w, "chaos decode finished at t=%s (status %s)\n", k.Now(), st)
+	}
+	fmt.Fprintf(w, "watchdog stalls: %d\n", k.WatchdogStalls())
+	if in := k.Faults(); in != nil {
+		lines := in.TraceStrings()
+		fmt.Fprintf(w, "fault trace (%d fired, %d pending):\n", len(lines), len(in.Pending()))
+		for _, l := range lines {
+			fmt.Fprintf(w, "  %s\n", l)
 		}
 	}
 	return nil

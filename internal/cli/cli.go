@@ -33,6 +33,7 @@ import (
 
 	"dfdbg/internal/analysis"
 	"dfdbg/internal/core"
+	"dfdbg/internal/fault"
 	"dfdbg/internal/filterc"
 	"dfdbg/internal/lowdbg"
 	"dfdbg/internal/obs"
@@ -51,6 +52,9 @@ type CLI struct {
 	// Obs, when set, enables the observability commands: `metrics`,
 	// `profile` and `timeline export`.
 	Obs *obs.Recorder
+	// Targets, when set, lets `fault gen <seed>` draw random faults
+	// against the running application's links/filters/PEs.
+	Targets fault.Targets
 
 	lastStop *lowdbg.StopEvent
 	curProc  *sim.Proc
@@ -177,6 +181,12 @@ func (c *CLI) Execute(line string) error {
 		return c.profileCmd(rest)
 	case "timeline":
 		return c.timelineCmd(rest)
+	case "fault":
+		return c.faultCmd(rest)
+	case "unstick":
+		return c.unstickCmd(rest)
+	case "watchdog":
+		return c.watchdogCmd(rest)
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
 	}
@@ -242,6 +252,12 @@ Observability commands:
   metrics [prom]                         metrics registry (text or Prometheus)
   profile [n | folded]                   simulated-time profile of the run
   timeline export <file>                 Chrome trace / Perfetto JSON ("-" = stdout)
+Fault injection & recovery:
+  fault status|list|trace|clear          inspect / disarm the fault plan
+  fault load <file> | add <spec...>      arm deterministic faults
+  fault gen <seed>                       arm a seeded random plan
+  watchdog <dur>|off                     progress watchdog (stall detector)
+  unstick [apply]                        propose / apply deadlock token surgery
 `)
 }
 
@@ -258,6 +274,9 @@ func (c *CLI) reportStop(ev *lowdbg.StopEvent) error {
 		c.curProc = ev.Proc
 	}
 	c.printf("%s\n", ev.Reason)
+	if ev.Deadlock != nil || ev.Stall != nil {
+		c.printStallDetail(ev)
+	}
 	if ev.Pos.Line > 0 {
 		if src := c.Low.SourceLine(ev.Pos.File, ev.Pos.Line); src != "" {
 			c.printf("%d\t%s\n", ev.Pos.Line, src)
@@ -1025,10 +1044,11 @@ func (c *CLI) timelineCmd(rest []string) error {
 // cursor is still on the first word of the line.
 var commandWords = []string{
 	"analyze", "backtrace", "break", "catchpoints", "continue", "delete",
-	"disable", "drop", "enable", "filter", "finish", "graph", "help",
-	"iface", "info", "inject", "list", "metrics", "module", "next", "peek",
-	"print", "profile", "quit", "replace", "set", "step", "step_both",
-	"tbreak", "thread", "timeline", "trace", "watch",
+	"disable", "drop", "enable", "fault", "filter", "finish", "graph",
+	"help", "iface", "info", "inject", "list", "metrics", "module", "next",
+	"peek", "print", "profile", "quit", "replace", "set", "step",
+	"step_both", "tbreak", "thread", "timeline", "trace", "unstick",
+	"watch", "watchdog",
 }
 
 // CompleteLine offers completions for the last word of a partial command

@@ -38,13 +38,14 @@ const (
 
 // Target helper functions (GDB "call inferior function" surface).
 const (
-	tfLinkInject    = "pedf_link_inject"
-	tfLinkDrop      = "pedf_link_drop"
-	tfLinkReplace   = "pedf_link_replace"
-	tfLinkPeek      = "pedf_link_peek"
-	tfLinkOccupancy = "pedf_link_occupancy"
-	tfFilterLine    = "pedf_filter_line"
-	tfFilterBlocked = "pedf_filter_blocked"
+	tfLinkInject     = "pedf_link_inject"
+	tfLinkDrop       = "pedf_link_drop"
+	tfLinkReplace    = "pedf_link_replace"
+	tfLinkPeek       = "pedf_link_peek"
+	tfLinkOccupancy  = "pedf_link_occupancy"
+	tfLinkInjectZero = "pedf_link_inject_zero"
+	tfFilterLine     = "pedf_filter_line"
+	tfFilterBlocked  = "pedf_filter_blocked"
 )
 
 // Debugger is the dataflow-aware debugging layer.

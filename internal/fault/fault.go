@@ -1,0 +1,429 @@
+// Package fault implements seed-deterministic fault injection for the
+// dataflow stack. A Plan is a small, human-readable list of precise
+// faults — corrupt/duplicate/drop a token on a named link at push index
+// N, stall or crash a filter at firing N, shrink a FIFO, slow down or
+// fail a processing element, freeze a process at dispatch N, delay a DMA
+// transfer — and an Injector arms a Plan so the runtime layers (sim,
+// pedf, mach) can ask "does a fault fire here?" at their injection
+// points.
+//
+// The package is a leaf: it imports only the standard library, so every
+// layer of the stack (including the sim kernel) can depend on it without
+// cycles. Mirroring the obs discipline, the disabled path is a single
+// nil check at each injection point: when no plan is armed the kernel's
+// fault pointer is nil and no Injector method runs at all.
+//
+// Determinism: faults trigger on *logical* indices (push sequence
+// numbers, firing counts, dispatch counts), never on wall-clock time, so
+// re-running the same seed over the same application reproduces the
+// identical fault trace token for token.
+package fault
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind enumerates the supported fault types.
+type Kind uint8
+
+const (
+	// KNone is the zero value; it never fires.
+	KNone Kind = iota
+	// KCorrupt XORs the scalar payload of the Nth push on a link.
+	KCorrupt
+	// KDup duplicates the Nth pushed token on a link.
+	KDup
+	// KDrop silently discards the Nth pushed token on a link.
+	KDrop
+	// KShrink caps a link's FIFO at Arg slots from push index N on.
+	KShrink
+	// KDelay stalls the Nth pop on a link by Arg simulated ns.
+	KDelay
+	// KStall makes a filter sleep Arg simulated ns before firing N.
+	KStall
+	// KPanic crashes a filter's work function at firing N.
+	KPanic
+	// KSlowPE multiplies all compute time on a PE by Arg.
+	KSlowPE
+	// KFailPE panics the Nth compute issued on a PE.
+	KFailPE
+	// KFreeze freezes a process at its Nth kernel dispatch.
+	KFreeze
+	// KDMADelay stalls the Nth DMA transfer by Arg simulated ns.
+	KDMADelay
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KCorrupt:
+		return "corrupt"
+	case KDup:
+		return "dup"
+	case KDrop:
+		return "drop"
+	case KShrink:
+		return "shrink"
+	case KDelay:
+		return "delay"
+	case KStall:
+		return "stall"
+	case KPanic:
+		return "panic"
+	case KSlowPE:
+		return "slow"
+	case KFailPE:
+		return "fail"
+	case KFreeze:
+		return "freeze"
+	case KDMADelay:
+		return "dma-delay"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Fault is one armed fault. Target names a link ("actor::port",
+// source-qualified), a filter, or a process depending on Kind; PE names
+// a processing element for the PE kinds. N is the trigger index
+// (0-based) and Arg carries the kind-specific parameter (xor mask,
+// capacity, delay ns, slowdown factor).
+type Fault struct {
+	Kind   Kind
+	Target string
+	PE     int
+	N      uint64
+	Arg    int64
+}
+
+// String renders the fault in the canonical spec-line form accepted by
+// ParsePlan.
+func (f Fault) String() string {
+	switch f.Kind {
+	case KCorrupt:
+		return fmt.Sprintf("corrupt link %s @ %d mask %d", f.Target, f.N, f.Arg)
+	case KDup:
+		return fmt.Sprintf("dup link %s @ %d", f.Target, f.N)
+	case KDrop:
+		return fmt.Sprintf("drop link %s @ %d", f.Target, f.N)
+	case KShrink:
+		return fmt.Sprintf("shrink link %s @ %d cap %d", f.Target, f.N, f.Arg)
+	case KDelay:
+		return fmt.Sprintf("delay link %s @ %d ns %d", f.Target, f.N, f.Arg)
+	case KStall:
+		return fmt.Sprintf("stall filter %s @ %d ns %d", f.Target, f.N, f.Arg)
+	case KPanic:
+		return fmt.Sprintf("panic filter %s @ %d", f.Target, f.N)
+	case KSlowPE:
+		return fmt.Sprintf("slow pe %d factor %d", f.PE, f.Arg)
+	case KFailPE:
+		return fmt.Sprintf("fail pe %d @ %d", f.PE, f.N)
+	case KFreeze:
+		return fmt.Sprintf("freeze proc %s @ %d", f.Target, f.N)
+	case KDMADelay:
+		return fmt.Sprintf("delay dma @ %d ns %d", f.N, f.Arg)
+	default:
+		return fmt.Sprintf("?%s", f.Kind)
+	}
+}
+
+// Plan is a set of faults plus the seed that generated it (0 for
+// hand-written plans).
+type Plan struct {
+	Seed   int64
+	Faults []Fault
+}
+
+// String renders the plan in the canonical spec format: a "seed" line
+// when the seed is nonzero, then one line per fault. ParsePlan of the
+// result reproduces the plan exactly.
+func (p Plan) String() string {
+	s := ""
+	if p.Seed != 0 {
+		s = fmt.Sprintf("seed %d\n", p.Seed)
+	}
+	for _, f := range p.Faults {
+		s += f.String() + "\n"
+	}
+	return s
+}
+
+// Shot records one fault that actually fired, at a simulated time.
+type Shot struct {
+	At   uint64 // simulated ns
+	Desc string // canonical fault line
+}
+
+func (s Shot) String() string { return fmt.Sprintf("t=%dns %s", s.At, s.Desc) }
+
+// armed is a fault plus its firing state.
+type armed struct {
+	f     Fault
+	fired bool
+}
+
+// PushAction describes what to do to the token being pushed.
+type PushAction struct {
+	CorruptMask int64 // nonzero: XOR the scalar payload
+	Dup         bool  // append a second copy
+	Drop        bool  // discard instead of appending
+}
+
+// FireAction describes what to do before a filter firing.
+type FireAction struct {
+	StallNS int64 // sleep this long before the work function
+	Panic   bool  // crash the work function
+}
+
+// Injector arms a Plan and answers the per-layer injection-point
+// queries. All methods are called under the sim kernel's baton (single
+// writer), so no locking is needed. A nil *Injector is never consulted:
+// layers hold it behind one nil check, matching the obs discipline.
+type Injector struct {
+	faults  []*armed
+	byLink  map[string][]*armed
+	byActor map[string][]*armed
+	byPE    map[int][]*armed
+	byProc  map[string][]*armed
+	dma     []*armed
+
+	dispatchN map[string]uint64
+	computeN  map[int]uint64
+	dmaN      uint64
+
+	injected uint64
+	trace    []Shot
+}
+
+// NewInjector arms every fault in the plan.
+func NewInjector(p Plan) *Injector {
+	in := &Injector{
+		byLink:    map[string][]*armed{},
+		byActor:   map[string][]*armed{},
+		byPE:      map[int][]*armed{},
+		byProc:    map[string][]*armed{},
+		dispatchN: map[string]uint64{},
+		computeN:  map[int]uint64{},
+	}
+	for _, f := range p.Faults {
+		in.Add(f)
+	}
+	return in
+}
+
+// Add arms one more fault.
+func (in *Injector) Add(f Fault) {
+	a := &armed{f: f}
+	in.faults = append(in.faults, a)
+	switch f.Kind {
+	case KCorrupt, KDup, KDrop, KShrink, KDelay:
+		in.byLink[f.Target] = append(in.byLink[f.Target], a)
+	case KStall, KPanic:
+		in.byActor[f.Target] = append(in.byActor[f.Target], a)
+	case KSlowPE, KFailPE:
+		in.byPE[f.PE] = append(in.byPE[f.PE], a)
+	case KFreeze:
+		in.byProc[f.Target] = append(in.byProc[f.Target], a)
+	case KDMADelay:
+		in.dma = append(in.dma, a)
+	}
+}
+
+// Faults returns the armed faults in arming order.
+func (in *Injector) Faults() []Fault {
+	out := make([]Fault, len(in.faults))
+	for i, a := range in.faults {
+		out[i] = a.f
+	}
+	return out
+}
+
+// InjectedTotal counts faults that have fired so far.
+func (in *Injector) InjectedTotal() uint64 { return in.injected }
+
+// Trace returns the fired-fault log in firing order.
+func (in *Injector) Trace() []Shot {
+	out := make([]Shot, len(in.trace))
+	copy(out, in.trace)
+	return out
+}
+
+// TraceStrings renders the trace one line per shot.
+func (in *Injector) TraceStrings() []string {
+	out := make([]string, len(in.trace))
+	for i, s := range in.trace {
+		out[i] = s.String()
+	}
+	return out
+}
+
+func (in *Injector) shoot(at uint64, a *armed) {
+	a.fired = true
+	in.injected++
+	in.trace = append(in.trace, Shot{At: at, Desc: a.f.String()})
+}
+
+// OnPush reports the fault actions for the seq-th push on link (pedf
+// link-push injection point). The bool is false when nothing fires.
+func (in *Injector) OnPush(at uint64, link string, seq uint64) (PushAction, bool) {
+	var act PushAction
+	hit := false
+	for _, a := range in.byLink[link] {
+		if a.fired || a.f.N != seq {
+			continue
+		}
+		switch a.f.Kind {
+		case KCorrupt:
+			act.CorruptMask = a.f.Arg
+		case KDup:
+			act.Dup = true
+		case KDrop:
+			act.Drop = true
+		default:
+			continue
+		}
+		in.shoot(at, a)
+		hit = true
+	}
+	return act, hit
+}
+
+// LinkCap returns the effective capacity of link at push index seq (pedf
+// FIFO-shrink injection point). Shrink faults clamp the capacity to
+// their Arg (never below 1) from index N on.
+func (in *Injector) LinkCap(at uint64, link string, seq uint64, cap int) int {
+	for _, a := range in.byLink[link] {
+		if a.f.Kind != KShrink || seq < a.f.N {
+			continue
+		}
+		c := int(a.f.Arg)
+		if c < 1 {
+			c = 1
+		}
+		if c < cap {
+			cap = c
+		}
+		if !a.fired {
+			in.shoot(at, a)
+		}
+	}
+	return cap
+}
+
+// OnPop returns the extra delay (simulated ns) for the seq-th pop on
+// link (pedf link-pop injection point).
+func (in *Injector) OnPop(at uint64, link string, seq uint64) int64 {
+	var d int64
+	for _, a := range in.byLink[link] {
+		if a.fired || a.f.Kind != KDelay || a.f.N != seq {
+			continue
+		}
+		d += a.f.Arg
+		in.shoot(at, a)
+	}
+	return d
+}
+
+// OnFire reports the fault actions for a filter's firing-th invocation
+// (pedf work-function injection point).
+func (in *Injector) OnFire(at uint64, actor string, firing uint64) (FireAction, bool) {
+	var act FireAction
+	hit := false
+	for _, a := range in.byActor[actor] {
+		if a.fired || a.f.N != firing {
+			continue
+		}
+		switch a.f.Kind {
+		case KStall:
+			act.StallNS += a.f.Arg
+		case KPanic:
+			act.Panic = true
+		default:
+			continue
+		}
+		in.shoot(at, a)
+		hit = true
+	}
+	return act, hit
+}
+
+// OnCompute reports the slowdown factor (1 when unaffected) and whether
+// this compute call must fail, for a compute issued on pe (mach
+// injection point). Calls are counted per PE; a fail fault fires on the
+// Nth call.
+func (in *Injector) OnCompute(at uint64, pe int) (factor int64, fail bool) {
+	factor = 1
+	as := in.byPE[pe]
+	if len(as) == 0 {
+		return 1, false
+	}
+	n := in.computeN[pe]
+	in.computeN[pe] = n + 1
+	for _, a := range as {
+		switch a.f.Kind {
+		case KSlowPE:
+			if a.f.Arg > 1 {
+				factor *= a.f.Arg
+				if !a.fired {
+					in.shoot(at, a)
+				}
+			}
+		case KFailPE:
+			if !a.fired && a.f.N == n {
+				fail = true
+				in.shoot(at, a)
+			}
+		}
+	}
+	return factor, fail
+}
+
+// OnDispatch reports whether proc must be frozen at this, its n-th,
+// kernel dispatch (sim kernel-dispatch injection point).
+func (in *Injector) OnDispatch(at uint64, proc string) bool {
+	as := in.byProc[proc]
+	if len(as) == 0 {
+		return false
+	}
+	n := in.dispatchN[proc]
+	in.dispatchN[proc] = n + 1
+	freeze := false
+	for _, a := range as {
+		if !a.fired && a.f.Kind == KFreeze && a.f.N == n {
+			freeze = true
+			in.shoot(at, a)
+		}
+	}
+	return freeze
+}
+
+// OnDMA returns the extra delay (simulated ns) for this, the n-th, DMA
+// transfer (mach DMA injection point).
+func (in *Injector) OnDMA(at uint64) int64 {
+	if len(in.dma) == 0 {
+		return 0
+	}
+	n := in.dmaN
+	in.dmaN++
+	var d int64
+	for _, a := range in.dma {
+		if !a.fired && a.f.N == n {
+			d += a.f.Arg
+			in.shoot(at, a)
+		}
+	}
+	return d
+}
+
+// Pending returns the armed faults that have not fired yet, sorted by
+// canonical form (for stable reporting).
+func (in *Injector) Pending() []Fault {
+	var out []Fault
+	for _, a := range in.faults {
+		if !a.fired {
+			out = append(out, a.f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}

@@ -1,0 +1,252 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	spec := `# a hand-written plan
+seed 99
+corrupt link red::out @ 5 mask 0xff
+dup link red::out @ 2
+drop link mb::addr @ 0
+shrink link red::out @ 3 cap 1
+delay link red::out @ 1 ns 250
+delay dma @ 4 ns 1000
+stall filter mb @ 2 ns 500
+panic filter pipe @ 7
+slow pe 3 factor 4
+fail pe 0 @ 6
+freeze proc flt.mb @ 1
+`
+	p, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 99 {
+		t.Errorf("seed = %d, want 99", p.Seed)
+	}
+	if len(p.Faults) != 11 {
+		t.Fatalf("parsed %d faults, want 11", len(p.Faults))
+	}
+	// Canonical round-trip: String() parses back to the identical plan.
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("canonical form rejected: %v\n%s", err, p.String())
+	}
+	if p.String() != p2.String() {
+		t.Errorf("round-trip diverged:\n%s\nvs\n%s", p, p2)
+	}
+	// The hex mask renders in decimal canonical form.
+	if !strings.Contains(p.String(), "mask 255") {
+		t.Errorf("canonical mask not decimal:\n%s", p)
+	}
+}
+
+func TestParsePlanSemicolons(t *testing.T) {
+	p, err := ParsePlan("dup link a::b @ 1; drop link a::b @ 2 # trailing comment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Faults) != 2 {
+		t.Fatalf("parsed %d faults, want 2", len(p.Faults))
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, bad := range []string{
+		"frob link a::b @ 1",           // unknown kind
+		"corrupt link a::b @ 1",        // missing mask
+		"corrupt link a::b @ x mask 1", // bad integer
+		"shrink link a::b @ 1 cap 0",   // capacity below 1
+		"delay link a::b @ 1 ns -5",    // negative delay
+		"slow pe 1 factor 0",           // factor below 1
+		"seed",                         // malformed seed
+		"panic filter",                 // truncated
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseDurationNS(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want uint64
+	}{
+		{"300ns", 300}, {"5us", 5000}, {"2ms", 2_000_000}, {"1s", 1_000_000_000}, {"42", 42},
+	} {
+		got, err := ParseDurationNS(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseDurationNS(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "0", "ms", "-1ns", "3.5ms"} {
+		if _, err := ParseDurationNS(bad); err == nil {
+			t.Errorf("ParseDurationNS(%q) accepted", bad)
+		}
+	}
+}
+
+func TestInjectorOnPush(t *testing.T) {
+	in := NewInjector(Plan{Faults: []Fault{
+		{Kind: KCorrupt, Target: "a::b", N: 2, Arg: 0xff},
+		{Kind: KDrop, Target: "a::b", N: 4},
+	}})
+	var hits []uint64
+	for seq := uint64(0); seq < 6; seq++ {
+		if act, ok := in.OnPush(100+seq, "a::b", seq); ok {
+			hits = append(hits, seq)
+			switch seq {
+			case 2:
+				if act.CorruptMask != 0xff || act.Drop {
+					t.Errorf("seq 2 action = %+v", act)
+				}
+			case 4:
+				if !act.Drop || act.CorruptMask != 0 {
+					t.Errorf("seq 4 action = %+v", act)
+				}
+			}
+		}
+	}
+	if len(hits) != 2 || hits[0] != 2 || hits[1] != 4 {
+		t.Errorf("hits = %v, want [2 4]", hits)
+	}
+	// One-shot: a replayed sequence number does not re-fire.
+	if _, ok := in.OnPush(200, "a::b", 2); ok {
+		t.Error("corrupt fault fired twice")
+	}
+	if in.InjectedTotal() != 2 {
+		t.Errorf("InjectedTotal = %d, want 2", in.InjectedTotal())
+	}
+	if n := len(in.Pending()); n != 0 {
+		t.Errorf("%d faults still pending", n)
+	}
+	tr := in.TraceStrings()
+	if len(tr) != 2 || !strings.Contains(tr[0], "t=102ns corrupt link a::b @ 2 mask 255") {
+		t.Errorf("trace = %v", tr)
+	}
+}
+
+func TestInjectorOtherLinkUntouched(t *testing.T) {
+	in := NewInjector(Plan{Faults: []Fault{{Kind: KDrop, Target: "a::b", N: 0}}})
+	if _, ok := in.OnPush(0, "x::y", 0); ok {
+		t.Error("fault fired on an unrelated link")
+	}
+}
+
+func TestInjectorLinkCap(t *testing.T) {
+	in := NewInjector(Plan{Faults: []Fault{{Kind: KShrink, Target: "a::b", N: 3, Arg: 1}}})
+	for seq := uint64(0); seq < 3; seq++ {
+		if got := in.LinkCap(0, "a::b", seq, 8); got != 8 {
+			t.Errorf("seq %d: cap = %d, want 8 (not yet shrunk)", seq, got)
+		}
+	}
+	// From N on, every push sees the shrunken capacity.
+	for seq := uint64(3); seq < 6; seq++ {
+		if got := in.LinkCap(0, "a::b", seq, 8); got != 1 {
+			t.Errorf("seq %d: cap = %d, want 1", seq, got)
+		}
+	}
+	if in.InjectedTotal() != 1 {
+		t.Errorf("shrink counted %d shots, want 1", in.InjectedTotal())
+	}
+}
+
+func TestInjectorOnFire(t *testing.T) {
+	in := NewInjector(Plan{Faults: []Fault{
+		{Kind: KStall, Target: "mb", N: 1, Arg: 700},
+		{Kind: KPanic, Target: "mb", N: 3},
+	}})
+	if _, ok := in.OnFire(0, "mb", 0); ok {
+		t.Error("fired at firing 0")
+	}
+	act, ok := in.OnFire(0, "mb", 1)
+	if !ok || act.StallNS != 700 || act.Panic {
+		t.Errorf("firing 1: %+v, %v", act, ok)
+	}
+	act, ok = in.OnFire(0, "mb", 3)
+	if !ok || !act.Panic {
+		t.Errorf("firing 3: %+v, %v", act, ok)
+	}
+}
+
+func TestInjectorPE(t *testing.T) {
+	in := NewInjector(Plan{Faults: []Fault{
+		{Kind: KSlowPE, PE: 2, Arg: 3},
+		{Kind: KFailPE, PE: 5, N: 1},
+	}})
+	if f, fail := in.OnCompute(0, 2); f != 3 || fail {
+		t.Errorf("pe 2: factor %d fail %v", f, fail)
+	}
+	if f, fail := in.OnCompute(0, 7); f != 1 || fail {
+		t.Errorf("pe 7 (unarmed): factor %d fail %v", f, fail)
+	}
+	if _, fail := in.OnCompute(0, 5); fail {
+		t.Error("pe 5 failed at call 0, want call 1")
+	}
+	if _, fail := in.OnCompute(0, 5); !fail {
+		t.Error("pe 5 did not fail at call 1")
+	}
+}
+
+func TestInjectorFreezeAndDMA(t *testing.T) {
+	in := NewInjector(Plan{Faults: []Fault{
+		{Kind: KFreeze, Target: "flt.mb", N: 2},
+		{Kind: KDMADelay, N: 1, Arg: 400},
+	}})
+	for i := 0; i < 2; i++ {
+		if in.OnDispatch(0, "flt.mb") {
+			t.Errorf("froze at dispatch %d, want 2", i)
+		}
+	}
+	if !in.OnDispatch(0, "flt.mb") {
+		t.Error("did not freeze at dispatch 2")
+	}
+	if in.OnDispatch(0, "flt.other") {
+		t.Error("froze an unarmed process")
+	}
+	if d := in.OnDMA(0); d != 0 {
+		t.Errorf("dma call 0 delayed %d", d)
+	}
+	if d := in.OnDMA(0); d != 400 {
+		t.Errorf("dma call 1 delayed %d, want 400", d)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	targets := Targets{
+		Links:   []string{"a::b", "c::d"},
+		Filters: []string{"mb", "pipe"},
+		PEs:     []int{0, 1, 2},
+		Procs:   []string{"flt.mb", "flt.pipe"},
+	}
+	a, b := Generate(41, targets), Generate(41, targets)
+	if a.String() != b.String() {
+		t.Errorf("same seed diverged:\n%s\nvs\n%s", a, b)
+	}
+	if a.Seed != 41 {
+		t.Errorf("plan seed = %d", a.Seed)
+	}
+	if len(a.Faults) == 0 {
+		t.Error("empty plan generated")
+	}
+	c := Generate(42, targets)
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical plans (suspicious)")
+	}
+	// Generated plans avoid the unrecoverable kinds and stay parseable.
+	for seed := int64(1); seed <= 200; seed++ {
+		p := Generate(seed, targets)
+		for _, f := range p.Faults {
+			if f.Kind == KPanic || f.Kind == KFailPE || f.Kind == KFreeze {
+				t.Fatalf("seed %d generated %s (excluded from chaos plans)", seed, f)
+			}
+		}
+		if _, err := ParsePlan(p.String()); err != nil {
+			t.Fatalf("seed %d plan not canonical: %v\n%s", seed, err, p)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package fault
+
+import "testing"
+
+// FuzzParsePlan holds the parser to its two contracts: malformed specs
+// never panic, and any accepted plan round-trips through its canonical
+// String form unchanged.
+func FuzzParsePlan(f *testing.F) {
+	f.Add("seed 7\ncorrupt link a::b @ 1 mask 255\n")
+	f.Add("dup link a::b @ 2; drop link a::b @ 3")
+	f.Add("shrink link x @ 0 cap 1\ndelay dma @ 2 ns 10")
+	f.Add("stall filter mb @ 1 ns 500\npanic filter mb @ 2")
+	f.Add("slow pe 1 factor 2\nfail pe 2 @ 0\nfreeze proc p @ 1")
+	f.Add("# comment only")
+	f.Add("corrupt link a::b @ 0x10 mask 0b101")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		canon := p.String()
+		p2, err := ParsePlan(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%q", err, canon)
+		}
+		if got := p2.String(); got != canon {
+			t.Fatalf("round-trip diverged:\n%q\nvs\n%q", canon, got)
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package fault
+
+import "math/rand"
+
+// Targets lists the injectable surface of an elaborated application:
+// link labels (source-qualified "actor::port"), filter names, placed PE
+// ids, and process names. The pedf runtime produces one via
+// Runtime.FaultTargets.
+type Targets struct {
+	Links   []string
+	Filters []string
+	PEs     []int
+	Procs   []string
+}
+
+// Generate derives a reproducible chaos plan from a seed: one to four
+// faults drawn over the target surface. The distribution deliberately
+// excludes KPanic, KFailPE and KFreeze — crash containment and
+// freeze/thaw are covered by directed tests, while generated chaos plans
+// stay within the recoverable-fault envelope: every induced deadlock
+// must be fixable by token surgery or a thaw. A dead process never is,
+// and a frozen one is not in general either — between ACTOR_START and
+// ACTOR_SYNC filters fire data-driven, so the suspended actor's module
+// peers race ahead and consume the finite input stream; once it thaws,
+// the tokens its protocol step needed are gone and no insertion can
+// recreate them. Stall and delay durations are kept two orders of
+// magnitude below typical watchdog thresholds so a slow firing is never
+// misreported as a stall.
+func Generate(seed int64, t Targets) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := Plan{Seed: seed}
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		if f, ok := genOne(rng, t); ok {
+			p.Faults = append(p.Faults, f)
+		}
+	}
+	return p
+}
+
+func genOne(rng *rand.Rand, t Targets) (Fault, bool) {
+	// Draw kinds with link faults favored: they exercise the paper's
+	// token-surgery recovery path.
+	kinds := []Kind{KCorrupt, KDup, KDrop, KShrink, KDelay, KCorrupt, KDrop, KStall, KSlowPE, KDMADelay}
+	k := kinds[rng.Intn(len(kinds))]
+	f := Fault{Kind: k}
+	switch k {
+	case KCorrupt, KDup, KDrop, KShrink, KDelay:
+		if len(t.Links) == 0 {
+			return f, false
+		}
+		f.Target = t.Links[rng.Intn(len(t.Links))]
+		f.N = uint64(rng.Intn(8))
+		switch k {
+		case KCorrupt:
+			f.Arg = int64(1 + rng.Intn(0xffff))
+		case KShrink:
+			f.Arg = int64(1 + rng.Intn(2))
+		case KDelay:
+			f.Arg = int64(1 + rng.Intn(1000)) // ns
+		}
+	case KStall:
+		if len(t.Filters) == 0 {
+			return f, false
+		}
+		f.Target = t.Filters[rng.Intn(len(t.Filters))]
+		f.N = uint64(rng.Intn(4))
+		f.Arg = int64(1 + rng.Intn(2000)) // ns
+	case KFreeze:
+		if len(t.Procs) == 0 {
+			return f, false
+		}
+		f.Target = t.Procs[rng.Intn(len(t.Procs))]
+		f.N = uint64(rng.Intn(6))
+	case KSlowPE:
+		if len(t.PEs) == 0 {
+			return f, false
+		}
+		f.PE = t.PEs[rng.Intn(len(t.PEs))]
+		f.Arg = int64(2 + rng.Intn(3))
+	case KDMADelay:
+		f.N = uint64(rng.Intn(8))
+		f.Arg = int64(1 + rng.Intn(1000)) // ns
+	}
+	return f, true
+}

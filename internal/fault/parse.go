@@ -1,0 +1,264 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePlan parses the fault-plan spec format. One fault per line;
+// blank lines and #-comments are ignored; semicolons separate faults on
+// a single line (so a whole plan fits in one CLI flag). The grammar, one
+// form per fault kind (integers accept 0x/0o/0b prefixes):
+//
+//	seed <n>
+//	corrupt link <src-actor::port> @ <n> mask <m>
+//	dup link <src-actor::port> @ <n>
+//	drop link <src-actor::port> @ <n>
+//	shrink link <src-actor::port> @ <n> cap <c>
+//	delay link <src-actor::port> @ <n> ns <d>
+//	delay dma @ <n> ns <d>
+//	stall filter <name> @ <n> ns <d>
+//	panic filter <name> @ <n>
+//	slow pe <id> factor <f>
+//	fail pe <id> @ <n>
+//	freeze proc <name> @ <n>
+//
+// Plan.String renders exactly this format, and ParsePlan(p.String())
+// reproduces p (the canonical round-trip, enforced by FuzzParsePlan).
+func ParsePlan(spec string) (Plan, error) {
+	var p Plan
+	lineNo := 0
+	for _, raw := range strings.Split(spec, "\n") {
+		lineNo++
+		for _, stmt := range strings.Split(raw, ";") {
+			if i := strings.Index(stmt, "#"); i >= 0 {
+				stmt = stmt[:i]
+			}
+			fields := strings.Fields(stmt)
+			if len(fields) == 0 {
+				continue
+			}
+			if fields[0] == "seed" {
+				if len(fields) != 2 {
+					return Plan{}, fmt.Errorf("fault: line %d: want `seed <n>`", lineNo)
+				}
+				n, err := strconv.ParseInt(fields[1], 0, 64)
+				if err != nil {
+					return Plan{}, fmt.Errorf("fault: line %d: bad seed %q", lineNo, fields[1])
+				}
+				p.Seed = n
+				continue
+			}
+			f, err := parseFault(fields)
+			if err != nil {
+				return Plan{}, fmt.Errorf("fault: line %d: %v", lineNo, err)
+			}
+			p.Faults = append(p.Faults, f)
+		}
+	}
+	return p, nil
+}
+
+// ParseDurationNS reads a simulated duration like "300ns", "5us",
+// "2ms", "1s" or a bare nanosecond count into nanoseconds.
+func ParseDurationNS(s string) (uint64, error) {
+	mult := uint64(1)
+	num := s
+	for _, u := range []struct {
+		suffix string
+		mult   uint64
+	}{{"ns", 1}, {"us", 1e3}, {"µs", 1e3}, {"ms", 1e6}, {"s", 1e9}} {
+		if strings.HasSuffix(s, u.suffix) {
+			mult = u.mult
+			num = strings.TrimSuffix(s, u.suffix)
+			break
+		}
+	}
+	n, err := strconv.ParseUint(num, 10, 64)
+	if err != nil || n == 0 {
+		return 0, fmt.Errorf("fault: bad duration %q (want e.g. 500us, 2ms, or a ns count)", s)
+	}
+	return n * mult, nil
+}
+
+// parseFault parses one statement's fields into a Fault.
+func parseFault(fields []string) (Fault, error) {
+	var f Fault
+	switch fields[0] {
+	case "corrupt":
+		if err := match(fields, "corrupt", "link", "T", "@", "N", "mask", "A"); err != nil {
+			return f, err
+		}
+		f.Kind = KCorrupt
+	case "dup":
+		if err := match(fields, "dup", "link", "T", "@", "N"); err != nil {
+			return f, err
+		}
+		f.Kind = KDup
+	case "drop":
+		if err := match(fields, "drop", "link", "T", "@", "N"); err != nil {
+			return f, err
+		}
+		f.Kind = KDrop
+	case "shrink":
+		if err := match(fields, "shrink", "link", "T", "@", "N", "cap", "A"); err != nil {
+			return f, err
+		}
+		f.Kind = KShrink
+	case "delay":
+		if len(fields) >= 2 && fields[1] == "dma" {
+			if err := match(fields, "delay", "dma", "@", "N", "ns", "A"); err != nil {
+				return f, err
+			}
+			f.Kind = KDMADelay
+			break
+		}
+		if err := match(fields, "delay", "link", "T", "@", "N", "ns", "A"); err != nil {
+			return f, err
+		}
+		f.Kind = KDelay
+	case "stall":
+		if err := match(fields, "stall", "filter", "T", "@", "N", "ns", "A"); err != nil {
+			return f, err
+		}
+		f.Kind = KStall
+	case "panic":
+		if err := match(fields, "panic", "filter", "T", "@", "N"); err != nil {
+			return f, err
+		}
+		f.Kind = KPanic
+	case "slow":
+		if err := match(fields, "slow", "pe", "P", "factor", "A"); err != nil {
+			return f, err
+		}
+		f.Kind = KSlowPE
+	case "fail":
+		if err := match(fields, "fail", "pe", "P", "@", "N"); err != nil {
+			return f, err
+		}
+		f.Kind = KFailPE
+	case "freeze":
+		if err := match(fields, "freeze", "proc", "T", "@", "N"); err != nil {
+			return f, err
+		}
+		f.Kind = KFreeze
+	default:
+		return f, fmt.Errorf("unknown fault kind %q", fields[0])
+	}
+	return f, fillFault(&f, fields)
+}
+
+// match checks the statement shape: literal words must appear verbatim;
+// the placeholders T (target), N (index), A (argument) and P (pe id)
+// accept any single field.
+func match(fields []string, shape ...string) error {
+	if len(fields) != len(shape) {
+		return fmt.Errorf("want `%s`", shapeHint(shape))
+	}
+	for i, s := range shape {
+		switch s {
+		case "T", "N", "A", "P":
+			continue
+		default:
+			if fields[i] != s {
+				return fmt.Errorf("want `%s`", shapeHint(shape))
+			}
+		}
+	}
+	return nil
+}
+
+func shapeHint(shape []string) string {
+	out := make([]string, len(shape))
+	for i, s := range shape {
+		switch s {
+		case "T":
+			out[i] = "<target>"
+		case "N":
+			out[i] = "<n>"
+		case "A":
+			out[i] = "<arg>"
+		case "P":
+			out[i] = "<pe>"
+		default:
+			out[i] = s
+		}
+	}
+	return strings.Join(out, " ")
+}
+
+// fillFault extracts the placeholder values for a matched shape.
+func fillFault(f *Fault, fields []string) error {
+	shape := shapeFor(f.Kind)
+	for i, s := range shape {
+		switch s {
+		case "T":
+			f.Target = fields[i]
+		case "N":
+			n, err := strconv.ParseUint(fields[i], 0, 64)
+			if err != nil {
+				return fmt.Errorf("bad index %q", fields[i])
+			}
+			f.N = n
+		case "A":
+			a, err := strconv.ParseInt(fields[i], 0, 64)
+			if err != nil {
+				return fmt.Errorf("bad argument %q", fields[i])
+			}
+			f.Arg = a
+		case "P":
+			pe, err := strconv.Atoi(fields[i])
+			if err != nil {
+				return fmt.Errorf("bad pe id %q", fields[i])
+			}
+			f.PE = pe
+		}
+	}
+	switch f.Kind {
+	case KShrink:
+		if f.Arg < 1 {
+			return fmt.Errorf("shrink cap must be >= 1, got %d", f.Arg)
+		}
+	case KDelay, KStall, KDMADelay:
+		if f.Arg < 0 {
+			return fmt.Errorf("delay must be >= 0, got %d", f.Arg)
+		}
+	case KSlowPE:
+		if f.Arg < 1 {
+			return fmt.Errorf("slow factor must be >= 1, got %d", f.Arg)
+		}
+	}
+	return nil
+}
+
+// shapeFor returns the statement shape for a kind (shared by match and
+// fillFault so the two cannot drift).
+func shapeFor(k Kind) []string {
+	switch k {
+	case KCorrupt:
+		return []string{"corrupt", "link", "T", "@", "N", "mask", "A"}
+	case KDup:
+		return []string{"dup", "link", "T", "@", "N"}
+	case KDrop:
+		return []string{"drop", "link", "T", "@", "N"}
+	case KShrink:
+		return []string{"shrink", "link", "T", "@", "N", "cap", "A"}
+	case KDelay:
+		return []string{"delay", "link", "T", "@", "N", "ns", "A"}
+	case KDMADelay:
+		return []string{"delay", "dma", "@", "N", "ns", "A"}
+	case KStall:
+		return []string{"stall", "filter", "T", "@", "N", "ns", "A"}
+	case KPanic:
+		return []string{"panic", "filter", "T", "@", "N"}
+	case KSlowPE:
+		return []string{"slow", "pe", "P", "factor", "A"}
+	case KFailPE:
+		return []string{"fail", "pe", "P", "@", "N"}
+	case KFreeze:
+		return []string{"freeze", "proc", "T", "@", "N"}
+	default:
+		return nil
+	}
+}

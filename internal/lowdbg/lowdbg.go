@@ -85,6 +85,9 @@ const (
 	StopDone
 	// StopError: a runtime error surfaced.
 	StopError
+	// StopStalled: the sim progress watchdog (or wall-clock budget)
+	// tripped; see Stall for the wait-for report.
+	StopStalled
 )
 
 func (k StopKind) String() string {
@@ -101,6 +104,8 @@ func (k StopKind) String() string {
 		return "done"
 	case StopError:
 		return "error"
+	case StopStalled:
+		return "stalled"
 	default:
 		return fmt.Sprintf("StopKind(%d)", int(k))
 	}
@@ -119,6 +124,7 @@ type StopEvent struct {
 	IsReturn bool        // true when stopped at a function's return
 	Err      error       // for StopError
 	Deadlock *sim.DeadlockInfo
+	Stall    *sim.StallReport // for StopStalled
 }
 
 func (e *StopEvent) String() string {
@@ -323,6 +329,18 @@ func (d *Debugger) run() *StopEvent {
 		case sim.RunError:
 			d.pendingStop = &StopEvent{Kind: StopError, Reason: err.Error(), Err: err}
 			return d.pendingStop
+		case sim.RunStalled:
+			ev := &StopEvent{Kind: StopStalled, Stall: d.K.LastStall()}
+			if ev.Stall != nil {
+				ev.Reason = ev.Stall.String()
+				if ev.Stall.Idle {
+					ev.Deadlock = d.K.Blocked()
+				}
+			} else {
+				ev.Reason = "watchdog stall"
+			}
+			d.pendingStop = ev
+			return ev
 		default: // RunIdle
 			ev := &StopEvent{Kind: StopDone, Reason: "program finished"}
 			if dl := d.K.Blocked(); dl != nil {

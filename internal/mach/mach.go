@@ -253,10 +253,31 @@ func (m *Machine) SpawnOn(pe *PE, name string, fn func(*sim.Proc)) *sim.Proc {
 
 // Compute charges n statement-execution cycles to the calling process.
 func (m *Machine) Compute(p *sim.Proc, n int) {
+	m.ComputeOn(p, nil, n)
+}
+
+// ComputeOn is Compute with PE attribution, which is where the PE fault
+// injection point lives: a slow-PE fault multiplies the charged cycles,
+// a fail-PE fault panics the Nth compute issued on the element (caught
+// by the filter loop's crash containment, so it surfaces as a debugger
+// stop event rather than killing the process host).
+func (m *Machine) ComputeOn(p *sim.Proc, pe *PE, n int) {
 	if n <= 0 {
 		return
 	}
-	p.Sleep(sim.Duration(n) * m.Cfg.CycleTime)
+	d := sim.Duration(n) * m.Cfg.CycleTime
+	if pe != nil {
+		if fi := m.K.Faults(); fi != nil {
+			factor, fail := fi.OnCompute(uint64(m.K.Now()), pe.ID)
+			if fail {
+				panic(fmt.Errorf("fault: pe %d failed during compute", pe.ID))
+			}
+			if factor > 1 {
+				d *= sim.Duration(factor)
+			}
+		}
+	}
+	p.Sleep(d)
 }
 
 // transferClass classifies a transfer between two PEs.
@@ -296,6 +317,13 @@ func (m *Machine) Transfer(p *sim.Proc, src, dst *PE, words int) {
 	}
 	cost := m.TransferCost(src, dst, words)
 	lvl := transferClass(src, dst)
+	if lvl == L3 {
+		if fi := m.K.Faults(); fi != nil {
+			if d := fi.OnDMA(uint64(m.K.Now())); d > 0 {
+				cost += sim.Duration(d)
+			}
+		}
+	}
 	switch lvl {
 	case L1:
 		mem := src.Cluster.L1m

@@ -92,6 +92,21 @@ const (
 	// intrusiveness accounting of experiment P1), Arg2 the number of
 	// breakpoints that fired.
 	KBpHit
+	// KInject: a token was inserted out-of-band (debugger token surgery
+	// or unstick recovery). Link/Arg/Arg2 mirror KPush.
+	KInject
+	// KDropTok: a queued token was deleted out-of-band. Arg is the
+	// occupancy after removal, Arg2 the dropped position.
+	KDropTok
+	// KReplace: a queued token's payload was overwritten out-of-band.
+	// Arg2 is the position.
+	KReplace
+	// KFault: an injected fault fired. Other carries the canonical fault
+	// line; Link is set for link faults.
+	KFault
+	// KStall: the sim progress watchdog tripped. Arg is the silent span
+	// in ns, Arg2 the number of non-progressing processes.
+	KStall
 
 	numKinds
 )
@@ -104,6 +119,8 @@ func (k Kind) String() string {
 		KStepEnd: "step-", KActorStart: "start", KActorSync: "sync",
 		KPush: "push", KPop: "pop", KBlockBegin: "block+",
 		KBlockEnd: "block-", KTransfer: "xfer", KBpHit: "bphit",
+		KInject: "inject", KDropTok: "droptok", KReplace: "replace",
+		KFault: "fault", KStall: "stall",
 	}
 	if int(k) < len(names) && names[k] != "" {
 		return names[k]
@@ -129,6 +146,8 @@ const (
 	MaskMach Mask = 1 << KTransfer
 	// MaskDebug: debugger intrusiveness events.
 	MaskDebug Mask = 1 << KBpHit
+	// MaskFault: fault-injection, token-surgery and watchdog events.
+	MaskFault Mask = 1<<KInject | 1<<KDropTok | 1<<KReplace | 1<<KFault | 1<<KStall
 	// MaskAll records everything.
 	MaskAll Mask = 1<<numKinds - 1
 	// MaskDefault is everything except the kernel-internal events,

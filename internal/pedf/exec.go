@@ -135,6 +135,18 @@ func (rt *Runtime) registerTargetFuncs() {
 		}
 		return int64(l.Occupancy()), nil
 	})
+	rt.Dbg.RegisterTargetFunc(TFLinkInjectZero, func(args ...any) (any, error) {
+		// The unstick recovery path: inject a typed zero token. Only the
+		// runtime knows the link's concrete type, so the debugger model
+		// (which holds type names as strings) calls down here.
+		l, err := linkByID(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		v := filterc.Zero(l.Dst.Type)
+		l.InjectToken(v)
+		return v, nil
+	})
 	actorArg := func(args []any) (*Filter, error) {
 		if len(args) < 1 {
 			return nil, fmt.Errorf("pedf: missing actor name")
@@ -360,6 +372,7 @@ func (rt *Runtime) spawnActors() {
 // filterLoop is a filter process body: wait for ACTOR_START, run WORK
 // firings until ACTOR_SYNC, forever (until module shutdown).
 func (rt *Runtime) filterLoop(p *sim.Proc, f *Filter) {
+	defer rt.containCrash(f)
 	for {
 		for !f.startReq && !f.shutdown {
 			p.Wait(f.startEv)
@@ -400,6 +413,23 @@ func (rt *Runtime) invokeWork(p *sim.Proc, f *Filter) error {
 			Arg: int64(f.firings), Actor: f.Name, Other: f.Module.Name,
 		})
 	}
+	if fi := rt.K.Faults(); fi != nil {
+		if act, ok := fi.OnFire(uint64(p.Now()), f.Name, f.firings); ok {
+			if rec.Wants(obs.KFault) {
+				rec.Record(obs.Event{
+					At: uint64(p.Now()), Kind: obs.KFault, PE: int32(f.PE.ID),
+					Arg: int64(f.firings), Actor: f.Name, Other: f.Module.Name,
+				})
+			}
+			if act.StallNS > 0 {
+				p.Sleep(sim.Duration(act.StallNS)) // injected filter stall
+			}
+			if act.Panic {
+				panic(&CrashError{Actor: f.Name, Firing: f.firings,
+					Value: fmt.Errorf("fault: injected work-function panic")})
+			}
+		}
+	}
 	var err error
 	var ret any
 	if f.Prog != nil {
@@ -427,6 +457,7 @@ func (rt *Runtime) invokeWork(p *sim.Proc, f *Filter) error {
 
 // controllerLoop runs the module's step protocol.
 func (rt *Runtime) controllerLoop(p *sim.Proc, c *Filter) {
+	defer rt.containCrash(c)
 	m := c.Module
 	c.setState(StateRunning)
 	for !m.done {

@@ -1,0 +1,104 @@
+package pedf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dfdbg/internal/fault"
+	"dfdbg/internal/filterc"
+)
+
+// CrashError wraps a panic escaping a filter or controller body with the
+// dataflow context a debugger stop event needs: the actor, its firing
+// index, and the filterc backtrace captured before the stack unwound.
+// The sim kernel's Proc recovery turns it into a PanicError, so a filter
+// crash surfaces as a debugger stop event instead of killing the host.
+type CrashError struct {
+	Actor     string
+	Firing    uint64
+	Value     any      // the original panic value
+	Backtrace []string // innermost frame first; empty for native work
+}
+
+func (e *CrashError) Error() string {
+	s := fmt.Sprintf("filter %q crashed at firing %d: %v", e.Actor, e.Firing, e.Value)
+	for i, fr := range e.Backtrace {
+		s += fmt.Sprintf("\n  #%d %s", i, fr)
+	}
+	return s
+}
+
+// Unwrap exposes the original panic value when it was an error.
+func (e *CrashError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// wrapCrash builds a CrashError for a panic recovered in f's process,
+// capturing the filterc call stack while it is still intact.
+func (rt *Runtime) wrapCrash(f *Filter, r any) *CrashError {
+	e := &CrashError{Actor: f.Name, Firing: f.firings, Value: r}
+	if f.interp != nil {
+		for _, fr := range f.interp.Stack() {
+			e.Backtrace = append(e.Backtrace,
+				fmt.Sprintf("%s () at line %d", fr.FuncName(), fr.Line))
+		}
+	}
+	if len(e.Backtrace) == 0 {
+		// The interpreter unwinds its frames before an error returns;
+		// reconstruct the crash site from the error's position.
+		var rte *filterc.RuntimeError
+		if err, ok := r.(error); ok && errors.As(err, &rte) {
+			e.Backtrace = []string{fmt.Sprintf("work () at %s", rte.Pos)}
+		}
+	}
+	if len(e.Backtrace) == 0 && f.NativeWork != nil {
+		e.Backtrace = []string{"(native work)"}
+	}
+	return e
+}
+
+// containCrash is deferred by the filter and controller process bodies:
+// it re-panics any escaping panic wrapped in a CrashError so the sim
+// kernel's PanicError carries an actor-attributed backtrace.
+func (rt *Runtime) containCrash(f *Filter) {
+	if r := recover(); r != nil {
+		if _, ok := r.(*CrashError); ok {
+			panic(r)
+		}
+		panic(rt.wrapCrash(f, r))
+	}
+}
+
+// FaultTargets enumerates the injectable surface of the elaborated
+// application, for fault.Generate: link labels, filter names, the PEs
+// filters are placed on, and filter/controller process names.
+func (rt *Runtime) FaultTargets() fault.Targets {
+	var t fault.Targets
+	for _, l := range rt.links {
+		t.Links = append(t.Links, l.Label())
+	}
+	peSeen := map[int]bool{}
+	for _, f := range rt.Actors() {
+		// Actor processes are named before they are spawned (see
+		// spawnActors), so the targets are complete even pre-run.
+		if f.Role == RoleController {
+			t.Procs = append(t.Procs, "ctl."+f.Name)
+			continue
+		}
+		t.Procs = append(t.Procs, "flt."+f.Name)
+		t.Filters = append(t.Filters, f.Name)
+		if f.PE != nil && !peSeen[f.PE.ID] {
+			peSeen[f.PE.ID] = true
+			t.PEs = append(t.PEs, f.PE.ID)
+		}
+	}
+	sort.Strings(t.Links)
+	sort.Strings(t.Filters)
+	sort.Strings(t.Procs)
+	sort.Ints(t.PEs)
+	return t
+}

@@ -1,0 +1,315 @@
+package pedf
+
+import (
+	"strings"
+	"testing"
+
+	"dfdbg/internal/fault"
+	"dfdbg/internal/filterc"
+	"dfdbg/internal/mach"
+	"dfdbg/internal/sim"
+)
+
+// armPlan installs a fault plan on the test runtime's kernel.
+func armPlan(rt *Runtime, faults ...fault.Fault) *fault.Injector {
+	in := fault.NewInjector(fault.Plan{Faults: faults})
+	rt.K.SetFaults(in)
+	return in
+}
+
+// dataLink returns the single data link of the AModule pipeline
+// (filter_1::an_output -> filter_2). Links exist only after Start.
+func dataLink(t *testing.T, rt *Runtime) *Link {
+	t.Helper()
+	for _, l := range rt.Links() {
+		if l.Kind == DataLink {
+			return l
+		}
+	}
+	t.Fatal("no data link in test app")
+	return nil
+}
+
+// startRT elaborates the app so links and fault targets exist, without
+// running it yet (faults are armed between Start and Run).
+func startRT(t *testing.T, rt *Runtime) {
+	t.Helper()
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runStarted drives an already-started runtime to idle.
+func runStarted(t *testing.T, rt *Runtime) {
+	t.Helper()
+	st, err := rt.K.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if st != sim.RunIdle {
+		t.Fatalf("run status = %v", st)
+	}
+	if dl := rt.K.Blocked(); dl != nil {
+		t.Fatalf("unexpected deadlock: %v", dl)
+	}
+}
+
+func TestFaultCorruptFlipsOneToken(t *testing.T) {
+	rt, col := buildAModule(t, 5, 0)
+	startRT(t, rt)
+	l := dataLink(t, rt)
+	in := armPlan(rt, fault.Fault{Kind: fault.KCorrupt, Target: l.Label(), N: 2, Arg: 0x40})
+	runStarted(t, rt)
+	if len(col.Values) != 5 {
+		t.Fatalf("collected %d tokens", len(col.Values))
+	}
+	for i, v := range col.Values {
+		want := int64(100*i) + 1 + 10
+		if i == 2 {
+			want = ((int64(100*i) + 1) ^ 0x40) + 10
+		}
+		if v.I != want {
+			t.Errorf("token %d = %d, want %d", i, v.I, want)
+		}
+	}
+	if in.InjectedTotal() != 1 {
+		t.Errorf("InjectedTotal = %d", in.InjectedTotal())
+	}
+	if len(in.TraceStrings()) != 1 || !strings.Contains(in.TraceStrings()[0], "corrupt link") {
+		t.Errorf("trace = %v", in.TraceStrings())
+	}
+}
+
+func TestFaultDupLeavesExtraToken(t *testing.T) {
+	rt, col := buildAModule(t, 5, 0)
+	startRT(t, rt)
+	l := dataLink(t, rt)
+	armPlan(rt, fault.Fault{Kind: fault.KDup, Target: l.Label(), N: 1})
+	runStarted(t, rt)
+	if len(col.Values) != 5 {
+		t.Fatalf("collected %d tokens", len(col.Values))
+	}
+	// The duplicate was pushed but never consumed (no extra command
+	// token), so it stays queued; the accounting must agree.
+	if l.Occupancy() != 1 {
+		t.Errorf("occupancy = %d, want 1 (the duplicate)", l.Occupancy())
+	}
+	if l.Pushes()-l.Pops()-l.Drops() != uint64(l.Occupancy()) {
+		t.Errorf("accounting broken: %d pushes, %d pops, %d drops, %d queued",
+			l.Pushes(), l.Pops(), l.Drops(), l.Occupancy())
+	}
+}
+
+func TestFaultDropCausesDetectedDeadlock(t *testing.T) {
+	rt, _ := buildAModule(t, 5, 0)
+	startRT(t, rt)
+	l := dataLink(t, rt)
+	armPlan(rt, fault.Fault{Kind: fault.KDrop, Target: l.Label(), N: 1})
+	rt.K.SetWatchdog(1_000_000)
+	st, err := rt.K.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != sim.RunStalled {
+		t.Fatalf("status %v, want RunStalled (starved consumer)", st)
+	}
+	r := rt.K.LastStall()
+	if r == nil || len(r.Procs) == 0 {
+		t.Fatalf("stall report: %+v", r)
+	}
+	found := false
+	for _, sp := range r.Procs {
+		if sp.Proc == "flt.filter_2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("starved filter_2 not named in report:\n%s", r)
+	}
+	// The dropped token is charged to the link's drop counter; the
+	// invariant pushes - pops - drops == occupancy still holds.
+	if l.Drops() != 1 {
+		t.Errorf("drops = %d, want 1", l.Drops())
+	}
+	if l.Pushes()-l.Pops()-l.Drops() != uint64(l.Occupancy()) {
+		t.Errorf("accounting broken: %d pushes, %d pops, %d drops, %d queued",
+			l.Pushes(), l.Pops(), l.Drops(), l.Occupancy())
+	}
+}
+
+func TestFaultShrinkStillCompletes(t *testing.T) {
+	rt, col := buildAModule(t, 8, 0)
+	startRT(t, rt)
+	l := dataLink(t, rt)
+	armPlan(rt, fault.Fault{Kind: fault.KShrink, Target: l.Label(), N: 2, Arg: 1})
+	runStarted(t, rt)
+	if len(col.Values) != 8 {
+		t.Fatalf("collected %d tokens, want 8 (backpressure, not loss)", len(col.Values))
+	}
+}
+
+func TestFaultDelaysStretchTime(t *testing.T) {
+	base, col := buildAModule(t, 5, 0)
+	runToIdle(t, base)
+	baseT := base.K.Now()
+	if len(col.Values) != 5 {
+		t.Fatal("baseline broken")
+	}
+
+	rt, col2 := buildAModule(t, 5, 0)
+	startRT(t, rt)
+	l := dataLink(t, rt)
+	armPlan(rt,
+		fault.Fault{Kind: fault.KStall, Target: "filter_1", N: 1, Arg: 50_000},
+		fault.Fault{Kind: fault.KDelay, Target: l.Label(), N: 0, Arg: 10_000},
+	)
+	runStarted(t, rt)
+	if len(col2.Values) != 5 {
+		t.Fatalf("collected %d tokens", len(col2.Values))
+	}
+	if rt.K.Now() <= baseT+50_000 {
+		t.Errorf("faulted run t=%s not slower than baseline t=%s by the injected delays",
+			rt.K.Now(), baseT)
+	}
+	for i, v := range col2.Values {
+		if want := int64(100*i) + 11; v.I != want {
+			t.Errorf("token %d = %d, want %d (delays must not corrupt)", i, v.I, want)
+		}
+	}
+}
+
+func TestFaultPanicBecomesCrashError(t *testing.T) {
+	rt, _ := buildAModule(t, 5, 0)
+	armPlan(rt, fault.Fault{Kind: fault.KPanic, Target: "filter_1", N: 2})
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := rt.K.Run()
+	if err == nil {
+		t.Fatal("run succeeded despite injected panic")
+	}
+	pe, ok := err.(*sim.PanicError)
+	if !ok {
+		t.Fatalf("error is %T, want *sim.PanicError", err)
+	}
+	ce, ok := pe.Value.(*CrashError)
+	if !ok {
+		t.Fatalf("panic value is %T, want *CrashError", pe.Value)
+	}
+	if ce.Actor != "filter_1" || ce.Firing != 2 {
+		t.Errorf("crash = actor %q firing %d", ce.Actor, ce.Firing)
+	}
+	if !strings.Contains(ce.Error(), `filter "filter_1" crashed at firing 2`) {
+		t.Errorf("crash message: %s", ce.Error())
+	}
+}
+
+func TestFilterCrashBacktrace(t *testing.T) {
+	// A genuine filterc crash (division by zero), not an injected one:
+	// the containment layer must capture the interpreter backtrace.
+	k := sim.NewKernel()
+	rt := NewRuntime(k, mach.New(k, mach.Config{}), nil)
+	mod, err := rt.NewModule("M", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := mod.AddPort("in", In, u32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := rt.NewFilter(mod, FilterSpec{
+		Name:   "crasher",
+		Source: `void work() { u32 v = pedf.io.i[0]; u32 x = v / (v - v); pedf.data.d = x; }`,
+		Data:   []VarSpec{{Name: "d", Type: u32}},
+		Inputs: []PortSpec{{Name: "i", Type: u32}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.SetController(mod, ControllerSpec{Source: `u32 work() {
+	ACTOR_START("crasher");
+	WAIT_FOR_ACTOR_INIT();
+	ACTOR_SYNC("crasher");
+	WAIT_FOR_ACTOR_SYNC();
+	return 0;
+}`}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Bind(min, f.In("i")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.FeedInput(min, []filterc.Value{u32v(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = k.Run()
+	if err == nil {
+		t.Fatal("crasher did not crash")
+	}
+	pe, ok := err.(*sim.PanicError)
+	if !ok {
+		t.Fatalf("error is %T", err)
+	}
+	ce, ok := pe.Value.(*CrashError)
+	if !ok {
+		t.Fatalf("panic value is %T, want *CrashError", pe.Value)
+	}
+	if len(ce.Backtrace) == 0 {
+		t.Error("crash carries no backtrace")
+	}
+	if !strings.Contains(ce.Error(), "#0") {
+		t.Errorf("rendered crash lacks frames:\n%s", ce.Error())
+	}
+}
+
+func TestSurgeryEmitsObsAndKeepsAccounting(t *testing.T) {
+	// Satellite: InjectToken / DropToken keep the counters consistent
+	// and announce themselves on the obs stream.
+	rt, _ := buildAModule(t, 3, 0)
+	runToIdle(t, rt)
+	l := dataLink(t, rt)
+	p0, pop0 := l.Pushes(), l.Pops()
+
+	l.InjectToken(u32v(999))
+	if l.Occupancy() != 1 || l.Pushes() != p0+1 {
+		t.Errorf("after inject: occ %d pushes %d", l.Occupancy(), l.Pushes())
+	}
+	if !l.DropToken(0) {
+		t.Fatal("DropToken(0) failed")
+	}
+	if l.Occupancy() != 0 || l.Drops() != 1 {
+		t.Errorf("after drop: occ %d drops %d", l.Occupancy(), l.Drops())
+	}
+	if l.Pushes()-l.Pops()-l.Drops() != uint64(l.Occupancy()) {
+		t.Errorf("accounting broken: %d pushes, %d pops, %d drops, %d queued",
+			l.Pushes(), l.Pops(), l.Drops(), l.Occupancy())
+	}
+	if l.Pops() != pop0 {
+		t.Errorf("drop counted as pop: %d -> %d", pop0, l.Pops())
+	}
+}
+
+func TestFaultTargetsEnumerates(t *testing.T) {
+	rt, _ := buildAModule(t, 3, 0)
+	startRT(t, rt)
+	tg := rt.FaultTargets()
+	if len(tg.Links) == 0 || len(tg.Filters) == 0 || len(tg.Procs) == 0 {
+		t.Fatalf("targets = %+v", tg)
+	}
+	hasLink := false
+	for _, l := range tg.Links {
+		if l == "filter_1::an_output" {
+			hasLink = true
+		}
+	}
+	if !hasLink {
+		t.Errorf("links = %v, want filter_1::an_output present", tg.Links)
+	}
+	for _, f := range tg.Filters {
+		if strings.Contains(f, "controller") {
+			t.Errorf("controller leaked into filter targets: %v", tg.Filters)
+		}
+	}
+}

@@ -105,8 +105,8 @@ func (c *WorkCtx) Data(name string) (*filterc.Value, error) { return c.f.dataRef
 // Attr returns an lvalue for an attribute.
 func (c *WorkCtx) Attr(name string) (*filterc.Value, error) { return c.f.attrRef(name) }
 
-// Compute charges n statement-cycles of work.
-func (c *WorkCtx) Compute(n int) { c.f.rt.M.Compute(c.p, n) }
+// Compute charges n statement-cycles of work on the filter's PE.
+func (c *WorkCtx) Compute(n int) { c.f.rt.M.ComputeOn(c.p, c.f.PE, n) }
 
 // StepIndex returns the owning module's current step number.
 func (c *WorkCtx) StepIndex() uint64 { return c.f.Module.step }
@@ -407,7 +407,7 @@ type costHooks struct {
 }
 
 func (h *costHooks) OnStmt(fr *filterc.Frame, pos filterc.Pos) {
-	h.f.rt.M.Compute(h.f.proc, 1)
+	h.f.rt.M.ComputeOn(h.f.proc, h.f.PE, 1)
 }
 func (h *costHooks) OnEnter(fr *filterc.Frame)                 {}
 func (h *costHooks) OnExit(fr *filterc.Frame, v filterc.Value) {}

@@ -3,6 +3,7 @@ package pedf
 import (
 	"fmt"
 
+	"dfdbg/internal/fault"
 	"dfdbg/internal/filterc"
 	"dfdbg/internal/lowdbg"
 	"dfdbg/internal/mach"
@@ -95,11 +96,16 @@ type Link struct {
 
 	rt       *Runtime
 	fifo     []Token
-	pushes   uint64 // total tokens ever pushed
+	pushes   uint64 // total tokens ever pushed (incl. injected/duplicated)
 	pops     uint64 // total tokens ever popped
+	drops    uint64 // tokens removed without a pop (surgery or drop fault)
 	notEmpty *sim.Event
 	notFull  *sim.Event
 }
+
+// Label returns the source-qualified name ("actor::port") that fault
+// plans and metrics use to target this link.
+func (l *Link) Label() string { return l.Src.Qualified() }
 
 func (l *Link) String() string {
 	return fmt.Sprintf("link#%d %s -> %s (%s, %d/%d tokens)",
@@ -115,6 +121,11 @@ func (l *Link) Pushes() uint64 { return l.pushes }
 
 // Pops returns the total number of tokens ever popped.
 func (l *Link) Pops() uint64 { return l.pops }
+
+// Drops returns the number of tokens removed without a pop (debugger
+// surgery or an injected drop fault). The occupancy invariant is
+// len(fifo) == Pushes() - Pops() - Drops().
+func (l *Link) Drops() uint64 { return l.drops }
 
 // Peek returns the i-th queued token without consuming it.
 func (l *Link) Peek(i int) (Token, bool) {
@@ -187,10 +198,15 @@ func (l *Link) push(p *sim.Proc, producer *Filter, pe *mach.PE, v filterc.Value)
 	args := append(l.callArgs(seq), lowdbg.Arg{Name: "value", Val: v})
 	exit := l.rt.hookData(p, l.Src.ActorName, l.pushSym(), args)
 	rec := l.rt.K.Observer()
-	if len(l.fifo) >= l.Cap {
+	fi := l.rt.K.Faults()
+	capEff := l.Cap
+	if fi != nil {
+		capEff = fi.LinkCap(uint64(p.Now()), l.Label(), seq, l.Cap)
+	}
+	if len(l.fifo) >= capEff {
 		reason := "push:" + l.Src.Name
 		t0 := l.blockBegin(rec, p, producer, int32(pe.ID), reason)
-		for len(l.fifo) >= l.Cap {
+		for len(l.fifo) >= capEff {
 			if producer != nil {
 				producer.setBlocked(reason)
 			}
@@ -204,8 +220,37 @@ func (l *Link) push(p *sim.Proc, producer *Filter, pe *mach.PE, v filterc.Value)
 	// Charge the transfer from producer PE to consumer PE.
 	dstPE := l.rt.portPE(l.Dst)
 	l.rt.M.Transfer(p, pe, dstPE, words(v))
+	var act fault.PushAction
+	if fi != nil {
+		var hit bool
+		if act, hit = fi.OnPush(uint64(p.Now()), l.Label(), seq); hit {
+			if act.CorruptMask != 0 && v.IsScalar() {
+				v = filterc.Int(v.Type.Base, v.I^act.CorruptMask)
+			}
+			if rec.Wants(obs.KFault) {
+				rec.Record(obs.Event{
+					At: uint64(p.Now()), Kind: obs.KFault, PE: int32(pe.ID),
+					Link: int32(l.ID), Arg2: int64(seq),
+					Actor: l.Src.ActorName, Other: l.Dst.ActorName, Port: l.Src.Name,
+				})
+			}
+		}
+	}
+	if act.Drop {
+		// The token left the producer (transfer charged, push counted)
+		// but never reached the FIFO; account it as a drop so the
+		// occupancy invariant holds.
+		l.pushes++
+		l.drops++
+		l.rt.K.NoteProgress()
+		if exit != nil {
+			exit(nil)
+		}
+		return nil
+	}
 	l.fifo = append(l.fifo, Token{Seq: seq, Val: v.Clone(), PushedAt: p.Now()})
 	l.pushes++
+	l.rt.K.NoteProgress()
 	l.notEmpty.Notify()
 	if rec.Wants(obs.KPush) {
 		ev := obs.Event{
@@ -217,6 +262,19 @@ func (l *Link) push(p *sim.Proc, producer *Filter, pe *mach.PE, v filterc.Value)
 			ev.Val = v.String()
 		}
 		rec.Record(ev)
+	}
+	if act.Dup {
+		dseq := l.pushes
+		l.fifo = append(l.fifo, Token{Seq: dseq, Val: v.Clone(), PushedAt: p.Now()})
+		l.pushes++
+		l.notEmpty.Notify()
+		if rec.Wants(obs.KPush) {
+			rec.Record(obs.Event{
+				At: uint64(p.Now()), Kind: obs.KPush, PE: int32(pe.ID),
+				Link: int32(l.ID), Arg: int64(len(l.fifo)), Arg2: int64(dseq),
+				Actor: l.Src.ActorName, Other: l.Dst.ActorName, Port: l.Src.Name,
+			})
+		}
 	}
 	if exit != nil {
 		exit(nil)
@@ -260,6 +318,11 @@ func (l *Link) pop(p *sim.Proc, consumer *Filter) (Token, error) {
 	exit := l.rt.hookData(p, l.Dst.ActorName, l.popSym(), l.callArgs(seq))
 	rec := l.rt.K.Observer()
 	dstPE := int32(l.rt.portPE(l.Dst).ID)
+	if fi := l.rt.K.Faults(); fi != nil {
+		if d := fi.OnPop(uint64(p.Now()), l.Label(), seq); d > 0 {
+			p.Sleep(sim.Duration(d)) // injected slow-pop fault
+		}
+	}
 	if len(l.fifo) == 0 {
 		reason := "pop:" + l.Dst.Name
 		t0 := l.blockBegin(rec, p, consumer, dstPE, reason)
@@ -277,6 +340,7 @@ func (l *Link) pop(p *sim.Proc, consumer *Filter) (Token, error) {
 	tok := l.fifo[0]
 	l.fifo = l.fifo[1:]
 	l.pops++
+	l.rt.K.NoteProgress()
 	l.notFull.Notify()
 	// Local read cost on the consumer side.
 	p.Sleep(l.rt.M.Cfg.L1Latency)
@@ -299,30 +363,66 @@ func (l *Link) pop(p *sim.Proc, consumer *Filter) (Token, error) {
 
 // InjectToken appends a token out-of-band (the debugger's "altering the
 // normal execution": inserting tokens to untie a deadlock). It bypasses
-// capacity checks and hook announcement.
+// capacity checks and hook announcement, but still counts as a push and
+// emits a KInject event so timelines and occupancy accounting stay
+// truthful after manual token surgery.
 func (l *Link) InjectToken(v filterc.Value) {
-	l.fifo = append(l.fifo, Token{Seq: l.pushes, Val: v.Clone(), PushedAt: l.rt.K.Now()})
+	seq := l.pushes
+	l.fifo = append(l.fifo, Token{Seq: seq, Val: v.Clone(), PushedAt: l.rt.K.Now()})
 	l.pushes++
+	l.rt.K.NoteProgress()
 	l.notEmpty.Notify()
+	if rec := l.rt.K.Observer(); rec.Wants(obs.KInject) {
+		ev := obs.Event{
+			At: uint64(l.rt.K.Now()), Kind: obs.KInject, PE: -1,
+			Link: int32(l.ID), Arg: int64(len(l.fifo)), Arg2: int64(seq),
+			Actor: l.Src.ActorName, Other: l.Dst.ActorName, Port: l.Src.Name,
+		}
+		if rec.Payloads() {
+			ev.Val = v.String()
+		}
+		rec.Record(ev)
+	}
 }
 
 // DropToken removes the i-th queued token out-of-band (debugger token
-// deletion). It reports whether a token was removed.
+// deletion). It reports whether a token was removed. The removal is
+// accounted in Drops (not Pops) and emits a KDropTok event.
 func (l *Link) DropToken(i int) bool {
 	if i < 0 || i >= len(l.fifo) {
 		return false
 	}
 	l.fifo = append(l.fifo[:i], l.fifo[i+1:]...)
+	l.drops++
+	l.rt.K.NoteProgress()
 	l.notFull.Notify()
+	if rec := l.rt.K.Observer(); rec.Wants(obs.KDropTok) {
+		rec.Record(obs.Event{
+			At: uint64(l.rt.K.Now()), Kind: obs.KDropTok, PE: -1,
+			Link: int32(l.ID), Arg: int64(len(l.fifo)), Arg2: int64(i),
+			Actor: l.Src.ActorName, Other: l.Dst.ActorName, Port: l.Src.Name,
+		})
+	}
 	return true
 }
 
 // ReplaceToken overwrites the payload of the i-th queued token (debugger
-// token modification).
+// token modification), emitting a KReplace event.
 func (l *Link) ReplaceToken(i int, v filterc.Value) bool {
 	if i < 0 || i >= len(l.fifo) {
 		return false
 	}
 	l.fifo[i].Val = v.Clone()
+	if rec := l.rt.K.Observer(); rec.Wants(obs.KReplace) {
+		ev := obs.Event{
+			At: uint64(l.rt.K.Now()), Kind: obs.KReplace, PE: -1,
+			Link: int32(l.ID), Arg: int64(len(l.fifo)), Arg2: int64(i),
+			Actor: l.Src.ActorName, Other: l.Dst.ActorName, Port: l.Src.Name,
+		}
+		if rec.Payloads() {
+			ev.Val = v.String()
+		}
+		rec.Record(ev)
+	}
 	return true
 }

@@ -219,6 +219,8 @@ func (rt *Runtime) registerObsMetrics() {
 			func() float64 { return float64(l.pushes) }, "link", label)
 		m.CounterFunc("pedf_link_pops_total", "tokens ever popped from a link",
 			func() float64 { return float64(l.pops) }, "link", label)
+		m.CounterFunc("pedf_link_drops_total", "tokens removed without a pop (surgery or faults)",
+			func() float64 { return float64(l.drops) }, "link", label)
 	}
 	for _, f := range rt.actorList {
 		f := f
@@ -236,6 +238,13 @@ func (rt *Runtime) registerObsMetrics() {
 		func() float64 { return float64(filterc.CompileTotal()) })
 	m.CounterFunc("filterc_cache_hits_total", "compiled-code cache hits",
 		func() float64 { return float64(filterc.CacheHits()) })
+	m.CounterFunc("pedf_faults_injected_total", "injected faults that have fired",
+		func() float64 {
+			if fi := rt.K.Faults(); fi != nil {
+				return float64(fi.InjectedTotal())
+			}
+			return 0
+		})
 }
 
 // portPE returns the PE an endpoint lives on (environment ports live on

@@ -100,6 +100,10 @@ const (
 	TFLinkPeek = "pedf_link_peek"
 	// TFLinkOccupancy returns the token count of a link: args linkID.
 	TFLinkOccupancy = "pedf_link_occupancy"
+	// TFLinkInjectZero appends a zero token of the link's own type (the
+	// unstick recovery primitive): args linkID; returns the injected
+	// filterc.Value.
+	TFLinkInjectZero = "pedf_link_inject_zero"
 	// TFFilterLine returns an actor's currently executed source line:
 	// args name string; returns int64.
 	TFFilterLine = "pedf_filter_line"

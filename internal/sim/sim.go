@@ -18,7 +18,9 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"dfdbg/internal/fault"
 	"dfdbg/internal/obs"
 )
 
@@ -100,6 +102,10 @@ const (
 	RunHorizon
 	// RunError: a process panicked; see the error returned alongside.
 	RunError
+	// RunStalled: the progress watchdog tripped (no token movement for
+	// the configured span of simulated time, an idle kernel with blocked
+	// processes, or the wall-clock budget ran out). See Kernel.LastStall.
+	RunStalled
 )
 
 func (s RunStatus) String() string {
@@ -112,6 +118,8 @@ func (s RunStatus) String() string {
 		return "horizon"
 	case RunError:
 		return "error"
+	case RunStalled:
+		return "stalled"
 	default:
 		return fmt.Sprintf("RunStatus(%d)", int(s))
 	}
@@ -143,6 +151,48 @@ func (d *DeadlockInfo) String() string {
 	s := fmt.Sprintf("deadlock at t=%s: %d blocked process(es)", d.Time, len(d.Procs))
 	for _, p := range d.Procs {
 		s += fmt.Sprintf("\n  %s waiting on %s", p.Proc, p.Event)
+	}
+	return s
+}
+
+// StallReport explains why the progress watchdog tripped: the wait-for
+// state of every process that is not making progress at the moment the
+// kernel gave up.
+type StallReport struct {
+	Time          Time
+	NoProgressFor Duration      // simulated span without token movement
+	Idle          bool          // kernel had nothing left to do (classic deadlock)
+	Wall          bool          // wall-clock budget exceeded, not a simulated stall
+	Procs         []StalledProc // blocked/frozen/sleeping processes, by name
+}
+
+// StalledProc is one non-progressing process in a StallReport.
+type StalledProc struct {
+	Proc   string
+	State  ProcState
+	Event  string // event name when State == ProcWaitEvent
+	Frozen bool
+}
+
+func (r *StallReport) String() string {
+	cause := "no token movement"
+	switch {
+	case r.Wall:
+		cause = "wall-clock budget exceeded"
+	case r.Idle:
+		cause = "kernel idle with blocked process(es)"
+	}
+	s := fmt.Sprintf("stall at t=%s: %s (no progress for %s); %d non-progressing process(es)",
+		r.Time, cause, r.NoProgressFor, len(r.Procs))
+	for _, p := range r.Procs {
+		switch {
+		case p.Frozen:
+			s += fmt.Sprintf("\n  %s frozen", p.Proc)
+		case p.State == ProcWaitEvent:
+			s += fmt.Sprintf("\n  %s waiting on %s", p.Proc, p.Event)
+		default:
+			s += fmt.Sprintf("\n  %s %s", p.Proc, p.State)
+		}
 	}
 	return s
 }
@@ -184,6 +234,18 @@ type Kernel struct {
 	advances   uint64
 	eventFires uint64 // timed + immediate notifications that woke waiters
 	deltaWakes uint64 // immediate Notify calls that woke waiters
+
+	// Fault injection and hardening. flt is nil unless SetFaults armed a
+	// plan; like obs, the disabled path is a single nil comparison at
+	// each injection point. The watchdog trips RunStalled when no
+	// progress (NoteProgress call) lands for watchLimit simulated units;
+	// the wall budget bounds real time spent inside one RunUntil call.
+	flt            *fault.Injector
+	watchLimit     Duration
+	progressAt     Time
+	wallBudget     time.Duration
+	watchdogStalls uint64
+	lastStall      *StallReport
 }
 
 // NewKernel returns an empty kernel at time zero.
@@ -217,11 +279,87 @@ func (k *Kernel) SetObserver(r *obs.Recorder) {
 		func() float64 { return float64(k.now) })
 	m.GaugeFunc("sim_processes", "processes ever spawned",
 		func() float64 { return float64(len(k.procs)) })
+	m.CounterFunc("sim_watchdog_stalls_total", "progress-watchdog trips",
+		func() float64 { return float64(k.watchdogStalls) })
 }
 
 // Observer returns the installed recorder (nil when observability is
 // off). The obs hook-point idiom `k.Observer().Wants(kind)` is nil-safe.
 func (k *Kernel) Observer() *obs.Recorder { return k.obs }
+
+// SetFaults arms (or, with nil, disarms) a fault injector. Like the
+// recorder it is shared down the stack: pedf and mach reach it through
+// Kernel.Faults, so arming one injector covers every injection point.
+func (k *Kernel) SetFaults(in *fault.Injector) { k.flt = in }
+
+// Faults returns the armed injector (nil when fault injection is off).
+func (k *Kernel) Faults() *fault.Injector { return k.flt }
+
+// SetWatchdog arms the progress watchdog: RunUntil returns RunStalled
+// when no NoteProgress call lands for limit simulated units, or when the
+// kernel goes idle with blocked processes. 0 disarms it.
+func (k *Kernel) SetWatchdog(limit Duration) {
+	k.watchLimit = limit
+	k.progressAt = k.now
+}
+
+// Watchdog returns the armed progress limit (0 when disarmed).
+func (k *Kernel) Watchdog() Duration { return k.watchLimit }
+
+// SetWallBudget bounds the real time one RunUntil call may consume;
+// exceeding it returns RunStalled with a Wall-flagged report. The check
+// is amortized (every few thousand scheduler iterations) and abort-only,
+// so it cannot perturb the deterministic schedule. 0 disarms it.
+func (k *Kernel) SetWallBudget(d time.Duration) { k.wallBudget = d }
+
+// NoteProgress marks the current instant as "the application moved".
+// The pedf layer calls it on every token push and pop, making the
+// watchdog a token-movement watchdog as the paper's stall diagnosis
+// wants, not a mere scheduler-activity one.
+func (k *Kernel) NoteProgress() { k.progressAt = k.now }
+
+// LastStall returns the report for the most recent RunStalled return
+// (nil before the first stall).
+func (k *Kernel) LastStall() *StallReport { return k.lastStall }
+
+// WatchdogStalls counts watchdog trips.
+func (k *Kernel) WatchdogStalls() uint64 { return k.watchdogStalls }
+
+// stallReport builds a StallReport from the current process states.
+func (k *Kernel) stallReport(idle, wall bool) *StallReport {
+	r := &StallReport{
+		Time:          k.now,
+		NoProgressFor: k.now - k.progressAt,
+		Idle:          idle,
+		Wall:          wall,
+	}
+	for _, p := range k.procs {
+		if p.state == ProcDone || p.Daemon {
+			continue
+		}
+		if p.state == ProcWaitEvent || p.state == ProcWaitTime || p.frozen {
+			sp := StalledProc{Proc: p.name, State: p.state, Frozen: p.frozen}
+			if p.state == ProcWaitEvent && p.waitEvent != nil {
+				sp.Event = p.waitEvent.name
+			}
+			r.Procs = append(r.Procs, sp)
+		}
+	}
+	sort.Slice(r.Procs, func(i, j int) bool { return r.Procs[i].Proc < r.Procs[j].Proc })
+	return r
+}
+
+// commitStall records a watchdog trip.
+func (k *Kernel) commitStall(r *StallReport) {
+	k.watchdogStalls++
+	k.lastStall = r
+	if k.obs.Wants(obs.KStall) {
+		k.obs.Record(obs.Event{
+			At: uint64(k.now), Kind: obs.KStall, PE: -1,
+			Arg: int64(r.NoProgressFor), Arg2: int64(len(r.Procs)),
+		})
+	}
+}
 
 // Current returns the currently executing process, or nil if the kernel
 // is not dispatching.
@@ -300,6 +438,11 @@ func (k *Kernel) RunUntil(until Time) (RunStatus, error) {
 			fn()
 		}
 	}
+	var wallStart time.Time
+	if k.wallBudget > 0 {
+		wallStart = time.Now()
+	}
+	var iter uint
 	for {
 		if k.err != nil {
 			err := k.err
@@ -309,6 +452,14 @@ func (k *Kernel) RunUntil(until Time) (RunStatus, error) {
 		if k.paused {
 			return RunPaused, nil
 		}
+		// The wall-budget check is amortized and abort-only: it never
+		// influences which process runs next, so a run that stays within
+		// budget is bit-identical to one with no budget armed.
+		iter++
+		if k.wallBudget > 0 && iter&4095 == 0 && time.Since(wallStart) > k.wallBudget {
+			k.commitStall(k.stallReport(false, true))
+			return RunStalled, nil
+		}
 		if len(k.runnable) > 0 {
 			p := k.runnable[0]
 			k.runnable = k.runnable[1:]
@@ -316,6 +467,9 @@ func (k *Kernel) RunUntil(until Time) (RunStatus, error) {
 			if p.state != ProcReady {
 				// Process was cancelled while queued; skip.
 				continue
+			}
+			if k.flt != nil && k.flt.OnDispatch(uint64(k.now), p.name) {
+				p.frozen = true // injected freeze fault; recovered by Thaw
 			}
 			if p.frozen {
 				// Withheld by the debugger; remember the wakeup.
@@ -334,12 +488,29 @@ func (k *Kernel) RunUntil(until Time) (RunStatus, error) {
 		}
 		// No runnable process: advance time to the next notification.
 		if k.notes.Len() == 0 {
+			if k.watchLimit > 0 {
+				if r := k.stallReport(true, false); len(r.Procs) > 0 {
+					k.commitStall(r)
+					return RunStalled, nil
+				}
+			}
 			return RunIdle, nil
 		}
 		next := k.notes.peek()
 		if next.at > until {
 			k.now = until
 			return RunHorizon, nil
+		}
+		if k.watchLimit > 0 && next.at > k.progressAt+k.watchLimit {
+			// No token movement across a full watchdog span. Pretend
+			// progress at the wakeup point so a resumed run proceeds past
+			// this gap instead of re-tripping immediately.
+			r := k.stallReport(false, false)
+			k.progressAt = next.at
+			if len(r.Procs) > 0 {
+				k.commitStall(r)
+				return RunStalled, nil
+			}
 		}
 		if next.at > k.now {
 			k.advances++

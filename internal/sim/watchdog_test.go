@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"dfdbg/internal/fault"
+)
+
+// TestWatchdogDetectsIdleDeadlock: with a watchdog armed, a classic
+// deadlock (waiters with no notifier) ends the run as RunStalled with
+// the blocked processes named, instead of plain RunIdle.
+func TestWatchdogDetectsIdleDeadlock(t *testing.T) {
+	k := NewKernel()
+	k.SetWatchdog(1000)
+	ev := k.NewEvent("never")
+	k.Spawn("w1", func(p *Proc) { p.Wait(ev) })
+	k.Spawn("w2", func(p *Proc) { p.Wait(ev) })
+	st, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != RunStalled {
+		t.Fatalf("status %v, want RunStalled", st)
+	}
+	r := k.LastStall()
+	if r == nil || !r.Idle || len(r.Procs) != 2 {
+		t.Fatalf("stall report: %+v", r)
+	}
+	if r.Procs[0].Proc != "w1" || r.Procs[0].Event != "never" {
+		t.Errorf("first stalled proc: %+v", r.Procs[0])
+	}
+	if !strings.Contains(r.String(), "w2 waiting on never") {
+		t.Errorf("report text:\n%s", r)
+	}
+	if k.WatchdogStalls() != 1 {
+		t.Errorf("WatchdogStalls = %d", k.WatchdogStalls())
+	}
+}
+
+// TestWatchdogWithoutLimitKeepsRunIdle: the zero value changes nothing.
+func TestWatchdogWithoutLimitKeepsRunIdle(t *testing.T) {
+	k := NewKernel()
+	ev := k.NewEvent("never")
+	k.Spawn("w", func(p *Proc) { p.Wait(ev) })
+	st, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != RunIdle {
+		t.Fatalf("status %v, want RunIdle", st)
+	}
+	if k.LastStall() != nil {
+		t.Error("stall recorded with watchdog off")
+	}
+}
+
+// TestWatchdogTripsOnSilentTimeGap: simulated time marching past the
+// threshold without NoteProgress trips the watchdog mid-run, and a
+// resumed run proceeds past the gap instead of re-tripping forever.
+func TestWatchdogTripsOnSilentTimeGap(t *testing.T) {
+	k := NewKernel()
+	k.SetWatchdog(500)
+	done := false
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(10_000) // far beyond the threshold, no token movement
+		done = true
+	})
+	st, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != RunStalled {
+		t.Fatalf("status %v, want RunStalled", st)
+	}
+	r := k.LastStall()
+	if r == nil || r.Idle || r.Wall || len(r.Procs) != 1 || r.Procs[0].Proc != "sleeper" {
+		t.Fatalf("stall report: %+v", r)
+	}
+	st, err = k.Run() // resume: the gap was accounted, the sleep finishes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != RunIdle || !done {
+		t.Fatalf("resume: status %v done %v", st, done)
+	}
+}
+
+// TestWatchdogNoteProgressSuppresses: a process that keeps reporting
+// token movement never trips the watchdog however long it runs.
+func TestWatchdogNoteProgressSuppresses(t *testing.T) {
+	k := NewKernel()
+	k.SetWatchdog(500)
+	k.Spawn("busy", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(400)
+			k.NoteProgress()
+		}
+	})
+	st, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != RunIdle {
+		t.Fatalf("status %v, want RunIdle (progress was reported)", st)
+	}
+	if k.WatchdogStalls() != 0 {
+		t.Errorf("WatchdogStalls = %d", k.WatchdogStalls())
+	}
+}
+
+// TestWallBudgetAborts: a run that spins forever in simulated time is
+// cut off by the wall-clock budget with a Wall-flagged stall report.
+func TestWallBudgetAborts(t *testing.T) {
+	k := NewKernel()
+	k.SetWallBudget(50 * time.Millisecond)
+	k.Spawn("spinner", func(p *Proc) {
+		for {
+			p.Sleep(1)
+		}
+	})
+	start := time.Now()
+	st, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != RunStalled {
+		t.Fatalf("status %v, want RunStalled", st)
+	}
+	if r := k.LastStall(); r == nil || !r.Wall {
+		t.Fatalf("stall report: %+v", r)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("budget abort took %v", elapsed)
+	}
+}
+
+// TestFreezeFaultAtDispatch: a freeze fault suspends the process at its
+// Nth dispatch; with a watchdog the ensuing starvation is reported and
+// Thaw restores the run.
+func TestFreezeFaultAtDispatch(t *testing.T) {
+	k := NewKernel()
+	k.SetWatchdog(1000)
+	in := fault.NewInjector(fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.KFreeze, Target: "worker", N: 1},
+	}})
+	k.SetFaults(in)
+	steps := 0
+	k.Spawn("worker", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			steps++
+			p.Sleep(10)
+		}
+	})
+	st, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != RunStalled {
+		t.Fatalf("status %v, want RunStalled (frozen at dispatch 1)", st)
+	}
+	r := k.LastStall()
+	if r == nil || len(r.Procs) != 1 || !r.Procs[0].Frozen {
+		t.Fatalf("stall report: %+v", r)
+	}
+	if steps != 1 {
+		t.Errorf("worker ran %d steps before freeze, want 1", steps)
+	}
+	k.ProcByName("worker").Thaw()
+	if st, err = k.Run(); err != nil || st != RunIdle {
+		t.Fatalf("after thaw: %v, %v", st, err)
+	}
+	if steps != 3 {
+		t.Errorf("worker finished %d steps, want 3", steps)
+	}
+}
+
+// TestStallReportNamesOnlyBlockedProcs is the property test of the
+// satellite checklist: across randomized workloads, every process named
+// in a stall report is genuinely not progressing at that moment —
+// waiting, sleeping or frozen — never Done, never the running process.
+func TestStallReportNamesOnlyBlockedProcs(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		k := NewKernel()
+		k.SetWatchdog(Duration(1 + rng.Intn(500)))
+		ev := k.NewEvent("gate")
+		finished := map[string]bool{}
+		for i := 0; i < 2+rng.Intn(5); i++ {
+			name := fmt.Sprintf("p%d", i)
+			switch rng.Intn(3) {
+			case 0: // waits forever
+				k.Spawn(name, func(p *Proc) { p.Wait(ev) })
+			case 1: // sleeps far past any threshold
+				k.Spawn(name, func(p *Proc) { p.Sleep(Duration(10_000 + rng.Intn(10_000))) })
+			default: // finishes quickly
+				k.Spawn(name, func(p *Proc) {
+					p.Sleep(Duration(1 + rng.Intn(3)))
+					finished[p.Name()] = true
+				})
+			}
+		}
+		st, err := k.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != RunStalled {
+			continue // all-quick workloads can finish before the threshold
+		}
+		r := k.LastStall()
+		if r == nil || len(r.Procs) == 0 {
+			t.Fatalf("trial %d: RunStalled with empty report", trial)
+		}
+		for _, sp := range r.Procs {
+			if finished[sp.Proc] {
+				t.Errorf("trial %d: report names finished process %s", trial, sp.Proc)
+			}
+			p := k.ProcByName(sp.Proc)
+			if p == nil {
+				t.Fatalf("trial %d: report names unknown process %s", trial, sp.Proc)
+			}
+			switch {
+			case p.Frozen():
+			case p.State() == ProcWaitEvent, p.State() == ProcWaitTime:
+			default:
+				t.Errorf("trial %d: %s reported stalled but in state %v",
+					trial, sp.Proc, p.State())
+			}
+		}
+	}
+}
