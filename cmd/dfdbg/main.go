@@ -103,21 +103,6 @@ func analyzeMain(args []string, out, errw io.Writer) int {
 	return 0
 }
 
-func parseBug(s string) (h264.Bug, error) {
-	switch s {
-	case "none":
-		return h264.BugNone, nil
-	case "swapped-mb-inputs":
-		return h264.BugSwapMBInputs, nil
-	case "rate-stall":
-		return h264.BugRateStall, nil
-	case "bad-dc":
-		return h264.BugBadDC, nil
-	default:
-		return 0, fmt.Errorf("unknown bug %q", s)
-	}
-}
-
 // faultOpts bundles the fault-injection flags of one session.
 type faultOpts struct {
 	spec     string // inline plan or file path ("" = none)
@@ -157,7 +142,7 @@ func armFaults(k *sim.Kernel, rt *pedf.Runtime, fo faultOpts, out io.Writer) err
 }
 
 func run(p h264.Params, bugName string, fo faultOpts, in io.Reader, out io.Writer) error {
-	bug, err := parseBug(bugName)
+	bug, err := h264.ParseBug(bugName)
 	if err != nil {
 		return err
 	}

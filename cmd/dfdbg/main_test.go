@@ -73,12 +73,12 @@ func TestParseBug(t *testing.T) {
 		"none": h264.BugNone, "swapped-mb-inputs": h264.BugSwapMBInputs,
 		"rate-stall": h264.BugRateStall, "bad-dc": h264.BugBadDC,
 	} {
-		got, err := parseBug(name)
+		got, err := h264.ParseBug(name)
 		if err != nil || got != want {
-			t.Errorf("parseBug(%q) = %v, %v", name, got, err)
+			t.Errorf("ParseBug(%q) = %v, %v", name, got, err)
 		}
 	}
-	if _, err := parseBug("bogus"); err == nil {
+	if _, err := h264.ParseBug("bogus"); err == nil {
 		t.Error("bogus bug accepted")
 	}
 	var out strings.Builder

@@ -1,0 +1,65 @@
+// Command dfserve is the headless multi-session debug server: it hosts
+// many concurrent dfdbg sessions — each wrapping its own simulation
+// kernel and H.264 case-study decoder — behind a newline-delimited JSON
+// wire protocol (see internal/serve for the protocol reference).
+//
+// Usage:
+//
+//	dfserve [-addr 127.0.0.1:7788] [-max-sessions 32] [-max-conns 64]
+//	        [-idle-timeout 5m] [-event-queue 256]
+//
+// A session is created with {"id":1,"op":"new","params":{...}} and
+// driven with {"id":2,"op":"exec","session":"s1","line":"continue"};
+// try it interactively with `nc 127.0.0.1 7788`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dfdbg/internal/serve"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:7788", "listen address")
+		maxS  = flag.Int("max-sessions", 32, "concurrent session limit")
+		maxC  = flag.Int("max-conns", 64, "concurrent connection limit")
+		idle  = flag.Duration("idle-timeout", 5*time.Minute, "reap sessions idle this long (0 = never)")
+		queue = flag.Int("event-queue", 256, "per-client async event queue length")
+	)
+	flag.Parse()
+	if err := run(*addr, *maxS, *maxC, *idle, *queue); err != nil {
+		fmt.Fprintf(os.Stderr, "dfserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, maxSessions, maxConns int, idle time.Duration, queue int) error {
+	if idle == 0 {
+		idle = -1 // Options treats 0 as "default"; <0 disables reaping
+	}
+	srv := serve.NewServer(serve.Options{
+		MaxSessions:   maxSessions,
+		MaxConns:      maxConns,
+		IdleTimeout:   idle,
+		EventQueueLen: queue,
+	})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(addr) }()
+	fmt.Fprintf(os.Stderr, "dfserve: listening on %s (max %d sessions, %d conns)\n",
+		addr, maxSessions, maxConns)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "dfserve: %v, shutting down\n", sig)
+		return srv.Close()
+	case err := <-errc:
+		return err
+	}
+}

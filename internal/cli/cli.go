@@ -60,6 +60,38 @@ type CLI struct {
 	curProc  *sim.Proc
 	vals     []filterc.Value // $1, $2, ... convenience value history
 	quit     bool
+
+	// dispatchStop collects the structured stop of the command being
+	// dispatched (set by reportStop, harvested by Dispatch).
+	dispatchStop *StopInfo
+}
+
+// Result is the structured outcome of one dispatched command: what a
+// protocol handler serializes onto the wire and what the REPL renders.
+// Output is the full human-readable text the command produced; Err is
+// the command error (nil on success); Stop is set when the command
+// resumed execution and the target stopped again.
+type Result struct {
+	Output string
+	Err    error
+	Quit   bool      // the session asked to end
+	Stop   *StopInfo // execution stop, for continue/step/next/finish
+}
+
+// StopInfo is the structured form of a lowdbg.StopEvent for API
+// clients: enough to drive a UI (kind, position, context process) and
+// to route stall/deadlock handling without parsing the rendered text.
+type StopInfo struct {
+	Kind     string `json:"kind"`
+	Reason   string `json:"reason"`
+	Proc     string `json:"proc,omitempty"`
+	Fn       string `json:"fn,omitempty"`
+	File     string `json:"file,omitempty"`
+	Line     int    `json:"line,omitempty"`
+	TimeNS   uint64 `json:"time_ns"`
+	Stalled  bool   `json:"stalled,omitempty"`
+	Deadlock bool   `json:"deadlock,omitempty"`
+	Done     bool   `json:"done,omitempty"`
 }
 
 // New creates a session writing its output to out.
@@ -75,21 +107,45 @@ func (c *CLI) printf(format string, args ...any) {
 }
 
 // Run reads commands from r until EOF or quit, printing the "(gdb)"
-// prompt the paper's transcripts use.
+// prompt the paper's transcripts use. The REPL is one client of the
+// Dispatch API: it renders each Result's output and error to c.Out,
+// exactly as a remote protocol handler renders them onto the wire.
 func (c *CLI) Run(r io.Reader) {
 	sc := bufio.NewScanner(r)
 	for {
-		c.printf("(gdb) ")
+		fmt.Fprintf(c.Out, "(gdb) ")
 		if !sc.Scan() {
-			c.printf("\n")
+			fmt.Fprintf(c.Out, "\n")
 			return
 		}
-		if err := c.Execute(sc.Text()); err != nil {
-			c.printf("error: %v\n", err)
+		res := c.Dispatch(sc.Text())
+		io.WriteString(c.Out, res.Output)
+		if res.Err != nil {
+			fmt.Fprintf(c.Out, "error: %v\n", res.Err)
 		}
-		if c.quit {
+		if res.Quit {
 			return
 		}
+	}
+}
+
+// Dispatch runs a single command line as a pure API call: the rendered
+// output and the error come back in the Result instead of being written
+// to c.Out, so any client — the REPL, a wire-protocol session, a test —
+// decides for itself what to do with them. File-writing commands
+// (timeline export) still touch the filesystem.
+func (c *CLI) Dispatch(line string) Result {
+	var buf strings.Builder
+	prev := c.Out
+	c.Out = &buf
+	c.dispatchStop = nil
+	err := c.Execute(line)
+	c.Out = prev
+	return Result{
+		Output: buf.String(),
+		Err:    err,
+		Quit:   c.quit,
+		Stop:   c.dispatchStop,
 	}
 }
 
@@ -261,12 +317,14 @@ Fault injection & recovery:
 `)
 }
 
-// reportStop prints a stop event and the dataflow layer's announcements.
+// reportStop prints a stop event and the dataflow layer's announcements,
+// and records the structured form for Dispatch clients.
 func (c *CLI) reportStop(ev *lowdbg.StopEvent) error {
 	for _, l := range c.D.DrainLog() {
 		c.printf("%s\n", l)
 	}
 	c.lastStop = ev
+	c.dispatchStop = stopInfo(ev, uint64(c.Low.K.Now()))
 	if ev == nil {
 		return nil
 	}
@@ -283,6 +341,28 @@ func (c *CLI) reportStop(ev *lowdbg.StopEvent) error {
 		}
 	}
 	return nil
+}
+
+// stopInfo converts a stop event to its wire form (nil stays nil).
+func stopInfo(ev *lowdbg.StopEvent, now uint64) *StopInfo {
+	if ev == nil {
+		return nil
+	}
+	si := &StopInfo{
+		Kind:     ev.Kind.String(),
+		Reason:   ev.Reason,
+		Fn:       ev.Fn,
+		File:     ev.Pos.File,
+		Line:     ev.Pos.Line,
+		TimeNS:   now,
+		Stalled:  ev.Stall != nil,
+		Deadlock: ev.Deadlock != nil,
+		Done:     ev.Kind == lowdbg.StopDone,
+	}
+	if ev.Proc != nil {
+		si.Proc = ev.Proc.Name()
+	}
+	return si
 }
 
 func (c *CLI) stepCmd(fn func(*sim.Proc) *lowdbg.StopEvent) error {
@@ -429,8 +509,7 @@ func (c *CLI) backtraceCmd() error {
 	}
 	frames := c.Low.FramesFor(c.curProc)
 	if len(frames) == 0 {
-		c.printf("no source-level frames for %s\n", c.curProc.Name())
-		return nil
+		return fmt.Errorf("no source-level frames for %s", c.curProc.Name())
 	}
 	for i, fr := range frames {
 		c.printf("#%d  %s () at line %d\n", i, fr.FuncName(), fr.Line)

@@ -1,0 +1,155 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDispatchTable exercises Dispatch as a pure API: one command line
+// in, a structured Result out, with output captured rather than written
+// to the session writer.
+func TestDispatchTable(t *testing.T) {
+	cases := []struct {
+		name string
+		cmds []string // run all, assert on the last
+		want func(t *testing.T, res Result)
+	}{
+		{
+			name: "help prints command reference",
+			cmds: []string{"help"},
+			want: func(t *testing.T, res Result) {
+				if res.Err != nil || !strings.Contains(res.Output, "Dataflow commands") {
+					t.Errorf("res = %+v", res)
+				}
+			},
+		},
+		{
+			name: "empty line is a no-op",
+			cmds: []string{""},
+			want: func(t *testing.T, res Result) {
+				if res.Err != nil || res.Output != "" || res.Quit || res.Stop != nil {
+					t.Errorf("res = %+v", res)
+				}
+			},
+		},
+		{
+			name: "unknown command returns an error, not output",
+			cmds: []string{"frobnicate"},
+			want: func(t *testing.T, res Result) {
+				if res.Err == nil || res.Output != "" {
+					t.Errorf("res = %+v", res)
+				}
+			},
+		},
+		{
+			name: "info filters captures the actor table",
+			cmds: []string{"info filters"},
+			want: func(t *testing.T, res Result) {
+				if res.Err != nil || !strings.Contains(res.Output, "pipe") {
+					t.Errorf("res = %+v", res)
+				}
+			},
+		},
+		{
+			name: "continue to completion carries a done stop",
+			cmds: []string{"continue"},
+			want: func(t *testing.T, res Result) {
+				if res.Err != nil || res.Stop == nil {
+					t.Fatalf("res = %+v", res)
+				}
+				if !res.Stop.Done || res.Stop.TimeNS == 0 {
+					t.Errorf("stop = %+v", res.Stop)
+				}
+			},
+		},
+		{
+			name: "catchpoint stop is structured",
+			cmds: []string{"filter pipe catch work", "continue"},
+			want: func(t *testing.T, res Result) {
+				if res.Stop == nil {
+					t.Fatalf("res = %+v", res)
+				}
+				if res.Stop.Done || !strings.Contains(res.Stop.Reason, "pipe work") {
+					t.Errorf("stop = %+v", res.Stop)
+				}
+			},
+		},
+		{
+			name: "failed command keeps the session usable",
+			cmds: []string{"break no_such_symbol", "info filters"},
+			want: func(t *testing.T, res Result) {
+				if res.Err != nil || res.Output == "" {
+					t.Errorf("res = %+v", res)
+				}
+			},
+		},
+		{
+			name: "backtrace without frames is an error not stdout",
+			cmds: []string{"backtrace"},
+			want: func(t *testing.T, res Result) {
+				if res.Err == nil || res.Output != "" {
+					t.Errorf("res = %+v", res)
+				}
+			},
+		},
+		{
+			name: "fault list without a plan is an error not stdout",
+			cmds: []string{"fault list"},
+			want: func(t *testing.T, res Result) {
+				if res.Err == nil || !strings.Contains(res.Err.Error(), "no fault plan") ||
+					res.Output != "" {
+					t.Errorf("res = %+v", res)
+				}
+			},
+		},
+		{
+			name: "quit sets the quit flag",
+			cmds: []string{"quit"},
+			want: func(t *testing.T, res Result) {
+				if res.Err != nil || !res.Quit {
+					t.Errorf("res = %+v", res)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, out := session(t)
+			var res Result
+			for _, cmd := range tc.cmds {
+				res = c.Dispatch(cmd)
+			}
+			tc.want(t, res)
+			if out.Len() != 0 {
+				t.Errorf("Dispatch leaked %q to the session writer", out.String())
+			}
+		})
+	}
+}
+
+// TestDispatchRestoresWriter pins that Dispatch captures output without
+// stealing the writer from interleaved Execute calls.
+func TestDispatchRestoresWriter(t *testing.T) {
+	c, out := session(t)
+	if res := c.Dispatch("info filters"); res.Output == "" {
+		t.Fatalf("dispatch res = %+v", res)
+	}
+	if err := c.Execute("info filters"); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Error("Execute after Dispatch wrote nothing to the session writer")
+	}
+}
+
+// TestDispatchStopResetsBetweenCommands pins that a stop from one
+// command does not bleed into the next result.
+func TestDispatchStopResetsBetweenCommands(t *testing.T) {
+	c, _ := session(t)
+	if res := c.Dispatch("continue"); res.Stop == nil {
+		t.Fatalf("continue res = %+v", res)
+	}
+	if res := c.Dispatch("info filters"); res.Stop != nil {
+		t.Errorf("stale stop leaked: %+v", res.Stop)
+	}
+}

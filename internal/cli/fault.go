@@ -97,8 +97,7 @@ func (c *CLI) faultCmd(rest []string) error {
 	case "list":
 		in := c.Low.K.Faults()
 		if in == nil {
-			c.printf("no fault plan armed\n")
-			return nil
+			return fmt.Errorf("no fault plan armed (use fault load|add|gen)")
 		}
 		pending := make(map[string]bool)
 		for _, f := range in.Pending() {
@@ -115,8 +114,7 @@ func (c *CLI) faultCmd(rest []string) error {
 	case "trace":
 		in := c.Low.K.Faults()
 		if in == nil {
-			c.printf("no fault plan armed\n")
-			return nil
+			return fmt.Errorf("no fault plan armed (use fault load|add|gen)")
 		}
 		lines := in.TraceStrings()
 		if len(lines) == 0 {

@@ -74,6 +74,23 @@ func (b Bug) String() string {
 	}
 }
 
+// ParseBug maps a command-line bug name to its Bug value. It accepts
+// the canonical String() names plus the short "bad-dc" alias the dfdbg
+// flag historically used.
+func ParseBug(s string) (Bug, error) {
+	switch s {
+	case "", "none":
+		return BugNone, nil
+	case "swapped-mb-inputs":
+		return BugSwapMBInputs, nil
+	case "rate-stall":
+		return BugRateStall, nil
+	case "bad-dc", "bad-dc-rounding":
+		return BugBadDC, nil
+	}
+	return 0, fmt.Errorf("unknown bug %q (none, swapped-mb-inputs, rate-stall, bad-dc)", s)
+}
+
 // Build elaborates the Figure 4 decoder into rt and feeds it the
 // bitstream. stall selects the rate-mismatch pred controller used by
 // experiment F4 (the app then does not run to completion).

@@ -212,6 +212,40 @@ func formatVal(v float64) string {
 	return fmt.Sprintf("%g", v)
 }
 
+// MetricValue is one registered metric's value at snapshot time, in the
+// structured form wire-protocol clients consume (histograms report
+// their sample count and sum).
+type MetricValue struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"` // rendered {k="v",...} or ""
+	Type   string  `json:"type"`
+	Value  float64 `json:"value"`
+	Sum    float64 `json:"sum,omitempty"`   // histograms only
+	Count  uint64  `json:"count,omitempty"` // histograms only
+}
+
+// Snapshot returns every registered metric's current value in
+// registration order. Function-backed metrics are read at call time, so
+// a snapshot taken while a simulation runs is best-effort, exactly like
+// the text expositions.
+func (r *Registry) Snapshot() []MetricValue {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	out := make([]MetricValue, 0, len(metrics))
+	for _, m := range metrics {
+		mv := MetricValue{Name: m.name, Labels: m.labels, Type: m.typ.String()}
+		if m.typ == TypeHistogram {
+			mv.Sum = m.hist.Sum()
+			mv.Count = m.hist.Count()
+		} else {
+			mv.Value = m.value()
+		}
+		out = append(out, mv)
+	}
+	return out
+}
+
 // WriteText renders a human-readable table.
 func (r *Registry) WriteText(w io.Writer) {
 	r.mu.Lock()

@@ -105,3 +105,29 @@ func TestServeMetrics(t *testing.T) {
 		t.Errorf("served body:\n%s", body)
 	}
 }
+
+func TestSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "a counter", "k", "v").Add(3)
+	reg.Gauge("g", "a gauge").Set(-7)
+	reg.GaugeFunc("fn_g", "func gauge", func() float64 { return 2.5 })
+	h := reg.Histogram("h_ns", "a histogram", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+
+	snap := reg.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d entries, want 4", len(snap))
+	}
+	want := []MetricValue{
+		{Name: "c_total", Labels: `{k="v"}`, Type: "counter", Value: 3},
+		{Name: "g", Type: "gauge", Value: -7},
+		{Name: "fn_g", Type: "gauge", Value: 2.5},
+		{Name: "h_ns", Type: "histogram", Sum: 55, Count: 2},
+	}
+	for i, w := range want {
+		if snap[i] != w {
+			t.Errorf("snapshot[%d] = %+v, want %+v", i, snap[i], w)
+		}
+	}
+}

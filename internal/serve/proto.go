@@ -1,0 +1,108 @@
+// Package serve implements the headless multi-session debug server:
+// many concurrent debug sessions, each wrapping its own simulation
+// kernel and H.264 case-study application, behind a newline-delimited
+// JSON wire protocol.
+//
+// The paper's debugger is one interactive GDB session bolted to one
+// PEDF run. Here the engine is split from the terminal: internal/cli
+// dispatches commands as a pure API (command line in, structured
+// Result out), a Session owns one kernel on one goroutine, a Manager
+// hosts many sessions with limits and idle reaping, and the Server
+// speaks the wire protocol so any number of clients can attach,
+// script and replay sessions concurrently.
+//
+// Wire protocol (one JSON object per line, both directions):
+//
+//	→ {"id":1,"op":"new","params":{"w":16,"h":16,"qp":8,"seed":7}}
+//	← {"id":1,"ok":true,"session":"s1"}
+//	→ {"id":2,"op":"exec","session":"s1","line":"continue"}
+//	← {"id":2,"ok":true,"session":"s1","output":"...","stop":{...}}
+//	← {"event":"stop","session":"s1","stop":{...}}        (async, attached clients)
+//
+// Ops: new, attach, detach, exec, complete, list, kill, metrics, ping.
+// Responses carry the request id; asynchronous events carry an "event"
+// key instead. Commands on one connection are handled in order; open
+// more connections for client-side concurrency.
+package serve
+
+import (
+	"dfdbg/internal/cli"
+	"dfdbg/internal/obs"
+)
+
+// Request is one client → server message.
+type Request struct {
+	ID      int64          `json:"id"`
+	Op      string         `json:"op"`
+	Session string         `json:"session,omitempty"`
+	Line    string         `json:"line,omitempty"`
+	Params  *SessionParams `json:"params,omitempty"`
+}
+
+// SessionParams configures the application a new session debugs (the
+// H.264 case-study decoder). Zero values take the dfdbg defaults.
+type SessionParams struct {
+	W    int    `json:"w,omitempty"`
+	H    int    `json:"h,omitempty"`
+	QP   int    `json:"qp,omitempty"`
+	Seed int64  `json:"seed,omitempty"`
+	Bug  string `json:"bug,omitempty"`
+}
+
+// withDefaults fills zero fields with the dfdbg flag defaults.
+func (p SessionParams) withDefaults() SessionParams {
+	if p.W == 0 {
+		p.W = 32
+	}
+	if p.H == 0 {
+		p.H = 32
+	}
+	if p.QP == 0 {
+		p.QP = 8
+	}
+	if p.Seed == 0 {
+		p.Seed = 7
+	}
+	if p.Bug == "" {
+		p.Bug = "none"
+	}
+	return p
+}
+
+// Response is one server → client reply, matched to its Request by ID.
+type Response struct {
+	ID      int64  `json:"id"`
+	OK      bool   `json:"ok"`
+	Error   string `json:"error,omitempty"`
+	Session string `json:"session,omitempty"`
+
+	// exec results
+	Output string        `json:"output,omitempty"`
+	Stop   *cli.StopInfo `json:"stop,omitempty"`
+	Done   bool          `json:"done,omitempty"` // the session quit
+
+	// op-specific payloads
+	Sessions    []SessionInfo     `json:"sessions,omitempty"`    // list
+	Metrics     []obs.MetricValue `json:"metrics,omitempty"`     // metrics
+	Completions []string          `json:"completions,omitempty"` // complete
+}
+
+// Event is one asynchronous server → client message, delivered to every
+// client attached to the session it concerns.
+type Event struct {
+	Event   string        `json:"event"` // hello, stop, session-closed, dropped, goodbye
+	Session string        `json:"session,omitempty"`
+	Stop    *cli.StopInfo `json:"stop,omitempty"`
+	Reason  string        `json:"reason,omitempty"`
+	Dropped uint64        `json:"dropped,omitempty"` // events lost to backpressure
+}
+
+// SessionInfo is one session's row in a list response.
+type SessionInfo struct {
+	ID       string        `json:"id"`
+	Params   SessionParams `json:"params"`
+	Busy     bool          `json:"busy"` // a command is executing right now
+	Commands uint64        `json:"commands"`
+	IdleNS   int64         `json:"idle_ns"` // wall ns since the last command
+	Clients  int           `json:"clients"` // attached subscribers
+}

@@ -1,0 +1,436 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dfdbg/internal/obs"
+)
+
+// Options configures a Server. Zero values take the listed defaults.
+type Options struct {
+	MaxSessions   int           // concurrent sessions admitted (default 32)
+	MaxConns      int           // concurrent client connections (default 64)
+	IdleTimeout   time.Duration // reap sessions idle this long (default 5m, <0 disables)
+	EventQueueLen int           // per-client async event queue (default 256)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSessions == 0 {
+		o.MaxSessions = 32
+	}
+	if o.MaxConns == 0 {
+		o.MaxConns = 64
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 5 * time.Minute
+	}
+	if o.IdleTimeout < 0 {
+		o.IdleTimeout = 0
+	}
+	if o.EventQueueLen == 0 {
+		o.EventQueueLen = 256
+	}
+	return o
+}
+
+// Server accepts wire-protocol connections and routes their requests to
+// the session manager. Graceful degradation is built in: a connection
+// over the limit is greeted with a goodbye event and closed, sessions
+// over the limit are refused with an error response, idle sessions are
+// reaped, and slow readers lose oldest events first — never responses.
+type Server struct {
+	opts Options
+	mgr  *Manager
+
+	mu       sync.Mutex
+	ln       net.Listener
+	closed   bool
+	stopReap chan struct{}
+	wg       sync.WaitGroup
+
+	connsActive atomic.Int64
+	connsTotal  *obs.Counter
+	connsOver   *obs.Counter
+}
+
+// NewServer returns a server with a fresh session manager.
+func NewServer(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:     opts,
+		mgr:      NewManager(opts.MaxSessions, opts.IdleTimeout),
+		stopReap: make(chan struct{}),
+	}
+	reg := s.mgr.Registry()
+	reg.GaugeFunc("conns_active", "client connections currently open",
+		func() float64 { return float64(s.connsActive.Load()) })
+	s.connsTotal = reg.Counter("conns_total", "client connections ever accepted")
+	s.connsOver = reg.Counter("conns_refused_total", "connections refused over the limit")
+	return s
+}
+
+// Manager returns the server's session manager (metrics, direct
+// session access for embedders and tests).
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listen address ("" before Serve).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve accepts connections on ln until Close. It owns the idle-reaper
+// goroutine for the lifetime of the listener.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("serve: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	if s.mgr.IdleTimeout() > 0 {
+		tick := s.mgr.IdleTimeout() / 4
+		if tick > time.Second {
+			tick = time.Second
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			t := time.NewTicker(tick)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.stopReap:
+					return
+				case <-t.C:
+					s.mgr.ReapIdle()
+				}
+			}
+		}()
+	}
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.connsTotal.Inc()
+		if n := s.connsActive.Add(1); int(n) > s.opts.MaxConns {
+			s.connsActive.Add(-1)
+			s.connsOver.Inc()
+			b, _ := json.Marshal(Event{Event: "goodbye", Reason: "connection limit reached"})
+			conn.Write(append(b, '\n'))
+			conn.Close()
+			continue
+		}
+		cl := newClient(s, conn)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			cl.serve()
+			s.connsActive.Add(-1)
+		}()
+	}
+}
+
+// Close stops accepting, tears down every session and waits for the
+// connection handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	close(s.stopReap)
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.mgr.CloseAll()
+	s.wg.Wait()
+	return nil
+}
+
+// client is one wire-protocol connection: a reader goroutine handling
+// requests in order, and a writer goroutine draining the outbound
+// queue. Responses are never dropped; asynchronous events are queued
+// with a bounded drop-oldest policy so one slow reader cannot stall a
+// session or the server (the drop count is surfaced to the client in a
+// "dropped" event and to the operator in events_dropped_total).
+type client struct {
+	srv  *Server
+	conn net.Conn
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	resp    [][]byte // responses, unbounded, never dropped
+	events  [][]byte // async events, bounded, drop-oldest
+	dropped uint64   // drops since the last "dropped" notice
+	closed  bool
+
+	attached map[string]*Session
+}
+
+func newClient(s *Server, conn net.Conn) *client {
+	cl := &client{srv: s, conn: conn, attached: make(map[string]*Session)}
+	cl.cond = sync.NewCond(&cl.mu)
+	return cl
+}
+
+// serve runs the connection to completion.
+func (cl *client) serve() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cl.writer()
+	}()
+	cl.deliver(Event{Event: "hello", Reason: "dfserve/1"})
+
+	sc := bufio.NewScanner(cl.conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			cl.respond(Response{ID: req.ID, Error: fmt.Sprintf("bad request: %v", err)})
+			continue
+		}
+		cl.handle(req)
+	}
+	cl.shutdown()
+	<-done
+}
+
+// shutdown detaches from every session and wakes the writer to flush
+// and exit.
+func (cl *client) shutdown() {
+	for _, s := range cl.attached {
+		s.Unsubscribe(cl)
+	}
+	cl.attached = nil
+	cl.mu.Lock()
+	cl.closed = true
+	cl.mu.Unlock()
+	cl.cond.Broadcast()
+}
+
+// writer drains the outbound queues onto the connection.
+func (cl *client) writer() {
+	defer cl.conn.Close()
+	for {
+		cl.mu.Lock()
+		for !cl.closed && len(cl.resp) == 0 && len(cl.events) == 0 && cl.dropped == 0 {
+			cl.cond.Wait()
+		}
+		batch := cl.resp
+		cl.resp = nil
+		if cl.dropped > 0 {
+			if b, err := json.Marshal(Event{Event: "dropped", Dropped: cl.dropped}); err == nil {
+				batch = append(batch, b)
+			}
+			cl.dropped = 0
+		}
+		batch = append(batch, cl.events...)
+		cl.events = nil
+		closed := cl.closed
+		cl.mu.Unlock()
+		for _, b := range batch {
+			if _, err := cl.conn.Write(append(b, '\n')); err != nil {
+				cl.mu.Lock()
+				cl.closed = true
+				cl.mu.Unlock()
+				return
+			}
+		}
+		if closed {
+			return
+		}
+	}
+}
+
+// respond queues a response (never dropped).
+func (cl *client) respond(r Response) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		b, _ = json.Marshal(Response{ID: r.ID, Error: fmt.Sprintf("marshal: %v", err)})
+	}
+	cl.mu.Lock()
+	if !cl.closed {
+		cl.resp = append(cl.resp, b)
+	}
+	cl.mu.Unlock()
+	cl.cond.Broadcast()
+}
+
+// deliver queues an async event with drop-oldest backpressure
+// (subscriber interface; called from session goroutines).
+func (cl *client) deliver(ev Event) {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return
+	}
+	if len(cl.events) >= cl.srv.opts.EventQueueLen {
+		cl.events = cl.events[1:]
+		cl.dropped++
+		cl.srv.mgr.eventsDropped.Inc()
+	}
+	cl.events = append(cl.events, b)
+	cl.mu.Unlock()
+	cl.cond.Broadcast()
+}
+
+// handle executes one request. Requests on a connection run in order;
+// a long-running exec (continue) blocks later requests on the same
+// connection, not other clients.
+func (cl *client) handle(req Request) {
+	resp := Response{ID: req.ID, Session: req.Session}
+	fail := func(err error) {
+		resp.Error = err.Error()
+		cl.respond(resp)
+	}
+	switch req.Op {
+	case "ping":
+		resp.OK = true
+	case "new":
+		var p SessionParams
+		if req.Params != nil {
+			p = *req.Params
+		}
+		s, err := cl.srv.mgr.Create(p)
+		if err != nil {
+			fail(err)
+			return
+		}
+		// The creator is attached: it sees its session's events without
+		// a separate attach round-trip.
+		cl.attach(s)
+		resp.OK = true
+		resp.Session = s.ID
+	case "attach":
+		s, err := cl.srv.mgr.Get(req.Session)
+		if err != nil {
+			fail(err)
+			return
+		}
+		cl.attach(s)
+		resp.OK = true
+	case "detach":
+		if s, ok := cl.attached[req.Session]; ok {
+			s.Unsubscribe(cl)
+			delete(cl.attached, req.Session)
+		}
+		resp.OK = true
+	case "exec":
+		s, err := cl.srv.mgr.Get(req.Session)
+		if err != nil {
+			fail(err)
+			return
+		}
+		res, err := s.Exec(req.Line)
+		if err != nil {
+			fail(err)
+			return
+		}
+		resp.OK = res.Err == nil
+		if res.Err != nil {
+			resp.Error = res.Err.Error()
+		}
+		resp.Output = res.Output
+		resp.Stop = res.Stop
+		resp.Done = res.Quit
+	case "complete":
+		s, err := cl.srv.mgr.Get(req.Session)
+		if err != nil {
+			fail(err)
+			return
+		}
+		comps, err := s.Complete(req.Line)
+		if err != nil {
+			fail(err)
+			return
+		}
+		resp.OK = true
+		resp.Completions = comps
+	case "list":
+		resp.OK = true
+		resp.Sessions = cl.srv.mgr.List()
+	case "kill":
+		s, err := cl.srv.mgr.Get(req.Session)
+		if err != nil {
+			fail(err)
+			return
+		}
+		s.Close("killed")
+		delete(cl.attached, req.Session)
+		resp.OK = true
+	case "metrics":
+		if req.Session == "" {
+			resp.OK = true
+			resp.Metrics = cl.srv.mgr.Registry().Snapshot()
+			break
+		}
+		s, err := cl.srv.mgr.Get(req.Session)
+		if err != nil {
+			fail(err)
+			return
+		}
+		mv, err := s.Metrics()
+		if err != nil {
+			fail(err)
+			return
+		}
+		resp.OK = true
+		resp.Metrics = mv
+	default:
+		fail(fmt.Errorf("serve: unknown op %q", req.Op))
+		return
+	}
+	cl.respond(resp)
+}
+
+// attach subscribes the client to s.
+func (cl *client) attach(s *Session) {
+	if _, ok := cl.attached[s.ID]; ok {
+		return
+	}
+	cl.attached[s.ID] = s
+	s.Subscribe(cl)
+}

@@ -1,0 +1,431 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dfdbg/internal/cli"
+	"dfdbg/internal/core"
+	"dfdbg/internal/dbginfo"
+	"dfdbg/internal/h264"
+	"dfdbg/internal/lowdbg"
+	"dfdbg/internal/mach"
+	"dfdbg/internal/obs"
+	"dfdbg/internal/pedf"
+	"dfdbg/internal/sim"
+	"dfdbg/internal/trace"
+)
+
+// Errors returned by the session layer and rendered onto the wire.
+var (
+	ErrSessionLimit  = errors.New("serve: session limit reached")
+	ErrSessionClosed = errors.New("serve: session closed")
+	ErrNoSession     = errors.New("serve: no such session")
+)
+
+// subscriber receives a session's asynchronous events. Implementations
+// must not block: the client layer queues with drop-oldest semantics.
+type subscriber interface {
+	deliver(Event)
+}
+
+// Manager hosts the concurrent debug sessions behind one server:
+// creation against a session limit, lookup, listing, kill, and idle
+// reaping. Each session's kernel is owned by that session's goroutine;
+// the manager never touches simulation state.
+type Manager struct {
+	maxSessions int
+	idleTimeout time.Duration
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	seq      int
+
+	reg            *obs.Registry
+	sessionsOpened *obs.Counter
+	sessionsReaped *obs.Counter
+	commandsTotal  *obs.Counter
+	eventsDropped  *obs.Counter
+}
+
+// NewManager returns a manager admitting up to maxSessions concurrent
+// sessions and reaping sessions idle for longer than idleTimeout
+// (0 disables reaping). Its metrics registry carries the server-level
+// gauges and counters.
+func NewManager(maxSessions int, idleTimeout time.Duration) *Manager {
+	m := &Manager{
+		maxSessions: maxSessions,
+		idleTimeout: idleTimeout,
+		sessions:    make(map[string]*Session),
+		reg:         obs.NewRegistry(),
+	}
+	m.reg.GaugeFunc("sessions_active", "debug sessions currently hosted",
+		func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(len(m.sessions))
+		})
+	m.sessionsOpened = m.reg.Counter("sessions_opened_total", "debug sessions ever created")
+	m.sessionsReaped = m.reg.Counter("sessions_reaped_total", "sessions closed by the idle reaper")
+	m.commandsTotal = m.reg.Counter("commands_total", "debugger commands dispatched across all sessions")
+	m.eventsDropped = m.reg.Counter("events_dropped_total", "events lost to per-client backpressure")
+	return m
+}
+
+// Registry returns the server-level metrics registry.
+func (m *Manager) Registry() *obs.Registry { return m.reg }
+
+// IdleTimeout returns the configured idle-session timeout.
+func (m *Manager) IdleTimeout() time.Duration { return m.idleTimeout }
+
+// Create builds a new session for params and starts its goroutine. It
+// returns once the session booted (graph reconstructed, first prompt
+// reachable) or failed to.
+func (m *Manager) Create(params SessionParams) (*Session, error) {
+	params = params.withDefaults()
+	m.mu.Lock()
+	if m.maxSessions > 0 && len(m.sessions) >= m.maxSessions {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d active)", ErrSessionLimit, len(m.sessions))
+	}
+	m.seq++
+	s := &Session{
+		ID:     fmt.Sprintf("s%d", m.seq),
+		Params: params,
+		mgr:    m,
+		cmds:   make(chan sessionCmd),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		subs:   make(map[subscriber]struct{}),
+	}
+	m.sessions[s.ID] = s
+	m.mu.Unlock()
+
+	ready := make(chan error)
+	go s.loop(ready)
+	if err := <-ready; err != nil {
+		m.remove(s)
+		return nil, err
+	}
+	m.sessionsOpened.Inc()
+	return s, nil
+}
+
+// Get returns the session with the given id.
+func (m *Manager) Get(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSession, id)
+	}
+	return s, nil
+}
+
+// List returns a snapshot of every hosted session, sorted by id.
+func (m *Manager) List() []SessionInfo {
+	m.mu.Lock()
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	out := make([]SessionInfo, 0, len(sessions))
+	for _, s := range sessions {
+		out = append(out, s.info())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].ID) != len(out[j].ID) {
+			return len(out[i].ID) < len(out[j].ID)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// ReapIdle closes sessions that have been idle (no command executing,
+// none arriving) for longer than the idle timeout. It returns how many
+// were reaped. The server calls this periodically; tests call it
+// directly.
+func (m *Manager) ReapIdle() int {
+	if m.idleTimeout <= 0 {
+		return 0
+	}
+	m.mu.Lock()
+	var victims []*Session
+	for _, s := range m.sessions {
+		if !s.busy.Load() && time.Since(time.Unix(0, s.lastUsed.Load())) > m.idleTimeout {
+			victims = append(victims, s)
+		}
+	}
+	m.mu.Unlock()
+	for _, s := range victims {
+		s.Close("idle-timeout")
+		m.sessionsReaped.Inc()
+	}
+	return len(victims)
+}
+
+// CloseAll tears down every session (server shutdown).
+func (m *Manager) CloseAll() {
+	m.mu.Lock()
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	for _, s := range sessions {
+		s.Close("server-shutdown")
+	}
+}
+
+// remove deletes s from the table (idempotent).
+func (m *Manager) remove(s *Session) {
+	m.mu.Lock()
+	delete(m.sessions, s.ID)
+	m.mu.Unlock()
+}
+
+// sessionCmd is one unit of work executed on the session goroutine. The
+// closure receives the session's stack, so every kernel access happens
+// on the goroutine that owns it.
+type sessionCmd struct {
+	run   func(*stack) any
+	reply chan any
+}
+
+// stack is one session's full debug stack, built and used only on the
+// session goroutine.
+type stack struct {
+	cli *cli.CLI
+	k   *sim.Kernel
+	rec *obs.Recorder
+}
+
+// Session is one hosted debug session: a kernel, runtime and command
+// dispatcher owned by a single goroutine, plus the bookkeeping the
+// manager and the protocol layer read from outside.
+type Session struct {
+	ID     string
+	Params SessionParams
+
+	mgr  *Manager
+	cmds chan sessionCmd
+	stop chan struct{} // closed by Close: tear down
+	done chan struct{} // closed by loop on exit
+
+	closeOnce   sync.Once
+	closeReason atomic.Value // string
+
+	busy     atomic.Bool
+	lastUsed atomic.Int64 // wall nanos of the last command
+	ncmds    atomic.Uint64
+
+	subMu sync.Mutex
+	subs  map[subscriber]struct{}
+}
+
+// buildStack elaborates the decoder and boots the framework
+// initialization phase, mirroring the dfdbg command's setup.
+func buildStack(params SessionParams) (*stack, error) {
+	bug, err := h264.ParseBug(params.Bug)
+	if err != nil {
+		return nil, err
+	}
+	k := sim.NewKernel()
+	orec := obs.NewRecorder(1 << 16)
+	k.SetObserver(orec)
+	low := lowdbg.New(k, dbginfo.NewTable())
+	rec := trace.Attach(low)
+	d := core.Attach(low)
+	m := mach.New(k, mach.Config{})
+	rt := pedf.NewRuntime(k, m, low)
+	p := h264.Params{W: params.W, H: params.H, QP: params.QP, Seed: params.Seed}
+	bits, err := h264.Encode(h264.GenerateFrame(p), p)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := h264.BuildVariant(rt, p, bits, bug); err != nil {
+		return nil, err
+	}
+	if err := rt.Start(); err != nil {
+		return nil, err
+	}
+	if _, err := k.RunUntil(0); err != nil {
+		return nil, err
+	}
+	c := cli.New(d, io.Discard)
+	c.Rec = rec
+	c.Obs = orec
+	c.Targets = rt.FaultTargets()
+	return &stack{cli: c, k: k, rec: orec}, nil
+}
+
+// loop is the session goroutine: it builds the stack (so the kernel is
+// born and dies on this goroutine) and serializes every command against
+// it. Kernels never share state across sessions; the only cross-session
+// paths are the process-global filterc code cache (sync.Map) and the
+// manager's atomic counters.
+func (s *Session) loop(ready chan<- error) {
+	defer close(s.done)
+	st, err := buildStack(s.Params)
+	ready <- err
+	if err != nil {
+		return
+	}
+	s.touch()
+	for {
+		select {
+		case <-s.stop:
+			s.teardown(st, s.reason())
+			return
+		case cmd := <-s.cmds:
+			s.busy.Store(true)
+			out := cmd.run(st)
+			s.busy.Store(false)
+			s.touch()
+			cmd.reply <- out
+			if res, ok := out.(cli.Result); ok {
+				s.ncmds.Add(1)
+				s.mgr.commandsTotal.Inc()
+				if res.Stop != nil {
+					s.publish(Event{Event: "stop", Session: s.ID, Stop: res.Stop})
+				}
+				if res.Quit {
+					s.markClosed("quit")
+					s.teardown(st, "quit")
+					return
+				}
+			}
+		}
+	}
+}
+
+// teardown unwinds the kernel's processes, removes the session and
+// tells the subscribers. Runs on the session goroutine.
+func (s *Session) teardown(st *stack, reason string) {
+	_ = st.k.Shutdown()
+	s.mgr.remove(s)
+	s.publish(Event{Event: "session-closed", Session: s.ID, Reason: reason})
+	s.subMu.Lock()
+	s.subs = make(map[subscriber]struct{})
+	s.subMu.Unlock()
+}
+
+// markClosed records the close reason exactly once (and wins over a
+// concurrent Close, which then finds the done channel already closing).
+func (s *Session) markClosed(reason string) {
+	s.closeOnce.Do(func() { s.closeReason.Store(reason) })
+}
+
+func (s *Session) reason() string {
+	if r, ok := s.closeReason.Load().(string); ok {
+		return r
+	}
+	return "closed"
+}
+
+// Close tears the session down and waits until its goroutine exited
+// (kernel fully unwound). Safe to call from any goroutine, idempotent.
+// If a command is executing, teardown happens after it completes.
+func (s *Session) Close(reason string) {
+	s.closeOnce.Do(func() {
+		s.closeReason.Store(reason)
+		close(s.stop)
+	})
+	<-s.done
+}
+
+// Exec dispatches one debugger command line on the session goroutine
+// and returns its structured result.
+func (s *Session) Exec(line string) (cli.Result, error) {
+	out, err := s.do(func(st *stack) any { return st.cli.Dispatch(line) })
+	if err != nil {
+		return cli.Result{}, err
+	}
+	return out.(cli.Result), nil
+}
+
+// Complete returns command-line completions for a partial line.
+func (s *Session) Complete(partial string) ([]string, error) {
+	out, err := s.do(func(st *stack) any { return st.cli.CompleteLine(partial) })
+	if err != nil {
+		return nil, err
+	}
+	return out.([]string), nil
+}
+
+// Metrics snapshots the session's own observability registry (the
+// per-session kernel/runtime/debugger metrics, not the server's).
+func (s *Session) Metrics() ([]obs.MetricValue, error) {
+	out, err := s.do(func(st *stack) any { return st.rec.Metrics.Snapshot() })
+	if err != nil {
+		return nil, err
+	}
+	return out.([]obs.MetricValue), nil
+}
+
+// do runs fn on the session goroutine.
+func (s *Session) do(fn func(*stack) any) (any, error) {
+	cmd := sessionCmd{run: fn, reply: make(chan any, 1)}
+	select {
+	case s.cmds <- cmd:
+	case <-s.done:
+		return nil, ErrSessionClosed
+	}
+	select {
+	case out := <-cmd.reply:
+		return out, nil
+	case <-s.done:
+		return nil, ErrSessionClosed
+	}
+}
+
+// Subscribe registers sub for this session's events.
+func (s *Session) Subscribe(sub subscriber) {
+	s.subMu.Lock()
+	s.subs[sub] = struct{}{}
+	s.subMu.Unlock()
+}
+
+// Unsubscribe removes sub.
+func (s *Session) Unsubscribe(sub subscriber) {
+	s.subMu.Lock()
+	delete(s.subs, sub)
+	s.subMu.Unlock()
+}
+
+// publish fans an event out to the subscribers. Delivery must not
+// block (subscribers queue with drop-oldest backpressure).
+func (s *Session) publish(ev Event) {
+	s.subMu.Lock()
+	subs := make([]subscriber, 0, len(s.subs))
+	for sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.subMu.Unlock()
+	for _, sub := range subs {
+		sub.deliver(ev)
+	}
+}
+
+func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
+
+func (s *Session) info() SessionInfo {
+	s.subMu.Lock()
+	clients := len(s.subs)
+	s.subMu.Unlock()
+	return SessionInfo{
+		ID:       s.ID,
+		Params:   s.Params,
+		Busy:     s.busy.Load(),
+		Commands: s.ncmds.Load(),
+		IdleNS:   time.Since(time.Unix(0, s.lastUsed.Load())).Nanoseconds(),
+		Clients:  clients,
+	}
+}

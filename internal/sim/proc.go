@@ -31,6 +31,11 @@ type Proc struct {
 	// remembers a wakeup that arrived while frozen.
 	frozen      bool
 	thawPending bool
+
+	// poisoned marks a process being torn down by Kernel.Shutdown: the
+	// next time it receives the baton it unwinds with a sentinel panic
+	// instead of resuming its body.
+	poisoned bool
 }
 
 // Freeze withholds the process from dispatch until Thaw. A process that
@@ -78,17 +83,26 @@ func (p *Proc) String() string {
 	return fmt.Sprintf("proc#%d(%s,%s)", p.id, p.name, p.state)
 }
 
+// errProcShutdown is the sentinel a poisoned process panics with to
+// unwind its stack during Kernel.Shutdown. Runtime layers may wrap the
+// panic (crash containment); run ignores any recovered value while the
+// process is poisoned, so wrapping is harmless.
+var errProcShutdown = fmt.Errorf("sim: process torn down by Kernel.Shutdown")
+
 // run is the goroutine body installed by Kernel.Spawn.
 func (p *Proc) run(fn func(*Proc)) {
 	<-p.resume
 	defer func() {
-		if r := recover(); r != nil {
+		if r := recover(); r != nil && !p.poisoned {
 			p.k.err = &PanicError{Proc: p.name, Value: r}
 		}
 		p.state = ProcDone
 		p.waitEvent = nil
 		p.k.yield <- struct{}{}
 	}()
+	if p.poisoned {
+		panic(errProcShutdown)
+	}
 	fn(p)
 }
 
@@ -105,6 +119,9 @@ func (p *Proc) checkCurrent(op string) {
 func (p *Proc) yieldAndWait() {
 	p.k.yield <- struct{}{}
 	<-p.resume
+	if p.poisoned {
+		panic(errProcShutdown)
+	}
 }
 
 // Wait blocks the process until ev is notified.

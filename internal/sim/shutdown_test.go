@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestShutdownUnwindsParkedProcs pins the teardown contract a debug
+// server relies on: killing a session mid-run must not leak process
+// goroutines, must not surface the poison unwind as an error, and must
+// leave every process Done.
+func TestShutdownUnwindsParkedProcs(t *testing.T) {
+	k := NewKernel()
+	ev := k.NewEvent("never")
+	cleanedUp := 0
+	k.Spawn("waiter", func(p *Proc) {
+		defer func() { cleanedUp++ }()
+		p.Wait(ev) // blocks forever
+	})
+	k.Spawn("sleeper", func(p *Proc) {
+		defer func() { cleanedUp++ }()
+		p.Sleep(Second)
+	})
+	// Run to the point where waiter and sleeper are parked.
+	if st, err := k.RunUntil(0); err != nil || st != RunHorizon {
+		t.Fatalf("boot: %v %v", st, err)
+	}
+	// Spawned but never dispatched: the poison must fire before the body.
+	k.Spawn("unstarted", func(p *Proc) {
+		defer func() { cleanedUp++ }()
+		t.Error("unstarted process body must not run under shutdown")
+	})
+	if err := k.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	for _, p := range k.Procs() {
+		if p.State() != ProcDone {
+			t.Errorf("%s not done after Shutdown", p)
+		}
+	}
+	// waiter and sleeper had bodies on the stack, so their defers ran;
+	// unstarted was poisoned before its body, so its defer never armed.
+	if cleanedUp != 2 {
+		t.Errorf("cleanedUp = %d, want 2 (started procs unwind their defers)", cleanedUp)
+	}
+	// Idempotent, and a subsequent Run sees a quiet kernel.
+	if err := k.Shutdown(); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	if st, err := k.Run(); err != nil || st != RunIdle {
+		t.Fatalf("post-shutdown Run: %v %v", st, err)
+	}
+}
+
+// TestShutdownDoesNotLeakGoroutines spins up and tears down kernels and
+// checks the goroutine count settles back, the property the multi-
+// session server's reaper depends on.
+func TestShutdownDoesNotLeakGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		k := NewKernel()
+		ev := k.NewEvent("never")
+		for j := 0; j < 4; j++ {
+			k.Spawn("w", func(p *Proc) { p.Wait(ev) })
+		}
+		if _, err := k.RunUntil(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Shutdown(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give the unwound goroutines a moment to exit.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+5 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: before=%d after=%d (leak)", before, runtime.NumGoroutine())
+}
+
+// TestShutdownWhileRunningRefused guards the driver-goroutine contract.
+func TestShutdownWhileRunningRefused(t *testing.T) {
+	k := NewKernel()
+	var errInside error
+	k.Spawn("p", func(p *Proc) { errInside = k.Shutdown() })
+	if st, err := k.Run(); err != nil || st != RunIdle {
+		t.Fatalf("run: %v %v", st, err)
+	}
+	if errInside == nil {
+		t.Fatal("Shutdown inside Run succeeded, want refusal")
+	}
+}

@@ -531,6 +531,34 @@ func (k *Kernel) RunUntil(until Time) (RunStatus, error) {
 	}
 }
 
+// Shutdown tears the kernel down: every process that has not finished
+// is resumed one last time with a poison mark and unwinds via a
+// sentinel panic, so no goroutine outlives the kernel. A debug server
+// hosting many sessions calls this when a session is killed mid-run;
+// without it, parked process goroutines (blocked on the baton) would
+// leak for the life of the server. Must be called from the driver
+// goroutine while Run is not executing. Idempotent.
+func (k *Kernel) Shutdown() error {
+	if k.running {
+		return fmt.Errorf("sim: Shutdown called while the kernel is running")
+	}
+	for _, p := range k.procs {
+		if p.state == ProcDone {
+			continue
+		}
+		p.poisoned = true
+		p.state = ProcRunning
+		k.current = p
+		p.resume <- struct{}{}
+		<-k.yield
+		k.current = nil
+	}
+	// Poison unwinds are expected; do not surface them as process errors.
+	k.err = nil
+	k.runnable = nil
+	return nil
+}
+
 // dispatch hands the baton to p and waits for it to yield back.
 func (k *Kernel) dispatch(p *Proc) {
 	k.current = p
