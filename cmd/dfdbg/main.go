@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 
+	"dfdbg/internal/analysis"
 	"dfdbg/internal/analysis/pedfgraph"
 	"dfdbg/internal/cli"
 	"dfdbg/internal/core"
@@ -183,6 +184,9 @@ func run(p h264.Params, bugName string, fo faultOpts, in io.Reader, out io.Write
 	c.Rec = rec
 	c.Obs = orec
 	c.Targets = rt.FaultTargets()
+	c.Full = func() (*analysis.Report, *analysis.Graph, error) {
+		return pedfgraph.Analyze(rt, "h264")
+	}
 	c.Run(in)
 	return nil
 }

@@ -36,6 +36,32 @@ func TestScriptedSession(t *testing.T) {
 	}
 }
 
+// The interactive analyze/regions commands must run the full pipeline:
+// classifier verdicts (FC008 for bh), the DF008 region report, and the
+// region clustering DOT with the proven repetition counts.
+func TestAnalyzeAndRegionsCommands(t *testing.T) {
+	p := h264.Params{W: 16, H: 16, QP: 8, Seed: 7}
+	script := strings.Join([]string{
+		"analyze",
+		"regions",
+		"quit",
+	}, "\n")
+	var out strings.Builder
+	if err := run(p, "none", faultOpts{}, strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{
+		"DF008", "FC008", "statically schedulable",
+		"subgraph", "region #0", "pipe x1",
+		"branch on a non-constant condition",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("analyze/regions output missing %q:\n%s", frag, s)
+		}
+	}
+}
+
 func TestTraceCommands(t *testing.T) {
 	p := h264.Params{W: 16, H: 16, QP: 8, Seed: 7}
 	script := strings.Join([]string{

@@ -53,6 +53,7 @@ func compile(adlPath, top, srcDir string, nocheck bool, diagW io.Writer) (string
 		return "", err
 	}
 	rt := app.Runtime
+	regions := ""
 	if !nocheck {
 		rep, err := pedfgraph.CheckRuntime(rt, app.File.Name)
 		if err != nil {
@@ -65,8 +66,11 @@ func compile(adlPath, top, srcDir string, nocheck bool, diagW io.Writer) (string
 			return "", fmt.Errorf("design has %d analysis error(s) (use -nocheck to compile anyway)",
 				rep.Errors())
 		}
+		if n := len(rep.Regions); n > 0 {
+			regions = fmt.Sprintf(", %d static region(s)", n)
+		}
 	}
-	fmt.Fprintf(diagW, "elaborated composite %s: %d module(s), %d actor(s), %d link(s)\n",
-		app.Module.Name, len(rt.Modules()), len(rt.Actors()), len(rt.Links()))
+	fmt.Fprintf(diagW, "elaborated composite %s: %d module(s), %d actor(s), %d link(s)%s\n",
+		app.Module.Name, len(rt.Modules()), len(rt.Actors()), len(rt.Links()), regions)
 	return mind.GraphDOT(rt), nil
 }

@@ -1,0 +1,705 @@
+// Package absint is an abstract interpreter over compiled filterc
+// bytecode. It executes the exact instruction stream the VM runs (via
+// filterc.Bytecode) on an interval+parity domain, infers the set of
+// per-port token rates one firing of work() can exhibit, and classifies
+// the actor as SDF (constant rates), CSDF (finite cyclic rate pattern)
+// or dynamic (data-dependent rates) — with an explanation trace naming
+// the instruction that broke staticness.
+//
+// The domain is deliberately exact on singletons: an abstract value
+// whose interval has collapsed to one point is evaluated with the VM's
+// own arithmetic kernel (filterc.EvalBinOp and friends), so straight-
+// line code and constant-trip-count loops are executed concretely and
+// only genuinely data-dependent values are widened.
+package absint
+
+import (
+	"fmt"
+
+	"dfdbg/internal/filterc"
+)
+
+// parity is a bitset of the value's possible low bits.
+type parity uint8
+
+const (
+	parEven parity = 1 // bit0 = 0 possible
+	parOdd  parity = 2 // bit0 = 1 possible
+	parBoth parity = 3
+)
+
+func parOf(i int64) parity {
+	if i&1 == 0 {
+		return parEven
+	}
+	return parOdd
+}
+
+// parMap applies f to every pair of possible low bits.
+func parMap(a, b parity, f func(x, y int64) int64) parity {
+	var out parity
+	for x := int64(0); x < 2; x++ {
+		if a&(1<<uint(x)) == 0 {
+			continue
+		}
+		for y := int64(0); y < 2; y++ {
+			if b&(1<<uint(y)) == 0 {
+				continue
+			}
+			out |= 1 << uint(f(x, y)&1)
+		}
+	}
+	return out
+}
+
+// cause records where abstraction entered a value, forming a provenance
+// chain used to build explanation traces.
+type cause struct {
+	pos    filterc.Pos
+	what   string
+	parent *cause
+}
+
+func mkCause(pos filterc.Pos, what string, parent *cause) *cause {
+	return &cause{pos: pos, what: what, parent: parent}
+}
+
+// chain renders the cause chain, innermost reason last, capped.
+func (c *cause) chain(limit int) []string {
+	var out []string
+	for ; c != nil && limit > 0; c, limit = c.parent, limit-1 {
+		if c.pos.File != "" {
+			out = append(out, fmt.Sprintf("%s: %s", c.pos, c.what))
+		} else {
+			out = append(out, c.what)
+		}
+	}
+	return out
+}
+
+// pick returns the more informative of two causes.
+func pickCause(a, b *cause) *cause {
+	if a != nil {
+		return a
+	}
+	return b
+}
+
+// kindT discriminates abstract value shapes.
+type kindT uint8
+
+const (
+	kBot kindT = iota
+	kScalar
+	kStr
+	kAgg
+	kVoid
+	kAny // unconstrained top: sound for any shape
+)
+
+// baseMixed marks a scalar whose payload may span both the I32 and U32
+// ranges (result of joining differently-typed branches). Every operation
+// on it degrades to a top of the appropriate result type.
+const baseMixed filterc.BaseType = 0x7F
+
+// baseRange returns the payload range of a base type as stored by
+// filterc.Int (two's-complement truncated; U32 held as [0, 2^32-1]).
+func baseRange(b filterc.BaseType) (int64, int64) {
+	switch b {
+	case filterc.Bool:
+		return 0, 1
+	case baseMixed:
+		return -(1 << 31), (1 << 32) - 1
+	}
+	bits := uint(b.Bits())
+	if b.Signed() {
+		return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+	}
+	return 0, (1 << bits) - 1
+}
+
+// aval is one abstract value.
+type aval struct {
+	kind kindT
+	base filterc.BaseType // kScalar
+	typ  *filterc.Type    // kAgg (aggregate type); may be set for scalars too
+	lo   int64            // kScalar interval, inclusive
+	hi   int64
+	par  parity
+	s    string // kStr singleton
+	sAny bool   // kStr top
+	el   []aval // kAgg elements
+	c    *cause
+}
+
+func (v aval) singleton() bool {
+	return v.kind == kScalar && v.base != baseMixed && v.lo == v.hi
+}
+
+// value materializes a singleton scalar as a concrete filterc.Value.
+func (v aval) value() filterc.Value { return filterc.Int(v.base, v.lo) }
+
+// concrete reports whether the value is fully determined.
+func (v aval) concrete() bool {
+	switch v.kind {
+	case kScalar:
+		return v.singleton()
+	case kStr:
+		return !v.sAny
+	case kVoid:
+		return true
+	case kAgg:
+		for i := range v.el {
+			if !v.el[i].concrete() {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// key renders a fully-concrete value canonically (state cycling).
+func (v aval) key() string {
+	switch v.kind {
+	case kScalar:
+		return fmt.Sprintf("%d:%d", v.base, v.lo)
+	case kStr:
+		return "s:" + v.s
+	case kVoid:
+		return "v"
+	case kAgg:
+		out := "["
+		for i := range v.el {
+			out += v.el[i].key() + ","
+		}
+		return out + "]"
+	}
+	return "?"
+}
+
+func mkSingle(b filterc.BaseType, i int64, c *cause) aval {
+	v := filterc.Int(b, i)
+	return aval{kind: kScalar, base: b, lo: v.I, hi: v.I, par: parOf(v.I), c: c}
+}
+
+// mkScalar builds an interval value, widening to the base's range when
+// the interval escapes it (truncation preserves parity for every base
+// at least 8 bits wide; Bool collapses to [0,1] either-parity).
+func mkScalar(b filterc.BaseType, lo, hi int64, par parity, c *cause) aval {
+	if lo == hi {
+		v := mkSingle(b, lo, c)
+		return v
+	}
+	blo, bhi := baseRange(b)
+	if lo < blo || hi > bhi {
+		lo, hi = blo, bhi
+		if b == filterc.Bool || b == baseMixed {
+			par = parBoth
+		}
+	}
+	if par == 0 {
+		par = parBoth
+	}
+	// An interval narrower than 2 cannot hold both parities.
+	if lo == hi {
+		par = parOf(lo)
+	}
+	return aval{kind: kScalar, base: b, lo: lo, hi: hi, par: par, c: c}
+}
+
+func scalarTop(b filterc.BaseType, c *cause) aval {
+	lo, hi := baseRange(b)
+	return aval{kind: kScalar, base: b, lo: lo, hi: hi, par: parBoth, c: c}
+}
+
+func anyTop(c *cause) aval { return aval{kind: kAny, c: c} }
+
+func voidV() aval { return aval{kind: kVoid} }
+
+// topOf builds the most general value of a declared type.
+func topOf(t *filterc.Type, c *cause) aval {
+	if t == nil {
+		return anyTop(c)
+	}
+	switch t.Kind {
+	case filterc.KScalar:
+		switch t.Base {
+		case filterc.Str:
+			return aval{kind: kStr, sAny: true, c: c}
+		case filterc.Void:
+			return voidV()
+		}
+		return scalarTop(t.Base, c)
+	case filterc.KArray, filterc.KStruct:
+		z := filterc.Zero(t)
+		el := make([]aval, len(z.Elems))
+		for i := range z.Elems {
+			el[i] = topOf(z.Elems[i].Type, c)
+		}
+		return aval{kind: kAgg, typ: t, el: el, c: c}
+	}
+	return anyTop(c)
+}
+
+// fromValue lifts a concrete filterc.Value into the domain.
+func fromValue(v filterc.Value) aval {
+	if v.Type == nil {
+		return anyTop(nil)
+	}
+	switch v.Type.Kind {
+	case filterc.KScalar:
+		switch v.Type.Base {
+		case filterc.Str:
+			return aval{kind: kStr, s: v.S}
+		case filterc.Void:
+			return voidV()
+		}
+		return aval{kind: kScalar, base: v.Type.Base, lo: v.I, hi: v.I, par: parOf(v.I)}
+	case filterc.KArray, filterc.KStruct:
+		el := make([]aval, len(v.Elems))
+		for i := range v.Elems {
+			el[i] = fromValue(v.Elems[i])
+		}
+		return aval{kind: kAgg, typ: v.Type, el: el}
+	}
+	return anyTop(nil)
+}
+
+// toValue materializes a fully-concrete value (inverse of fromValue).
+func (v aval) toValue() (filterc.Value, bool) {
+	switch v.kind {
+	case kScalar:
+		if !v.singleton() {
+			return filterc.Value{}, false
+		}
+		return v.value(), true
+	case kStr:
+		if v.sAny {
+			return filterc.Value{}, false
+		}
+		return filterc.StringVal(v.s), true
+	case kVoid:
+		return filterc.VoidVal(), true
+	case kAgg:
+		if v.typ == nil {
+			return filterc.Value{}, false
+		}
+		out := filterc.Zero(v.typ)
+		for i := range v.el {
+			ev, ok := v.el[i].toValue()
+			if !ok {
+				return filterc.Value{}, false
+			}
+			out.Elems[i] = ev
+		}
+		return out, true
+	}
+	return filterc.Value{}, false
+}
+
+// join computes the least upper bound of two abstract values.
+func join(a, b aval) aval {
+	if a.kind == kBot {
+		return b
+	}
+	if b.kind == kBot {
+		return a
+	}
+	if a.kind == kAny || b.kind == kAny {
+		return anyTop(pickCause(a.c, b.c))
+	}
+	if a.kind != b.kind {
+		return anyTop(pickCause(a.c, b.c))
+	}
+	c := pickCause(a.c, b.c)
+	switch a.kind {
+	case kVoid:
+		return voidV()
+	case kStr:
+		if a.sAny || b.sAny || a.s != b.s {
+			return aval{kind: kStr, sAny: true, c: c}
+		}
+		return a
+	case kAgg:
+		if len(a.el) != len(b.el) {
+			return anyTop(c)
+		}
+		el := make([]aval, len(a.el))
+		for i := range a.el {
+			el[i] = join(a.el[i], b.el[i])
+		}
+		return aval{kind: kAgg, typ: a.typ, el: el, c: c}
+	}
+	// Scalars.
+	base := a.base
+	if a.base != b.base {
+		base = filterc.PromoteBase(a.base, b.base)
+		if a.base == baseMixed || b.base == baseMixed {
+			base = baseMixed
+		}
+	}
+	lo, hi := minI(a.lo, b.lo), maxI(a.hi, b.hi)
+	blo, bhi := baseRange(base)
+	if lo < blo || hi > bhi {
+		// The promoted base cannot represent both payload ranges.
+		base = baseMixed
+	}
+	return mkScalar(base, lo, hi, a.par|b.par, c)
+}
+
+// covered reports a ⊑ b (every concrete value of a is admitted by b).
+func covered(a, b aval) bool {
+	if a.kind == kBot || b.kind == kAny {
+		return true
+	}
+	if a.kind == kAny || b.kind == kBot {
+		return false
+	}
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case kVoid:
+		return true
+	case kStr:
+		return b.sAny || (!a.sAny && a.s == b.s)
+	case kAgg:
+		if len(a.el) != len(b.el) {
+			return false
+		}
+		for i := range a.el {
+			if !covered(a.el[i], b.el[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if b.base != baseMixed && a.base != b.base {
+		// Differing labels only cover when the payload interval does and
+		// the label cannot change operator semantics; be conservative.
+		return false
+	}
+	return a.lo >= b.lo && a.hi <= b.hi && a.par&^b.par == 0
+}
+
+// widen jumps unstable intervals straight to the base top, bounding the
+// ascending-chain length at merge points.
+func widen(old, next aval) aval {
+	j := join(old, next)
+	if j.kind != kScalar {
+		return j
+	}
+	if j.lo < old.lo || j.hi > old.hi || old.kind != kScalar {
+		w := scalarTop(j.base, j.c)
+		w.par = j.par | old.par
+		return w
+	}
+	return j
+}
+
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// mulOvf multiplies with overflow detection.
+func mulOvf(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	r := a * b
+	if r/b != a {
+		return 0, false
+	}
+	return r, true
+}
+
+// truth reports whether the value may be truthy / falsy (raw payload
+// non-zero test, as the VM's opJumpFalse does).
+func (v aval) truth() (mayTrue, mayFalse bool) {
+	switch v.kind {
+	case kScalar:
+		return v.lo != 0 || v.hi != 0, v.lo <= 0 && v.hi >= 0
+	case kStr:
+		return true, true
+	case kAny:
+		return true, true
+	}
+	return true, true
+}
+
+// binOp applies one binary operator abstractly. mayFault reports that
+// some concrete instance faults (div by zero, bad shift); mustFault that
+// every instance does. The returned value describes the non-faulting
+// instances only — sound, because a faulting firing aborts and never
+// contributes token rates.
+func binOp(id int, l, r aval, pos filterc.Pos) (res aval, mayFault, mustFault bool) {
+	c := pickCause(l.c, r.c)
+	// Aggregate / string equality follows the VM's binarySlow.
+	if l.kind == kAgg || r.kind == kAgg || l.kind == kStr || r.kind == kStr {
+		if id != filterc.BinEq && id != filterc.BinNe {
+			return aval{}, true, true
+		}
+		lv, lok := l.toValue()
+		rv, rok := r.toValue()
+		if lok && rok {
+			eq := lv.Equal(rv)
+			if id == filterc.BinNe {
+				eq = !eq
+			}
+			return mkSingle(filterc.Bool, b2i(eq), c), false, false
+		}
+		return mkScalar(filterc.Bool, 0, 1, parBoth, c), false, false
+	}
+	if l.kind == kVoid || r.kind == kVoid || l.kind == kBot || r.kind == kBot {
+		return aval{}, true, true
+	}
+	if l.kind == kAny || r.kind == kAny || l.base == baseMixed || r.base == baseMixed {
+		if id >= filterc.BinEq && id <= filterc.BinGe {
+			return mkScalar(filterc.Bool, 0, 1, parBoth, c), true, false
+		}
+		base := filterc.I32
+		if (l.kind == kScalar && l.base == filterc.U32) || (r.kind == kScalar && r.base == filterc.U32) {
+			base = filterc.U32
+		} else if l.kind != kScalar || r.kind != kScalar {
+			base = baseMixed
+		}
+		return scalarTop(base, c), true, false
+	}
+
+	// Exact singleton evaluation through the VM's own kernel.
+	if l.singleton() && r.singleton() {
+		v, ok := filterc.EvalBinOp(id, l.value(), r.value())
+		if !ok {
+			return aval{}, true, true
+		}
+		return mkSingle(v.Type.Base, v.I, c), false, false
+	}
+
+	pb := filterc.PromoteBase(l.base, r.base)
+	switch id {
+	case filterc.BinAdd:
+		return mkScalar(pb, l.lo+r.lo, l.hi+r.hi, parMap(l.par, r.par, func(x, y int64) int64 { return x + y }), c), false, false
+	case filterc.BinSub:
+		return mkScalar(pb, l.lo-r.hi, l.hi-r.lo, parMap(l.par, r.par, func(x, y int64) int64 { return x + y }), c), false, false
+	case filterc.BinMul:
+		par := parMap(l.par, r.par, func(x, y int64) int64 { return x * y })
+		var lo, hi int64
+		first := true
+		for _, x := range []int64{l.lo, l.hi} {
+			for _, y := range []int64{r.lo, r.hi} {
+				p, ok := mulOvf(x, y)
+				if !ok {
+					t := scalarTop(pb, c)
+					t.par = par
+					return t, false, false
+				}
+				if first || p < lo {
+					lo = p
+				}
+				if first || p > hi {
+					hi = p
+				}
+				first = false
+			}
+		}
+		return mkScalar(pb, lo, hi, par, c), false, false
+	case filterc.BinDiv, filterc.BinMod:
+		mayZero := r.lo <= 0 && r.hi >= 0
+		if r.lo == 0 && r.hi == 0 {
+			return aval{}, true, true
+		}
+		// Positive operands admit a tight quotient interval; anything
+		// else degrades to the promoted top.
+		if id == filterc.BinDiv && l.lo >= 0 && r.hi > 0 {
+			dlo := maxI(r.lo, 1)
+			return mkScalar(pb, l.lo/r.hi, l.hi/dlo, parBoth, c), mayZero, false
+		}
+		if id == filterc.BinMod && l.lo >= 0 && r.hi > 0 {
+			return mkScalar(pb, 0, maxI(r.hi-1, 0), parBoth, c), mayZero, false
+		}
+		t := scalarTop(pb, c)
+		return t, true, false
+	case filterc.BinAnd:
+		par := parMap(l.par, r.par, func(x, y int64) int64 { return x & y })
+		if r.singleton() && r.lo >= 0 {
+			return mkScalar(pb, 0, r.lo, par, c), false, false
+		}
+		if l.singleton() && l.lo >= 0 {
+			return mkScalar(pb, 0, l.lo, par, c), false, false
+		}
+		if l.lo >= 0 && r.lo >= 0 {
+			return mkScalar(pb, 0, minI(l.hi, r.hi), par, c), false, false
+		}
+		t := scalarTop(pb, c)
+		t.par = par
+		return t, false, false
+	case filterc.BinOr, filterc.BinXor:
+		f := func(x, y int64) int64 { return x | y }
+		if id == filterc.BinXor {
+			f = func(x, y int64) int64 { return x ^ y }
+		}
+		par := parMap(l.par, r.par, f)
+		if l.lo >= 0 && r.lo >= 0 {
+			// Result of |/^ on non-negative operands is bounded by the
+			// next power of two above both highs.
+			bound := int64(1)
+			for bound <= l.hi || bound <= r.hi {
+				bound <<= 1
+				if bound > 1<<32 {
+					break
+				}
+			}
+			return mkScalar(pb, 0, bound-1, par, c), false, false
+		}
+		t := scalarTop(pb, c)
+		t.par = par
+		return t, false, false
+	case filterc.BinShl, filterc.BinShr:
+		rb := filterc.Promote32(l.base)
+		if !r.singleton() {
+			mayFault = r.lo < 0 || r.hi >= 32
+			return scalarTop(rb, c), mayFault, false
+		}
+		s := r.lo
+		if s < 0 || s >= 32 {
+			return aval{}, true, true
+		}
+		if id == filterc.BinShl {
+			plo, ok1 := mulOvf(l.lo, 1<<uint(s))
+			phi, ok2 := mulOvf(l.hi, 1<<uint(s))
+			par := l.par
+			if s >= 1 {
+				par = parEven
+			}
+			if !ok1 || !ok2 {
+				t := scalarTop(rb, c)
+				t.par = par
+				return t, false, false
+			}
+			return mkScalar(rb, plo, phi, par, c), false, false
+		}
+		// Shr: unsigned reinterpretation for unsigned left bases; a
+		// negative payload cannot occur there, so the plain arithmetic
+		// shift is monotone on the interval.
+		if l.lo < 0 && (l.base == filterc.U32 || !l.base.Signed()) {
+			return scalarTop(rb, c), false, false
+		}
+		par := parBoth
+		if s == 0 {
+			par = l.par
+		}
+		return mkScalar(rb, l.lo>>uint(s), l.hi>>uint(s), par, c), false, false
+	case filterc.BinEq, filterc.BinNe, filterc.BinLt, filterc.BinLe, filterc.BinGt, filterc.BinGe:
+		if pb == filterc.U32 && (l.lo < 0 || r.lo < 0) {
+			// Unsigned reinterpretation would split the interval.
+			return mkScalar(filterc.Bool, 0, 1, parBoth, c), false, false
+		}
+		tri := func(may, must bool) (aval, bool, bool) {
+			if must {
+				return mkSingle(filterc.Bool, 1, c), false, false
+			}
+			if !may {
+				return mkSingle(filterc.Bool, 0, c), false, false
+			}
+			return mkScalar(filterc.Bool, 0, 1, parBoth, c), false, false
+		}
+		switch id {
+		case filterc.BinEq:
+			overlap := l.lo <= r.hi && r.lo <= l.hi
+			return tri(overlap, l.singleton() && r.singleton() && l.lo == r.lo)
+		case filterc.BinNe:
+			overlap := l.lo <= r.hi && r.lo <= l.hi
+			return tri(!(l.singleton() && r.singleton() && l.lo == r.lo), !overlap)
+		case filterc.BinLt:
+			return tri(l.lo < r.hi, l.hi < r.lo)
+		case filterc.BinLe:
+			return tri(l.lo <= r.hi, l.hi <= r.lo)
+		case filterc.BinGt:
+			return tri(l.hi > r.lo, l.lo > r.hi)
+		default: // BinGe
+			return tri(l.hi >= r.lo, l.lo >= r.hi)
+		}
+	}
+	return aval{}, true, true
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// convertTo applies assignment conversion into type t.
+func convertTo(t *filterc.Type, v aval) (aval, bool) {
+	if t == nil {
+		return anyTop(v.c), true
+	}
+	if t.Kind == filterc.KScalar {
+		switch t.Base {
+		case filterc.Str:
+			if v.kind == kStr {
+				return v, true
+			}
+			if v.kind == kAny {
+				return aval{kind: kStr, sAny: true, c: v.c}, true
+			}
+			return aval{}, false
+		case filterc.Void:
+			return voidV(), true
+		}
+		return convertScalar(t.Base, v)
+	}
+	// Aggregate assignment: shapes must be compatible.
+	if v.kind == kAny {
+		return topOf(t, v.c), true
+	}
+	if v.kind != kAgg || !filterc.TypesCompatible(t, v.typ) {
+		return aval{}, false
+	}
+	return v, true
+}
+
+// convertScalar truncates a scalar value into base b.
+func convertScalar(b filterc.BaseType, v aval) (aval, bool) {
+	switch v.kind {
+	case kAny:
+		return scalarTop(b, v.c), true
+	case kScalar:
+	default:
+		return aval{}, false
+	}
+	if v.singleton() {
+		return mkSingle(b, v.lo, v.c), true
+	}
+	if b == filterc.Bool {
+		mt, mf := v.truth()
+		switch {
+		case mt && mf:
+			return mkScalar(filterc.Bool, 0, 1, parBoth, v.c), true
+		case mt:
+			return mkSingle(filterc.Bool, 1, v.c), true
+		default:
+			return mkSingle(filterc.Bool, 0, v.c), true
+		}
+	}
+	blo, bhi := baseRange(b)
+	if v.base != baseMixed && v.lo >= blo && v.hi <= bhi {
+		return mkScalar(b, v.lo, v.hi, v.par, v.c), true
+	}
+	t := scalarTop(b, v.c)
+	// Truncation mod 2^k (k >= 8 for every integer base) preserves bit0.
+	t.par = v.par
+	return t, true
+}

@@ -7,10 +7,10 @@
 // as structured diagnostics with stable codes, severities, positions and
 // fix hints, in both human-readable and JSON form.
 //
-// The package deliberately depends only on internal/filterc and
-// internal/dot, so that both internal/core (the runtime-reconstructed
-// model) and internal/pedf (the elaborated runtime, via the pedfgraph
-// bridge) can feed graphs into it without import cycles.
+// The package deliberately depends only on internal/filterc, internal/dot
+// and its own absint subpackage, so that both internal/core (the
+// runtime-reconstructed model) and internal/pedf (the elaborated runtime,
+// via the pedfgraph bridge) can feed graphs into it without import cycles.
 package analysis
 
 import (
@@ -19,6 +19,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"dfdbg/internal/analysis/absint"
 )
 
 // Severity ranks a diagnostic.
@@ -83,18 +85,25 @@ func (d Diagnostic) String() string {
 	return b.String()
 }
 
-// Report accumulates diagnostics from one or more analyzers.
+// Report accumulates diagnostics from one or more analyzers. Classes
+// and Regions carry the abstract interpreter's machine-readable output
+// alongside the diagnostics (both appear in the JSON envelope).
 type Report struct {
-	Diags []Diagnostic
+	Diags   []Diagnostic
+	Classes []*absint.Class
+	Regions []*RegionInfo
 }
 
 // Add appends a diagnostic.
 func (r *Report) Add(d Diagnostic) { r.Diags = append(r.Diags, d) }
 
-// Merge appends every diagnostic of another report.
+// Merge appends every diagnostic (and any classifier output) of another
+// report.
 func (r *Report) Merge(o *Report) {
 	if o != nil {
 		r.Diags = append(r.Diags, o.Diags...)
+		r.Classes = append(r.Classes, o.Classes...)
+		r.Regions = append(r.Regions, o.Regions...)
 	}
 }
 
@@ -168,9 +177,14 @@ func (r *Report) WriteText(w io.Writer) {
 	fmt.Fprintln(w, r.Summary())
 }
 
-// Summary is the trailing one-line tally.
+// Summary is the trailing one-line tally. Info-severity notes (region
+// reports, classification traces) do not count as issues.
 func (r *Report) Summary() string {
-	if len(r.Diags) == 0 {
+	notes := len(r.Diags) - r.Errors() - r.Warnings()
+	if r.Errors() == 0 && r.Warnings() == 0 {
+		if notes > 0 {
+			return fmt.Sprintf("analysis: no issues found (%d note(s))", notes)
+		}
 		return "analysis: no issues found"
 	}
 	return fmt.Sprintf("analysis: %d error(s), %d warning(s)", r.Errors(), r.Warnings())
@@ -178,14 +192,22 @@ func (r *Report) Summary() string {
 
 // jsonReport is the JSON envelope.
 type jsonReport struct {
-	Diagnostics []Diagnostic `json:"diagnostics"`
-	Errors      int          `json:"errors"`
-	Warnings    int          `json:"warnings"`
+	Diagnostics []Diagnostic    `json:"diagnostics"`
+	Errors      int             `json:"errors"`
+	Warnings    int             `json:"warnings"`
+	Classes     []*absint.Class `json:"classes,omitempty"`
+	Regions     []*RegionInfo   `json:"regions,omitempty"`
 }
 
 // WriteJSON renders the report as indented JSON.
 func (r *Report) WriteJSON(w io.Writer) error {
-	env := jsonReport{Diagnostics: r.Diags, Errors: r.Errors(), Warnings: r.Warnings()}
+	env := jsonReport{
+		Diagnostics: r.Diags,
+		Errors:      r.Errors(),
+		Warnings:    r.Warnings(),
+		Classes:     r.Classes,
+		Regions:     r.Regions,
+	}
 	if env.Diagnostics == nil {
 		env.Diagnostics = []Diagnostic{}
 	}
@@ -205,6 +227,8 @@ var Codes = map[string]string{
 	"DF005": "splitter/joiner behavior contradicts port arity",
 	"DF006": "environment feed leaves stranded tokens (feed count not a multiple of the consumption rate)",
 	"DF007": "producer never writes its output; consumer can never fire",
+	"DF008": "static region report: provably SDF/CSDF subgraph with repetition vector, schedule and buffer bounds",
+	"DF009": "proven buffer bound exceeds the link's declared capacity; the static schedule cannot run without blocking",
 	"FC001": "variable may be read before it is assigned",
 	"FC002": "variable or parameter is never read",
 	"FC003": "unreachable code",
@@ -212,4 +236,5 @@ var Codes = map[string]string{
 	"FC005": "io interface misuse (unknown name, wrong direction, bad index or type mismatch)",
 	"FC006": "missing return in non-void function",
 	"FC007": "bad call (unknown function, wrong arity, or misplaced intrinsic)",
+	"FC008": "filter has data-dependent token rates (dynamic dataflow); excluded from static regions",
 }

@@ -12,8 +12,11 @@ package pedfgraph
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 
 	"dfdbg/internal/analysis"
+	"dfdbg/internal/analysis/absint"
 	"dfdbg/internal/filterc"
 	"dfdbg/internal/pedf"
 	"dfdbg/internal/sim"
@@ -141,13 +144,83 @@ func ProgramContextFor(f *pedf.Filter) *analysis.ProgramContext {
 	return ctx
 }
 
-// CheckRuntime runs the full static analysis pass — graph analyzers plus
-// per-actor filterc analyzers — over an application. name labels graph
-// diagnostics (typically the ADL file's base name).
-func CheckRuntime(rt *pedf.Runtime, name string) (*analysis.Report, error) {
+// AbsContextFor derives the abstract interpreter's actor context from an
+// instantiated actor: declared io interfaces with types, and the
+// elaborated initial values of its private data and attributes.
+func AbsContextFor(f *pedf.Filter) *absint.Context {
+	ctx := &absint.Context{Actor: f.Name, Controller: f.Role == pedf.RoleController}
+	for _, n := range f.Inputs() {
+		ctx.Ins = append(ctx.Ins, absint.IfaceDecl{Name: n, Type: f.In(n).Type})
+	}
+	for _, n := range f.Outputs() {
+		ctx.Outs = append(ctx.Outs, absint.IfaceDecl{Name: n, Type: f.Out(n).Type})
+	}
+	for _, n := range f.DataNames() {
+		if v, ok := f.DataVal(n); ok {
+			vv := v.Clone()
+			ctx.Data = append(ctx.Data, absint.VarDecl{Name: n, Type: v.Type, Init: &vv})
+		}
+	}
+	for _, n := range f.AttrNames() {
+		if v, ok := f.AttrVal(n); ok {
+			vv := v.Clone()
+			ctx.Attrs = append(ctx.Attrs, absint.VarDecl{Name: n, Type: v.Type, Init: &vv})
+		}
+	}
+	return ctx
+}
+
+// classSig is a memo key for actor classification: instances of one
+// filter type with identical declared state classify identically, and a
+// large app (the h264 decoder) instantiates each type many times.
+func classSig(f *pedf.Filter, ctx *absint.Context) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%p|%v|", f.Prog, ctx.Controller)
+	for _, d := range ctx.Ins {
+		fmt.Fprintf(&b, "i:%s:%s|", d.Name, d.Type)
+	}
+	for _, d := range ctx.Outs {
+		fmt.Fprintf(&b, "o:%s:%s|", d.Name, d.Type)
+	}
+	for _, d := range ctx.Data {
+		fmt.Fprintf(&b, "d:%s:%s=%s|", d.Name, d.Type, d.Init)
+	}
+	for _, d := range ctx.Attrs {
+		fmt.Fprintf(&b, "a:%s:%s=%s|", d.Name, d.Type, d.Init)
+	}
+	return b.String()
+}
+
+// ClassifyActors runs the abstract-interpretation classifier over every
+// actor of an elaborated runtime, memoizing per filter type + state.
+func ClassifyActors(rt *pedf.Runtime) map[string]*absint.Class {
+	memo := map[string]*absint.Class{}
+	out := map[string]*absint.Class{}
+	for _, f := range rt.Actors() {
+		ctx := AbsContextFor(f)
+		sig := classSig(f, ctx)
+		c, ok := memo[sig]
+		if !ok {
+			c = absint.Classify(f.Prog, ctx)
+			memo[sig] = c
+		}
+		inst := *c
+		inst.Actor = f.Name
+		out[f.Name] = &inst
+	}
+	return out
+}
+
+// Analyze runs the full static analysis pass — graph analyzers,
+// per-actor filterc analyzers, the abstract-interpretation classifier,
+// region clustering, balance equations and buffer bounds — over an
+// application, returning the report together with the analysis graph
+// (for region DOT rendering). name labels graph diagnostics (typically
+// the ADL file's base name).
+func Analyze(rt *pedf.Runtime, name string) (*analysis.Report, *analysis.Graph, error) {
 	g, err := FromRuntime(rt, name)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rep := analysis.CheckGraph(g)
 	for _, f := range rt.Actors() {
@@ -156,11 +229,32 @@ func CheckRuntime(rt *pedf.Runtime, name string) (*analysis.Report, error) {
 		}
 		rep.Merge(analysis.CheckProgram(f.Prog, ProgramContextFor(f)))
 	}
+	classes := ClassifyActors(rt)
+	regions := analysis.ComputeRegions(g, classes)
+	rep.Merge(analysis.CheckClasses(g, classes))
+	rep.Merge(analysis.CheckRegions(g, regions, classes))
+	rep.Regions = regions
+	names := make([]string, 0, len(classes))
+	for n := range classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		rep.Classes = append(rep.Classes, classes[n])
+	}
 	// Several instances of one filter type share a source file; identical
 	// findings collapse.
 	rep.Dedupe()
 	rep.Sort()
-	return rep, nil
+	return rep, g, nil
+}
+
+// CheckRuntime runs the full static analysis pass over an application.
+// It is Analyze without the graph return, kept for call sites that only
+// need the report.
+func CheckRuntime(rt *pedf.Runtime, name string) (*analysis.Report, error) {
+	rep, _, err := Analyze(rt, name)
+	return rep, err
 }
 
 // InstallPreRun registers a one-shot static analysis pass on the kernel:

@@ -59,10 +59,22 @@ func TestAModuleRuntimeClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Diags) != 0 {
+	if rep.Errors() != 0 || rep.Warnings() != 0 {
 		var buf bytes.Buffer
 		rep.WriteText(&buf)
 		t.Errorf("unexpected diagnostics:\n%s", buf.String())
+	}
+	// The classifier must prove the whole design static: one region
+	// containing both filter instances, with the trivial [1 1] vector.
+	if len(rep.Regions) != 1 {
+		t.Fatalf("regions = %+v, want exactly one", rep.Regions)
+	}
+	r := rep.Regions[0]
+	if !r.Consistent || len(r.Actors) != 2 || r.RepOf("filter_1") != 1 || r.RepOf("filter_2") != 1 {
+		t.Errorf("region = %+v, want both filters at 1 repetition", r)
+	}
+	if len(r.Bounds) != 1 || r.Bounds[0].Bound != 1 {
+		t.Errorf("bounds = %+v, want a single proven bound of 1", r.Bounds)
 	}
 }
 

@@ -31,14 +31,22 @@ func (a *rateAcc) touch(idx int64, certain bool) {
 // InferRates derives per-firing read and write rates for every io
 // interface of a program from its entry function (normally "work"). The
 // inference is deliberately conservative: an access that is conditional,
-// inside a loop, uses a non-constant index, or happens outside the entry
-// function yields RateUnknown for that interface, so dynamic-rate
-// filters (the H.264 decoder's bitstream readers) are never mis-flagged.
+// inside a loop, or uses a non-constant index yields RateUnknown for
+// that interface, so dynamic-rate filters (the H.264 decoder's
+// bitstream readers) are never mis-flagged. Reads reached through
+// helper functions are resolved against per-function io summaries
+// computed to a fixpoint over the call graph, so an unconditional
+// constant-index read keeps its precise rate through helper chains of
+// any depth (reads are idempotent: re-reading an index does not change
+// the rate). Writes reached through helpers stay RateUnknown — the
+// sequential write protocol makes a helper's write indices depend on
+// how often it has been called.
 func InferRates(prog *filterc.Program, entry string) (reads, writes Rates) {
 	reads, writes = Rates{}, Rates{}
 	if prog == nil {
 		return reads, writes
 	}
+	sums := ioSummaries(prog)
 	racc := map[string]*rateAcc{}
 	wacc := map[string]*rateAcc{}
 	get := func(m map[string]*rateAcc, name string) *rateAcc {
@@ -101,11 +109,19 @@ func InferRates(prog *filterc.Program, entry string) (reads, writes Rates) {
 			for _, a := range e.Args {
 				walkExpr(a, certain, false)
 			}
-			// A call into a helper that touches io makes those rates
-			// dynamic; mark every io access of the callee (and its own
-			// callees, transitively) unknown.
+			// Merge the callee's io summary: precise read evidence
+			// survives a certain call; anything else degrades to
+			// unknown. Written interfaces always degrade.
 			if fn := prog.Func(e.Name); fn != nil && e.Name != entry {
-				markFuncUnknown(prog, fn, racc, wacc, get, map[string]bool{entry: true})
+				sum := sums[e.Name]
+				for name, a := range sum.reads {
+					get(racc, name).touch(a.maxIdx, certain && !a.unknown)
+				}
+				for name := range sum.writes {
+					acc := get(wacc, name)
+					acc.seen = true
+					acc.unknown = true
+				}
 			}
 		case *filterc.Cond:
 			walkExpr(e.C, certain, false)
@@ -184,111 +200,180 @@ func InferRates(prog *filterc.Program, entry string) (reads, writes Rates) {
 	return reads, writes
 }
 
-// markFuncUnknown forces every io interface a helper function touches to
-// RateUnknown (calls make the access pattern dynamic from the entry
-// function's point of view). It follows the helper's own calls so a
-// chain work -> a -> b still surfaces b's io accesses; visited guards
-// against recursive helpers.
-func markFuncUnknown(prog *filterc.Program, fn *filterc.FuncDecl, racc, wacc map[string]*rateAcc, get func(map[string]*rateAcc, string) *rateAcc, visited map[string]bool) {
-	if visited[fn.Name] {
-		return
+// funcSummary is one function's io footprint: read evidence per
+// interface as observed by a single certain execution of the function,
+// and the set of interfaces it may write anywhere in its call graph.
+type funcSummary struct {
+	reads  map[string]rateAcc
+	writes map[string]bool
+}
+
+func (s *funcSummary) equal(o *funcSummary) bool {
+	if len(s.reads) != len(o.reads) || len(s.writes) != len(o.writes) {
+		return false
 	}
-	visited[fn.Name] = true
-	var visitE func(e filterc.Expr, write bool)
-	var visitS func(s filterc.Stmt)
-	visitE = func(e filterc.Expr, write bool) {
+	for k, v := range s.reads {
+		if o.reads[k] != v {
+			return false
+		}
+	}
+	for k := range s.writes {
+		if !o.writes[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// ioSummaries computes every function's io summary to a fixpoint over
+// the call graph: each round re-summarizes every function against the
+// previous round's callee summaries until nothing changes. Summaries
+// only grow (max indices, unknown flags, write sets) and the domain is
+// finite per program, so the iteration terminates; recursive helpers
+// converge to a sound fixpoint instead of being given up on.
+func ioSummaries(prog *filterc.Program) map[string]*funcSummary {
+	sums := map[string]*funcSummary{}
+	for _, fn := range prog.Funcs {
+		sums[fn.Name] = &funcSummary{reads: map[string]rateAcc{}, writes: map[string]bool{}}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range prog.Funcs {
+			next := summarize(fn, sums)
+			if !next.equal(sums[fn.Name]) {
+				sums[fn.Name] = next
+				changed = true
+			}
+		}
+	}
+	return sums
+}
+
+// summarize walks one function body, resolving calls against the given
+// callee summaries. The traversal mirrors InferRates' own walker: the
+// certain flag drops inside conditionals, loops and short-circuit
+// operands, and any uncertain or non-constant access degrades that
+// interface's read evidence to unknown.
+func summarize(fn *filterc.FuncDecl, sums map[string]*funcSummary) *funcSummary {
+	out := &funcSummary{reads: map[string]rateAcc{}, writes: map[string]bool{}}
+	touchRead := func(name string, idx int64, certain bool) {
+		a, ok := out.reads[name]
+		if !ok {
+			a = rateAcc{maxIdx: -1}
+		}
+		a.touch(idx, certain)
+		out.reads[name] = a
+	}
+	var visitE func(e filterc.Expr, certain, write bool)
+	var visitS func(s filterc.Stmt, certain bool)
+	visitE = func(e filterc.Expr, certain, write bool) {
 		switch e := e.(type) {
 		case *filterc.Index:
 			if ref, ok := e.X.(*filterc.PedfRef); ok && ref.Space == filterc.PedfIO {
-				acc := get(racc, ref.Name)
 				if write {
-					acc = get(wacc, ref.Name)
+					out.writes[ref.Name] = true
+				} else {
+					idx, isConst := ConstExpr(e.I)
+					touchRead(ref.Name, idx, certain && isConst)
 				}
-				acc.seen = true
-				acc.unknown = true
+				visitE(e.I, certain, false)
+				return
 			}
-			visitE(e.X, write)
-			visitE(e.I, false)
+			visitE(e.X, certain, write)
+			visitE(e.I, certain, false)
 		case *filterc.PedfRef:
 			if e.Space == filterc.PedfIO {
-				acc := get(racc, e.Name)
-				acc.seen = true
-				acc.unknown = true
+				if write {
+					out.writes[e.Name] = true
+				} else {
+					touchRead(e.Name, -1, false)
+				}
 			}
 		case *filterc.Assign:
-			visitE(e.L, true)
-			visitE(e.R, false)
+			visitE(e.L, certain, true)
+			visitE(e.R, certain, false)
+			if e.Op != "=" {
+				visitE(e.L, certain, false)
+			}
 		case *filterc.Unary:
-			visitE(e.X, e.Op == "++" || e.Op == "--")
+			w := e.Op == "++" || e.Op == "--"
+			visitE(e.X, certain, w || write)
 		case *filterc.Postfix:
-			visitE(e.X, true)
+			visitE(e.X, certain, true)
 		case *filterc.Binary:
-			visitE(e.L, false)
-			visitE(e.R, false)
+			visitE(e.L, certain, false)
+			rhsCertain := certain && e.Op != "&&" && e.Op != "||"
+			visitE(e.R, rhsCertain, false)
 		case *filterc.Member:
-			visitE(e.X, write)
+			visitE(e.X, certain, write)
 		case *filterc.Call:
 			for _, a := range e.Args {
-				visitE(a, false)
+				visitE(a, certain, false)
 			}
-			if callee := prog.Func(e.Name); callee != nil {
-				markFuncUnknown(prog, callee, racc, wacc, get, visited)
+			if callee := sums[e.Name]; callee != nil {
+				for name, ca := range callee.reads {
+					touchRead(name, ca.maxIdx, certain && !ca.unknown)
+				}
+				for name := range callee.writes {
+					out.writes[name] = true
+				}
 			}
 		case *filterc.Cond:
-			visitE(e.C, false)
-			visitE(e.T, false)
-			visitE(e.F, false)
+			visitE(e.C, certain, false)
+			visitE(e.T, false, false)
+			visitE(e.F, false, false)
 		}
 	}
-	visitS = func(s filterc.Stmt) {
+	visitS = func(s filterc.Stmt, certain bool) {
 		switch s := s.(type) {
 		case *filterc.BlockStmt:
 			for _, sub := range s.Stmts {
-				visitS(sub)
+				visitS(sub, certain)
 			}
 		case *filterc.DeclStmt:
 			if s.Init != nil {
-				visitE(s.Init, false)
+				visitE(s.Init, certain, false)
 			}
 		case *filterc.ExprStmt:
-			visitE(s.X, false)
+			visitE(s.X, certain, false)
 		case *filterc.IfStmt:
-			visitE(s.Cond, false)
-			visitS(s.Then)
+			visitE(s.Cond, certain, false)
+			visitS(s.Then, false)
 			if s.Else != nil {
-				visitS(s.Else)
+				visitS(s.Else, false)
 			}
 		case *filterc.WhileStmt:
-			visitE(s.Cond, false)
-			visitS(s.Body)
+			visitE(s.Cond, false, false)
+			visitS(s.Body, false)
 		case *filterc.ForStmt:
 			if s.Init != nil {
-				visitS(s.Init)
+				visitS(s.Init, certain)
 			}
 			if s.Cond != nil {
-				visitE(s.Cond, false)
+				visitE(s.Cond, false, false)
 			}
 			if s.Post != nil {
-				visitS(s.Post)
+				visitS(s.Post, false)
 			}
-			visitS(s.Body)
+			visitS(s.Body, false)
 		case *filterc.SwitchStmt:
-			visitE(s.Cond, false)
+			visitE(s.Cond, certain, false)
 			for _, c := range s.Cases {
 				for _, v := range c.Vals {
-					visitE(v, false)
+					visitE(v, false, false)
 				}
 				for _, sub := range c.Stmts {
-					visitS(sub)
+					visitS(sub, false)
 				}
 			}
 		case *filterc.ReturnStmt:
 			if s.X != nil {
-				visitE(s.X, false)
+				visitE(s.X, certain, false)
 			}
 		}
 	}
-	visitS(fn.Body)
+	visitS(fn.Body, true)
+	return out
 }
 
 // ConstExpr evaluates a side-effect-free constant expression, reporting

@@ -46,6 +46,35 @@ func TestInferRatesDynamicAccess(t *testing.T) {
 	}
 }
 
+// TestInferRatesDeepHelperChainPrecise is the regression test for the
+// precision loss through helper chains longer than one hop: before the
+// fixpoint summary pass, reads reached through work -> a -> b -> c were
+// degraded to RateUnknown even when every hop was an unconditional call
+// and every index a constant. Writes through helpers must stay
+// RateUnknown — the sequential write protocol makes a helper's write
+// indices depend on how often it has been called.
+func TestInferRatesDeepHelperChainPrecise(t *testing.T) {
+	prog := mustParse(t, `
+u32 c() { return pedf.io.i[2]; }
+u32 b() { return c() + pedf.io.i[1]; }
+u32 a() { return b() + pedf.io.i[0]; }
+void work() {
+	pedf.io.o[0] = a();
+	put();
+}
+void put() { pedf.io.aux[0] = 7; }`)
+	reads, writes := InferRates(prog, "work")
+	if reads["i"] != 3 {
+		t.Errorf("reads[i] = %d, want 3 (precise through a 3-hop chain)", reads["i"])
+	}
+	if writes["o"] != 1 {
+		t.Errorf("writes[o] = %d, want 1", writes["o"])
+	}
+	if writes["aux"] != RateUnknown {
+		t.Errorf("writes[aux] = %d, want RateUnknown (helper writes stay dynamic)", writes["aux"])
+	}
+}
+
 func TestInferRatesUntouchedInterfaceAbsent(t *testing.T) {
 	reads, writes := InferRates(mustParse(t, `void work() { pedf.io.o[0] = 1; }`), "work")
 	if _, ok := reads["i"]; ok {

@@ -1,0 +1,605 @@
+package analysis
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"dfdbg/internal/analysis/absint"
+	"dfdbg/internal/dot"
+)
+
+// RegionInfo is one maximal connected subgraph of provably-static
+// (SDF/CSDF) actors, with the solved balance equations, a static
+// schedule and per-link buffer bounds. It is the machine-readable
+// payload behind DF008 and the `Regions` section of `analyze -json`.
+type RegionInfo struct {
+	ID         int         `json:"id"`
+	Actors     []string    `json:"actors"` // sorted
+	Kind       string      `json:"kind"`   // "SDF" | "CSDF" (any CSDF member makes the region CSDF)
+	Consistent bool        `json:"consistent"`
+	Reps       []RepEntry  `json:"repetitions,omitempty"` // firings per schedule period
+	Schedule   []string    `json:"schedule,omitempty"`    // "actor" or "actor*count" entries
+	Bounds     []LinkBound `json:"bounds,omitempty"`
+	Note       string      `json:"note,omitempty"` // why reps/schedule/bounds are missing
+}
+
+// RepEntry is one component of a repetition vector.
+type RepEntry struct {
+	Actor string `json:"actor"`
+	Count int    `json:"count"`
+}
+
+// LinkBound is the proven worst-case occupancy of one intra-region link
+// over a schedule period.
+type LinkBound struct {
+	Link  int64  `json:"link"`
+	Src   string `json:"src"` // "actor::port"
+	Dst   string `json:"dst"`
+	Bound int    `json:"bound"`
+	Cap   int    `json:"cap,omitempty"` // declared capacity (0: unknown)
+}
+
+// RepOf returns the repetition count of an actor, or 0.
+func (r *RegionInfo) RepOf(actor string) int {
+	for _, e := range r.Reps {
+		if e.Actor == actor {
+			return e.Count
+		}
+	}
+	return 0
+}
+
+// patSum is the per-period token total of a port pattern.
+func patSum(pat []int) int {
+	s := 0
+	for _, v := range pat {
+		s += v
+	}
+	return s
+}
+
+// ComputeRegions clusters the provably static filter actors of g into
+// maximal connected regions (over data links whose two endpoints are
+// both static), solves the balance equations of each region, derives a
+// static schedule and proves per-link buffer bounds by simulating one
+// schedule period.
+func ComputeRegions(g *Graph, classes map[string]*absint.Class) []*RegionInfo {
+	static := map[string]*absint.Class{}
+	for _, a := range g.Actors {
+		if a.Kind != "filter" {
+			continue
+		}
+		if c := classes[a.Name]; c != nil && c.Static() {
+			static[a.Name] = c
+		}
+	}
+	if len(static) == 0 {
+		return nil
+	}
+
+	// Union-find over static actors through static data links.
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	for name := range static {
+		parent[name] = name
+	}
+	intra := []*LinkEdge{}
+	for _, l := range g.Links {
+		if l.Kind != "data" {
+			continue
+		}
+		s, d := l.Src.Actor.Name, l.Dst.Actor.Name
+		if _, ok := static[s]; !ok {
+			continue
+		}
+		if _, ok := static[d]; !ok {
+			continue
+		}
+		intra = append(intra, l)
+		rs, rd := find(s), find(d)
+		if rs != rd {
+			parent[rs] = rd
+		}
+	}
+
+	groups := map[string][]string{}
+	for name := range static {
+		r := find(name)
+		groups[r] = append(groups[r], name)
+	}
+	roots := make([]string, 0, len(groups))
+	for r, members := range groups {
+		sort.Strings(members)
+		roots = append(roots, r)
+	}
+	// Deterministic region order: by first (smallest) member name.
+	sort.Slice(roots, func(i, j int) bool { return groups[roots[i]][0] < groups[roots[j]][0] })
+
+	var regions []*RegionInfo
+	for id, root := range roots {
+		members := groups[root]
+		links := []*LinkEdge{}
+		for _, l := range intra {
+			if find(l.Src.Actor.Name) == root {
+				links = append(links, l)
+			}
+		}
+		sort.Slice(links, func(i, j int) bool { return links[i].ID < links[j].ID })
+		regions = append(regions, solveRegion(id, members, links, static))
+	}
+	return regions
+}
+
+// solveRegion runs the balance solver, scheduler and bound prover for
+// one region.
+func solveRegion(id int, members []string, links []*LinkEdge, classes map[string]*absint.Class) *RegionInfo {
+	ri := &RegionInfo{ID: id, Actors: members, Kind: "SDF", Consistent: true}
+	for _, m := range members {
+		if classes[m].Verdict == absint.VerdictCSDF {
+			ri.Kind = "CSDF"
+		}
+	}
+
+	// Per-period token totals on each link endpoint. The effective
+	// period is the LCM of the declared period and every port pattern
+	// length, so totals are well-defined even if a caller hands in
+	// patterns of uneven lengths.
+	perOf := func(actor, port string) int {
+		c := classes[actor]
+		pat := c.RateOf(port)
+		if len(pat) == 0 {
+			return 0
+		}
+		p := effPeriod(c)
+		total := 0
+		for i := 0; i < p; i++ {
+			total += pat[i%len(pat)]
+		}
+		return total
+	}
+
+	// Solve x_a (periods per schedule iteration) in rationals over a
+	// spanning tree; every non-tree edge must agree or the region is
+	// unbalanced (PASS fails: no repetition vector exists).
+	x := map[string]*big.Rat{}
+	adj := map[string][]*LinkEdge{}
+	for _, l := range links {
+		s, d := l.Src.Actor.Name, l.Dst.Actor.Name
+		adj[s] = append(adj[s], l)
+		adj[d] = append(adj[d], l)
+	}
+	for _, seed := range members {
+		if x[seed] != nil {
+			continue
+		}
+		x[seed] = big.NewRat(1, 1)
+		queue := []string{seed}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, l := range adj[cur] {
+				s, d := l.Src.Actor.Name, l.Dst.Actor.Name
+				ps, pd := perOf(s, l.Src.Name), perOf(d, l.Dst.Name)
+				if ps == 0 && pd == 0 {
+					continue // dead link: no balance constraint
+				}
+				if ps == 0 || pd == 0 {
+					ri.Consistent = false
+					ri.Note = fmt.Sprintf("unbalanced: link %s -> %s moves tokens on one side only",
+						l.Src.Qualified(), l.Dst.Qualified())
+					continue
+				}
+				// x_s · ps = x_d · pd
+				var known, other string
+				var kper, oper int
+				if x[s] != nil {
+					known, other, kper, oper = s, d, ps, pd
+				} else if x[d] != nil {
+					known, other, kper, oper = d, s, pd, ps
+				} else {
+					continue // neither end reached yet; a later visit handles it
+				}
+				want := new(big.Rat).Mul(x[known], big.NewRat(int64(kper), int64(oper)))
+				if x[other] == nil {
+					x[other] = want
+					queue = append(queue, other)
+				} else if x[other].Cmp(want) != 0 {
+					ri.Consistent = false
+					ri.Note = fmt.Sprintf("unbalanced: link %s -> %s cannot satisfy the balance equations",
+						l.Src.Qualified(), l.Dst.Qualified())
+				}
+			}
+		}
+	}
+	if !ri.Consistent {
+		return ri
+	}
+
+	// Normalize to the smallest positive integer repetition vector.
+	lcm := big.NewInt(1)
+	for _, m := range members {
+		d := x[m].Denom()
+		g := new(big.Int).GCD(nil, nil, lcm, d)
+		lcm.Div(new(big.Int).Mul(lcm, d), g)
+	}
+	ints := map[string]*big.Int{}
+	gcd := new(big.Int)
+	for _, m := range members {
+		v := new(big.Int).Mul(x[m].Num(), new(big.Int).Div(lcm, x[m].Denom()))
+		ints[m] = v
+		gcd.GCD(nil, nil, gcd, v)
+	}
+	reps := map[string]int{} // firings per schedule period
+	for _, m := range members {
+		periods := new(big.Int).Div(ints[m], gcd)
+		reps[m] = int(periods.Int64()) * effPeriod(classes[m])
+		ri.Reps = append(ri.Reps, RepEntry{Actor: m, Count: reps[m]})
+	}
+
+	ri.Schedule, ri.Bounds, ri.Note = scheduleAndBounds(members, links, classes, reps)
+	return ri
+}
+
+func phasePeriod(c *absint.Class) int {
+	if c.Period > 0 {
+		return c.Period
+	}
+	return 1
+}
+
+// effPeriod is the number of firings after which an actor's rate
+// behavior provably repeats: the LCM of its declared period and all its
+// port pattern lengths (absint emits equal lengths; defensive for
+// hand-built classes).
+func effPeriod(c *absint.Class) int {
+	p := phasePeriod(c)
+	for _, pr := range c.Ports {
+		if n := len(pr.Pattern); n > 0 {
+			p = lcm(p, n)
+		}
+	}
+	return p
+}
+
+func lcm(a, b int) int {
+	x, y := a, b
+	for y != 0 {
+		x, y = y, x%y
+	}
+	return a / x * b
+}
+
+// scheduleAndBounds derives a static schedule for one period of the
+// repetition vector and proves per-link occupancy bounds by simulating
+// it. Acyclic regions get a single-appearance schedule (each actor fires
+// all its repetitions consecutively, in topological order); cyclic
+// regions fall back to a greedy list schedule driven by token
+// availability from the links' initial tokens.
+func scheduleAndBounds(members []string, links []*LinkEdge, classes map[string]*absint.Class, reps map[string]int) ([]string, []LinkBound, string) {
+	// Try topological order over the intra-region links.
+	indeg := map[string]int{}
+	out := map[string][]string{}
+	for _, m := range members {
+		indeg[m] = 0
+	}
+	for _, l := range links {
+		s, d := l.Src.Actor.Name, l.Dst.Actor.Name
+		if s == d {
+			continue
+		}
+		out[s] = append(out[s], d)
+		indeg[d]++
+	}
+	var topo []string
+	avail := []string{}
+	for _, m := range members {
+		if indeg[m] == 0 {
+			avail = append(avail, m)
+		}
+	}
+	for len(avail) > 0 {
+		sort.Strings(avail)
+		cur := avail[0]
+		avail = avail[1:]
+		topo = append(topo, cur)
+		for _, d := range out[cur] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				avail = append(avail, d)
+			}
+		}
+	}
+
+	var firings []string // flat firing sequence, one entry per firing
+	if len(topo) == len(members) {
+		for _, m := range topo {
+			for i := 0; i < reps[m]; i++ {
+				firings = append(firings, m)
+			}
+		}
+	} else {
+		// Feedback cycle: greedy simulation from the initial tokens.
+		occ := map[*LinkEdge]int{}
+		for _, l := range links {
+			occ[l] = l.InitialTokens
+		}
+		fired := map[string]int{}
+		total := 0
+		for _, m := range members {
+			total += reps[m]
+		}
+		for len(firings) < total {
+			progressed := false
+			for _, m := range members {
+				if fired[m] >= reps[m] {
+					continue
+				}
+				ok := true
+				for _, l := range links {
+					if l.Dst.Actor.Name != m {
+						continue
+					}
+					need := phaseRate(classes[m], l.Dst.Name, fired[m])
+					if occ[l] < need {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				for _, l := range links {
+					if l.Dst.Actor.Name == m {
+						occ[l] -= phaseRate(classes[m], l.Dst.Name, fired[m])
+					}
+				}
+				for _, l := range links {
+					if l.Src.Actor.Name == m {
+						occ[l] += phaseRate(classes[m], l.Src.Name, fired[m])
+					}
+				}
+				firings = append(firings, m)
+				fired[m]++
+				progressed = true
+			}
+			if !progressed {
+				return nil, nil, "no static schedule: the feedback cycle starves with the declared initial tokens"
+			}
+		}
+	}
+
+	// Prove buffer bounds by replaying the schedule.
+	occ := map[*LinkEdge]int{}
+	maxOcc := map[*LinkEdge]int{}
+	for _, l := range links {
+		occ[l] = l.InitialTokens
+		maxOcc[l] = l.InitialTokens
+	}
+	fired := map[string]int{}
+	for _, m := range firings {
+		// Produce before consume within one firing: a firing's own
+		// outputs land before downstream reacts, so this is the
+		// worst-case occupancy order.
+		for _, l := range links {
+			if l.Src.Actor.Name == m {
+				occ[l] += phaseRate(classes[m], l.Src.Name, fired[m])
+				if occ[l] > maxOcc[l] {
+					maxOcc[l] = occ[l]
+				}
+			}
+		}
+		for _, l := range links {
+			if l.Dst.Actor.Name == m {
+				occ[l] -= phaseRate(classes[m], l.Dst.Name, fired[m])
+				if occ[l] < 0 {
+					// The topological schedule never under-runs on a DAG;
+					// guard anyway so a solver bug cannot panic downstream.
+					return nil, nil, "internal: schedule under-runs a link"
+				}
+			}
+		}
+		fired[m]++
+	}
+
+	var bounds []LinkBound
+	for _, l := range links {
+		bounds = append(bounds, LinkBound{
+			Link:  l.ID,
+			Src:   l.Src.Qualified(),
+			Dst:   l.Dst.Qualified(),
+			Bound: maxOcc[l],
+			Cap:   l.Cap,
+		})
+	}
+	return compressSchedule(firings), bounds, ""
+}
+
+// phaseRate is the token rate of one port at an actor's n-th firing
+// (CSDF phases cycle through the pattern).
+func phaseRate(c *absint.Class, port string, firing int) int {
+	pat := c.RateOf(port)
+	if len(pat) == 0 {
+		return 0
+	}
+	return pat[firing%len(pat)]
+}
+
+// compressSchedule renders a flat firing sequence as run-length entries
+// ("actor" or "actor*count").
+func compressSchedule(firings []string) []string {
+	var outp []string
+	for i := 0; i < len(firings); {
+		j := i
+		for j < len(firings) && firings[j] == firings[i] {
+			j++
+		}
+		if j-i == 1 {
+			outp = append(outp, firings[i])
+		} else {
+			outp = append(outp, fmt.Sprintf("%s*%d", firings[i], j-i))
+		}
+		i = j
+	}
+	return outp
+}
+
+// CheckClasses reports FC008 for every filter the classifier could not
+// prove rate-static, carrying the explanation trace.
+func CheckClasses(g *Graph, classes map[string]*absint.Class) *Report {
+	rep := &Report{}
+	kind := map[string]string{}
+	for _, a := range g.Actors {
+		kind[a.Name] = a.Kind
+	}
+	names := make([]string, 0, len(classes))
+	for n := range classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := classes[n]
+		if c == nil || c.Static() || kind[n] != "filter" {
+			continue
+		}
+		rep.Add(Diagnostic{
+			Code:   "FC008",
+			Sev:    Info,
+			File:   g.Name,
+			Msg:    fmt.Sprintf("filter %q has data-dependent token rates (dynamic dataflow)", n),
+			Hint:   "dynamic actors exclude their neighborhood from static scheduling; see the trace for the instruction that broke staticness",
+			Detail: strings.Join(c.Trace, "\n"),
+		})
+	}
+	return rep
+}
+
+// CheckRegions reports DF008 (one Info per region, with the repetition
+// vector, schedule and proven bounds as detail) and DF009 (Warning when
+// a proven bound exceeds a link's declared capacity: the schedule
+// cannot run without blocking).
+func CheckRegions(g *Graph, regions []*RegionInfo, classes map[string]*absint.Class) *Report {
+	rep := &Report{}
+	for _, r := range regions {
+		var det strings.Builder
+		var actorTags []string
+		for _, a := range r.Actors {
+			c := classes[a]
+			tag := a + " (" + string(c.Verdict)
+			if c.Verdict == absint.VerdictCSDF {
+				tag += fmt.Sprintf("/%d", phasePeriod(c))
+			}
+			tag += ")"
+			actorTags = append(actorTags, tag)
+		}
+		fmt.Fprintf(&det, "actors: %s\n", strings.Join(actorTags, ", "))
+		if !r.Consistent {
+			fmt.Fprintf(&det, "%s\n", r.Note)
+			rep.Add(Diagnostic{
+				Code:   "DF008",
+				Sev:    Info,
+				File:   g.Name,
+				Msg:    fmt.Sprintf("static region #%d (%d actor(s), %s) has no repetition vector (unbalanced rates)", r.ID, len(r.Actors), r.Kind),
+				Hint:   "an unbalanced static region cannot run forever in bounded memory; check the declared rates",
+				Detail: strings.TrimRight(det.String(), "\n"),
+			})
+			continue
+		}
+		var reps []string
+		for _, e := range r.Reps {
+			reps = append(reps, fmt.Sprintf("%s*%d", e.Actor, e.Count))
+		}
+		fmt.Fprintf(&det, "repetitions: %s\n", strings.Join(reps, " "))
+		if len(r.Schedule) > 0 {
+			fmt.Fprintf(&det, "schedule: %s\n", strings.Join(r.Schedule, " "))
+		}
+		for _, b := range r.Bounds {
+			fmt.Fprintf(&det, "bound: %s -> %s needs <= %d slot(s)", b.Src, b.Dst, b.Bound)
+			if b.Cap > 0 {
+				fmt.Fprintf(&det, " (declared capacity %d)", b.Cap)
+			}
+			det.WriteString("\n")
+		}
+		if r.Note != "" {
+			fmt.Fprintf(&det, "%s\n", r.Note)
+		}
+		rep.Add(Diagnostic{
+			Code:   "DF008",
+			Sev:    Info,
+			File:   g.Name,
+			Msg:    fmt.Sprintf("static region #%d: %d actor(s), %s, statically schedulable", r.ID, len(r.Actors), r.Kind),
+			Detail: strings.TrimRight(det.String(), "\n"),
+		})
+		for _, b := range r.Bounds {
+			if b.Cap > 0 && b.Bound > b.Cap {
+				rep.Add(Diagnostic{
+					Code: "DF009",
+					Sev:  Warning,
+					File: g.Name,
+					Msg: fmt.Sprintf("link %s -> %s needs %d slot(s) under the static schedule but is declared with capacity %d",
+						b.Src, b.Dst, b.Bound, b.Cap),
+					Hint: fmt.Sprintf("raise the link capacity to %d, or the schedule will block", b.Bound),
+				})
+			}
+		}
+	}
+	return rep
+}
+
+// RegionsDOT renders the region clustering: static regions as clusters,
+// dynamic/unclassified actors outside, data links solid and control
+// links dashed.
+func RegionsDOT(g *Graph, regions []*RegionInfo, classes map[string]*absint.Class) string {
+	dg := dot.NewGraph(g.Name + "_regions")
+	inRegion := map[string]int{}
+	for _, r := range regions {
+		for _, a := range r.Actors {
+			inRegion[a] = r.ID
+		}
+	}
+	for _, r := range regions {
+		cluster := fmt.Sprintf("region_%d", r.ID)
+		dg.AddCluster(cluster, fmt.Sprintf("region #%d (%s)", r.ID, r.Kind))
+		for _, a := range r.Actors {
+			label := a
+			if n := r.RepOf(a); n > 0 {
+				label = fmt.Sprintf("%s x%d", a, n)
+			}
+			dg.AddNode(cluster, dot.Node{ID: a, Label: label, Shape: "box", Color: "palegreen"})
+		}
+	}
+	for _, a := range g.Actors {
+		if _, ok := inRegion[a.Name]; ok {
+			continue
+		}
+		shape, color := "box", "lightcoral"
+		switch a.Kind {
+		case "controller":
+			shape, color = "ellipse", "lightblue"
+		case "env":
+			shape, color = "ellipse", "lightgray"
+		}
+		dg.AddNode("", dot.Node{ID: a.Name, Label: a.Name, Shape: shape, Color: color})
+	}
+	for _, l := range g.Links {
+		style := "solid"
+		if l.Kind != "data" {
+			style = "dashed"
+		}
+		dg.AddEdge(dot.Edge{
+			From:  l.Src.Actor.Name,
+			To:    l.Dst.Actor.Name,
+			Label: l.Src.Name + "->" + l.Dst.Name,
+			Style: style,
+		})
+	}
+	return dg.String()
+}

@@ -1,0 +1,301 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dfdbg/internal/analysis/absint"
+)
+
+// patClass builds a classifier verdict from per-port patterns (single
+// element: SDF; several: CSDF).
+func patClass(actor string, ins, outs map[string][]int) *absint.Class {
+	period := 1
+	var ports []absint.PortRates
+	for name, pat := range ins {
+		ports = append(ports, absint.PortRates{Port: name, Dir: "input", Pattern: pat})
+		if len(pat) > period {
+			period = len(pat)
+		}
+	}
+	for name, pat := range outs {
+		ports = append(ports, absint.PortRates{Port: name, Dir: "output", Pattern: pat})
+		if len(pat) > period {
+			period = len(pat)
+		}
+	}
+	v := absint.VerdictSDF
+	if period > 1 {
+		v = absint.VerdictCSDF
+	}
+	return &absint.Class{Actor: actor, Verdict: v, Period: period, Ports: ports}
+}
+
+// regionChain builds a 2-actor static pipeline a -(prodPat : consPat)-> b
+// with the given link capacity.
+func regionChain(prodPat, consPat []int, cap_ int) (*Graph, map[string]*absint.Class) {
+	g := NewGraph("regions")
+	a := g.AddActor("a", "filter", "m")
+	b := g.AddActor("b", "filter", "m")
+	aout := a.AddOut("out", "U32", RateUnknown)
+	bin := b.AddIn("in", "U32", RateUnknown)
+	l := g.Connect(aout, bin, "data")
+	l.Cap = cap_
+	classes := map[string]*absint.Class{
+		"a": patClass("a", nil, map[string][]int{"out": prodPat}),
+		"b": patClass("b", map[string][]int{"in": consPat}, nil),
+	}
+	return g, classes
+}
+
+func TestRegionMultirateChain(t *testing.T) {
+	g, classes := regionChain([]int{2}, []int{3}, 0)
+	regions := ComputeRegions(g, classes)
+	if len(regions) != 1 {
+		t.Fatalf("regions = %+v", regions)
+	}
+	r := regions[0]
+	if !r.Consistent || r.RepOf("a") != 3 || r.RepOf("b") != 2 {
+		t.Fatalf("repetition vector = %+v, want a*3 b*2", r.Reps)
+	}
+	if len(r.Bounds) != 1 || r.Bounds[0].Bound != 6 {
+		t.Fatalf("bounds = %+v, want 6 (a fires 3x before b in single-appearance order)", r.Bounds)
+	}
+	if strings.Join(r.Schedule, " ") != "a*3 b*2" {
+		t.Fatalf("schedule = %v", r.Schedule)
+	}
+}
+
+func TestRegionCSDFBalance(t *testing.T) {
+	// b consumes the CSDF pattern (1,2): 3 tokens per 2-firing period.
+	g, classes := regionChain([]int{1}, []int{1, 2}, 0)
+	regions := ComputeRegions(g, classes)
+	if len(regions) != 1 {
+		t.Fatalf("regions = %+v", regions)
+	}
+	r := regions[0]
+	if !r.Consistent || r.RepOf("a") != 3 || r.RepOf("b") != 2 {
+		t.Fatalf("repetition vector = %+v, want a*3 b*2", r.Reps)
+	}
+	if r.Kind != "CSDF" {
+		t.Fatalf("kind = %q, want CSDF", r.Kind)
+	}
+}
+
+func TestRegionInconsistentRates(t *testing.T) {
+	// Triangle a->b, a->c, b->c where the two paths into c demand
+	// incompatible firing ratios: no repetition vector exists.
+	g := NewGraph("regions")
+	a := g.AddActor("a", "filter", "m")
+	b := g.AddActor("b", "filter", "m")
+	c := g.AddActor("c", "filter", "m")
+	g.Connect(a.AddOut("o1", "U32", 1), b.AddIn("in", "U32", 1), "data")
+	g.Connect(a.AddOut("o2", "U32", 1), c.AddIn("i1", "U32", 1), "data")
+	g.Connect(b.AddOut("out", "U32", 1), c.AddIn("i2", "U32", 2), "data")
+	classes := map[string]*absint.Class{
+		"a": patClass("a", nil, map[string][]int{"o1": {1}, "o2": {1}}),
+		"b": patClass("b", map[string][]int{"in": {1}}, map[string][]int{"out": {1}}),
+		"c": patClass("c", map[string][]int{"i1": {1}, "i2": {2}}, nil),
+	}
+	regions := ComputeRegions(g, classes)
+	if len(regions) != 1 || regions[0].Consistent {
+		t.Fatalf("regions = %+v, want one inconsistent region", regions)
+	}
+	rep := CheckRegions(g, regions, classes)
+	if !hasCode(rep, "DF008") || !strings.Contains(rep.Diags[0].Msg, "no repetition vector") {
+		t.Fatalf("diags = %v", rep.Diags)
+	}
+}
+
+func TestRegionFeedbackCycleSchedules(t *testing.T) {
+	// a <-> b with one initial token on the back edge: the greedy
+	// scheduler must find the alternating schedule; bounds stay at 1.
+	g := NewGraph("regions")
+	a := g.AddActor("a", "filter", "m")
+	b := g.AddActor("b", "filter", "m")
+	g.Connect(a.AddOut("out", "U32", 1), b.AddIn("in", "U32", 1), "data")
+	back := g.Connect(b.AddOut("out", "U32", 1), a.AddIn("in", "U32", 1), "data")
+	back.InitialTokens = 1
+	classes := map[string]*absint.Class{
+		"a": patClass("a", map[string][]int{"in": {1}}, map[string][]int{"out": {1}}),
+		"b": patClass("b", map[string][]int{"in": {1}}, map[string][]int{"out": {1}}),
+	}
+	regions := ComputeRegions(g, classes)
+	if len(regions) != 1 {
+		t.Fatalf("regions = %+v", regions)
+	}
+	r := regions[0]
+	if !r.Consistent || r.Note != "" || len(r.Schedule) == 0 {
+		t.Fatalf("region = %+v, want a schedule", r)
+	}
+	for _, bd := range r.Bounds {
+		if bd.Bound != 1 {
+			t.Fatalf("bounds = %+v, want all 1", r.Bounds)
+		}
+	}
+}
+
+func TestRegionStarvedCycleReportsNote(t *testing.T) {
+	g := NewGraph("regions")
+	a := g.AddActor("a", "filter", "m")
+	b := g.AddActor("b", "filter", "m")
+	g.Connect(a.AddOut("out", "U32", 1), b.AddIn("in", "U32", 1), "data")
+	g.Connect(b.AddOut("out", "U32", 1), a.AddIn("in", "U32", 1), "data")
+	classes := map[string]*absint.Class{
+		"a": patClass("a", map[string][]int{"in": {1}}, map[string][]int{"out": {1}}),
+		"b": patClass("b", map[string][]int{"in": {1}}, map[string][]int{"out": {1}}),
+	}
+	regions := ComputeRegions(g, classes)
+	if len(regions) != 1 || regions[0].Note == "" || len(regions[0].Schedule) != 0 {
+		t.Fatalf("regions = %+v, want a starvation note and no schedule", regions)
+	}
+}
+
+// DF009: the proven bound (6) exceeds the declared capacity (4).
+func TestDF009BoundExceedsCapacityGolden(t *testing.T) {
+	g, classes := regionChain([]int{2}, []int{3}, 4)
+	regions := ComputeRegions(g, classes)
+	rep := CheckRegions(g, regions, classes)
+	if !hasCode(rep, "DF009") {
+		t.Fatalf("diags = %v, want DF009", codes(rep))
+	}
+	for _, d := range rep.Diags {
+		if d.Code == "DF009" && d.Sev != Warning {
+			t.Fatalf("DF009 severity = %v, want warning", d.Sev)
+		}
+	}
+	var buf bytes.Buffer
+	rep.WriteText(&buf)
+	compareGolden(t, "../../testdata/analysis/graphs/regions_df009.golden", buf.Bytes())
+}
+
+func TestCheckClassesFC008(t *testing.T) {
+	g := NewGraph("g")
+	g.AddActor("parser", "filter", "m")
+	g.AddActor("boss", "controller", "m")
+	classes := map[string]*absint.Class{
+		"parser": {Actor: "parser", Verdict: absint.VerdictDynamic,
+			Trace: []string{"rate of output out varies between 1 and 2 token(s) per firing", "p.c:3:7: branch on a non-constant condition"}},
+		"boss": {Actor: "boss", Verdict: absint.VerdictDynamic, Trace: []string{"controller"}},
+	}
+	rep := CheckClasses(g, classes)
+	if len(rep.Diags) != 1 || rep.Diags[0].Code != "FC008" {
+		t.Fatalf("diags = %v, want exactly one FC008 (controllers exempt)", codes(rep))
+	}
+	if !strings.Contains(rep.Diags[0].Detail, "branch on a non-constant condition") {
+		t.Fatalf("FC008 detail must carry the trace: %q", rep.Diags[0].Detail)
+	}
+}
+
+func TestRegionsDOT(t *testing.T) {
+	g, classes := regionChain([]int{1}, []int{1}, 0)
+	dyn := g.AddActor("wild", "filter", "m")
+	g.Connect(g.Actors[1].AddOut("out", "U32", RateUnknown), dyn.AddIn("in", "U32", RateUnknown), "data")
+	classes["wild"] = &absint.Class{Actor: "wild", Verdict: absint.VerdictDynamic, Trace: []string{"x"}}
+	regions := ComputeRegions(g, classes)
+	out := RegionsDOT(g, regions, classes)
+	for _, frag := range []string{"subgraph", "region #0", "a x1", "wild", "->"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("DOT missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// Satellite: property test — every consistent region's repetition
+// vector balances (rate x reps conserved on each intra-region link),
+// over randomized rate assignments on pipelines, trees and diamonds.
+func TestRepetitionVectorsBalanceProperty(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph("prop")
+		n := 2 + rng.Intn(5)
+		actors := make([]*ActorNode, n)
+		for i := range actors {
+			actors[i] = g.AddActor(fmt.Sprintf("n%02d", i), "filter", "m")
+		}
+		classes := map[string]*absint.Class{}
+		pats := map[string]map[string][]int{} // actor -> port -> pattern
+		addPort := func(i int, dir string) (string, []int) {
+			period := 1 + rng.Intn(3)
+			pat := make([]int, period)
+			for k := range pat {
+				pat[k] = 1 + rng.Intn(4)
+			}
+			name := fmt.Sprintf("%s%d", dir, len(pats[actors[i].Name]))
+			if pats[actors[i].Name] == nil {
+				pats[actors[i].Name] = map[string][]int{}
+			}
+			pats[actors[i].Name][name] = pat
+			return name, pat
+		}
+		// Random forward edges i -> j (i < j): always acyclic.
+		for i := 0; i < n-1; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(3) != 0 {
+					continue
+				}
+				on, opat := addPort(i, "o")
+				in, ipat := addPort(j, "i")
+				src := actors[i].AddOut(on, "U32", patSum(opat))
+				dst := actors[j].AddIn(in, "U32", patSum(ipat))
+				g.Connect(src, dst, "data")
+			}
+		}
+		for i := range actors {
+			ins := map[string][]int{}
+			outs := map[string][]int{}
+			for port, pat := range pats[actors[i].Name] {
+				if strings.HasPrefix(port, "i") {
+					ins[port] = pat
+				} else {
+					outs[port] = pat
+				}
+			}
+			classes[actors[i].Name] = patClass(actors[i].Name, ins, outs)
+		}
+		regions := ComputeRegions(g, classes)
+		for _, r := range regions {
+			if !r.Consistent {
+				continue
+			}
+			inRegion := map[string]bool{}
+			for _, a := range r.Actors {
+				inRegion[a] = true
+			}
+			for _, l := range g.Links {
+				s, d := l.Src.Actor.Name, l.Dst.Actor.Name
+				if l.Kind != "data" || !inRegion[s] || !inRegion[d] {
+					continue
+				}
+				produced := totalOver(classes[s], l.Src.Name, r.RepOf(s))
+				consumed := totalOver(classes[d], l.Dst.Name, r.RepOf(d))
+				if produced != consumed {
+					t.Fatalf("seed %d: link %s->%s unbalanced: %d produced, %d consumed (reps %v)",
+						seed, l.Src.Qualified(), l.Dst.Qualified(), produced, consumed, r.Reps)
+				}
+			}
+			// Repetition counts must cover whole CSDF periods.
+			for _, a := range r.Actors {
+				if p := classes[a].Period; p > 0 && r.RepOf(a)%p != 0 {
+					t.Fatalf("seed %d: reps of %s = %d not a multiple of period %d", seed, a, r.RepOf(a), p)
+				}
+			}
+		}
+	}
+}
+
+// totalOver sums a port's pattern over the first n firings.
+func totalOver(c *absint.Class, port string, n int) int {
+	pat := c.RateOf(port)
+	if len(pat) == 0 {
+		return 0
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += pat[i%len(pat)]
+	}
+	return total
+}

@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"dfdbg/internal/analysis"
+	"dfdbg/internal/analysis/absint"
 	"dfdbg/internal/core"
 	"dfdbg/internal/fault"
 	"dfdbg/internal/filterc"
@@ -55,6 +56,11 @@ type CLI struct {
 	// Targets, when set, lets `fault gen <seed>` draw random faults
 	// against the running application's links/filters/PEs.
 	Targets fault.Targets
+	// Full, when set, runs the full static analysis (graph checkers,
+	// filterc checkers, abstract-interpretation classifier, SDF regions)
+	// against the live application; `analyze` and `regions` prefer it
+	// over the structural-only pass on the reconstructed model.
+	Full func() (*analysis.Report, *analysis.Graph, error)
 
 	lastStop *lowdbg.StopEvent
 	curProc  *sim.Proc
@@ -202,6 +208,8 @@ func (c *CLI) Execute(line string) error {
 		return nil
 	case "analyze":
 		return c.analyzeCmd(rest)
+	case "regions":
+		return c.regionsCmd(rest)
 	case "filter":
 		return c.filterCmd(rest)
 	case "module":
@@ -262,11 +270,42 @@ func (c *CLI) analyzeCmd(rest []string) error {
 	default:
 		return fmt.Errorf("usage: analyze [json]")
 	}
-	rep := analysis.CheckGraph(c.D.AnalysisGraph())
+	var rep *analysis.Report
+	if c.Full != nil {
+		full, _, err := c.Full()
+		if err != nil {
+			return err
+		}
+		rep = full
+	} else {
+		rep = analysis.CheckGraph(c.D.AnalysisGraph())
+	}
 	if asJSON {
 		return rep.WriteJSON(c.Out)
 	}
 	rep.WriteText(c.Out)
+	return nil
+}
+
+// regionsCmd renders the SDF-region clustering of the application as a
+// Graphviz DOT graph: provably static actors grouped into clusters with
+// their repetition counts, dynamic actors outside.
+func (c *CLI) regionsCmd(rest []string) error {
+	if len(rest) != 0 {
+		return fmt.Errorf("usage: regions")
+	}
+	if c.Full == nil {
+		return fmt.Errorf("regions needs the full analysis backend (not available in this session)")
+	}
+	rep, g, err := c.Full()
+	if err != nil {
+		return err
+	}
+	classes := map[string]*absint.Class{}
+	for _, cl := range rep.Classes {
+		classes[cl.Actor] = cl
+	}
+	c.printf("%s", analysis.RegionsDOT(g, rep.Regions, classes))
 	return nil
 }
 
@@ -282,6 +321,7 @@ func (c *CLI) printHelp() {
 Dataflow commands:
   graph                                  dump the reconstructed graph (DOT)
   analyze [json]                         static checks on the reconstructed graph
+  regions                                SDF-region clustering (DOT; full analysis only)
   filter <f> catch work                  stop when <f>'s WORK fires
   filter <f> catch <if>=<n>,...          stop on received/sent token counts
   filter <f> catch *in=<n> | *out=<n>    wildcard over all interfaces
@@ -1125,7 +1165,7 @@ var commandWords = []string{
 	"analyze", "backtrace", "break", "catchpoints", "continue", "delete",
 	"disable", "drop", "enable", "fault", "filter", "finish", "graph",
 	"help", "iface", "info", "inject", "list", "metrics", "module", "next",
-	"peek", "print", "profile", "quit", "replace", "set", "step",
+	"peek", "print", "profile", "quit", "regions", "replace", "set", "step",
 	"step_both", "tbreak", "thread", "timeline", "trace", "unstick",
 	"watch", "watchdog",
 }

@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dfdbg/internal/analysis"
+	"dfdbg/internal/analysis/pedfgraph"
 	"dfdbg/internal/cli"
 	"dfdbg/internal/core"
 	"dfdbg/internal/dbginfo"
@@ -263,6 +265,9 @@ func buildStack(params SessionParams) (*stack, error) {
 	c.Rec = rec
 	c.Obs = orec
 	c.Targets = rt.FaultTargets()
+	c.Full = func() (*analysis.Report, *analysis.Graph, error) {
+		return pedfgraph.Analyze(rt, "h264")
+	}
 	return &stack{cli: c, k: k, rec: orec}, nil
 }
 
