@@ -36,6 +36,7 @@ import (
 	"dfdbg/internal/pedf"
 	"dfdbg/internal/sim"
 	"dfdbg/internal/trace"
+	"dfdbg/internal/web"
 )
 
 func main() {
@@ -186,6 +187,25 @@ func run(p h264.Params, bugName string, fo faultOpts, in io.Reader, out io.Write
 	c.Targets = rt.FaultTargets()
 	c.Full = func() (*analysis.Report, *analysis.Graph, error) {
 		return pedfgraph.Analyze(rt, "h264")
+	}
+	// The web UI shares the stack through a solo host: its mutex is the
+	// dispatch guard, so browser queries serialize against commands.
+	host := web.NewSoloHost("dfdbg", orec, k, rt, func() (*analysis.Report, error) {
+		rep, _, err := pedfgraph.Analyze(rt, "h264")
+		return rep, err
+	})
+	c.Guard = host
+	host.SetExec(func(line string) (web.ExecResult, error) {
+		res := c.Dispatch(line)
+		out := web.ExecResult{Output: res.Output, Quit: res.Quit}
+		if res.Err != nil {
+			out.Err = res.Err.Error()
+		}
+		return out, nil
+	})
+	c.StartWeb = func(addr string) (string, error) {
+		url, _, err := host.Serve(addr)
+		return url, err
 	}
 	c.Run(in)
 	return nil

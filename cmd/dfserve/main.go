@@ -5,17 +5,23 @@
 //
 // Usage:
 //
-//	dfserve [-addr 127.0.0.1:7788] [-max-sessions 32] [-max-conns 64]
-//	        [-idle-timeout 5m] [-event-queue 256]
+//	dfserve [-addr 127.0.0.1:7788] [-http 127.0.0.1:7789] [-max-sessions 32]
+//	        [-max-conns 64] [-idle-timeout 5m] [-event-queue 256]
 //
 // A session is created with {"id":1,"op":"new","params":{...}} and
 // driven with {"id":2,"op":"exec","session":"s1","line":"continue"};
 // try it interactively with `nc 127.0.0.1 7788`.
+//
+// With -http, dfserve additionally serves the web observability layer
+// (JSON APIs, live SSE event stream, and the embedded timeline /
+// dataflow-graph UI — see internal/web) over the same sessions.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -27,19 +33,20 @@ import (
 func main() {
 	var (
 		addr  = flag.String("addr", "127.0.0.1:7788", "listen address")
+		haddr = flag.String("http", "", "serve the web UI / JSON API on this address (empty = off)")
 		maxS  = flag.Int("max-sessions", 32, "concurrent session limit")
 		maxC  = flag.Int("max-conns", 64, "concurrent connection limit")
 		idle  = flag.Duration("idle-timeout", 5*time.Minute, "reap sessions idle this long (0 = never)")
 		queue = flag.Int("event-queue", 256, "per-client async event queue length")
 	)
 	flag.Parse()
-	if err := run(*addr, *maxS, *maxC, *idle, *queue); err != nil {
+	if err := run(*addr, *haddr, *maxS, *maxC, *idle, *queue); err != nil {
 		fmt.Fprintf(os.Stderr, "dfserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxSessions, maxConns int, idle time.Duration, queue int) error {
+func run(addr, httpAddr string, maxSessions, maxConns int, idle time.Duration, queue int) error {
 	if idle == 0 {
 		idle = -1 // Options treats 0 as "default"; <0 disables reaping
 	}
@@ -55,6 +62,28 @@ func run(addr string, maxSessions, maxConns int, idle time.Duration, queue int) 
 	go func() { errc <- srv.ListenAndServe(addr) }()
 	fmt.Fprintf(os.Stderr, "dfserve: listening on %s (max %d sessions, %d conns)\n",
 		addr, maxSessions, maxConns)
+
+	var hsrv *http.Server
+	if httpAddr != "" {
+		ln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			_ = srv.Close()
+			return fmt.Errorf("http listen: %w", err)
+		}
+		hsrv = &http.Server{Handler: srv.WebHandler()}
+		go func() {
+			if err := hsrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				errc <- fmt.Errorf("http: %w", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "dfserve: web UI on http://%s/\n", ln.Addr())
+	}
+	defer func() {
+		if hsrv != nil {
+			_ = hsrv.Close()
+		}
+	}()
+
 	select {
 	case sig := <-sigc:
 		fmt.Fprintf(os.Stderr, "dfserve: %v, shutting down\n", sig)

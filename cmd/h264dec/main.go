@@ -7,7 +7,14 @@
 //
 //	h264dec [-w 48] [-h 32] [-qp 8] [-seed 7] [-pgm out.pgm]
 //	        [-obs] [-timeline trace.json] [-metrics-addr :9090]
-//	        [-faults <spec|file>] [-fault-seed N] [-watchdog 2ms]
+//	        [-http 127.0.0.1:0] [-faults <spec|file>] [-fault-seed N]
+//	        [-watchdog 2ms]
+//
+// With -http the run serves the web observability UI (implies -obs):
+// the kernel runs in simulated-time slices so a browser attached
+// mid-decode sees the timeline and dataflow graph advance live, and
+// the process waits for Enter before exiting so the final state stays
+// inspectable.
 //
 // With -faults or -fault-seed the run becomes a chaos experiment: the
 // reference comparison is skipped, stall reports and the fault trace
@@ -28,6 +35,7 @@ import (
 	"dfdbg/internal/obs"
 	"dfdbg/internal/pedf"
 	"dfdbg/internal/sim"
+	"dfdbg/internal/web"
 )
 
 func main() {
@@ -42,6 +50,7 @@ func main() {
 		obsOn  = flag.Bool("obs", false, "record observability events and print a profile + metrics")
 		tl     = flag.String("timeline", "", "write a Chrome trace / Perfetto JSON timeline (implies -obs)")
 		maddr  = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (implies -obs)")
+		haddr  = flag.String("http", "", "serve the web UI on this address during the run (implies -obs)")
 		flts   = flag.String("faults", "", "fault plan: inline spec (;-separated) or a file path")
 		fsd    = flag.Int64("fault-seed", 0, "arm a seeded random fault plan (0 = off)")
 		wdog   = flag.String("watchdog", "", "progress watchdog threshold (default 2ms in fault mode)")
@@ -49,7 +58,7 @@ func main() {
 	flag.Parse()
 	p := h264.Params{W: *w, H: *h, QP: *qp, Seed: *seed, Frames: *frames, Chroma: *chroma}
 	o := decodeOpts{pgm: *pgm, obs: *obsOn, timeline: *tl, metricsAddr: *maddr,
-		faults: *flts, faultSeed: *fsd, watchdog: *wdog}
+		httpAddr: *haddr, faults: *flts, faultSeed: *fsd, watchdog: *wdog}
 	if err := decode(p, o, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "h264dec: %v\n", err)
 		os.Exit(1)
@@ -62,6 +71,7 @@ type decodeOpts struct {
 	obs         bool   // record observability events
 	timeline    string // Chrome trace JSON path ("" = none)
 	metricsAddr string // Prometheus listen address ("" = none)
+	httpAddr    string // web UI listen address ("" = none)
 	faults      string // fault plan spec or file ("" = none)
 	faultSeed   int64  // random fault plan seed (0 = none)
 	watchdog    string // watchdog threshold ("" = default in fault mode)
@@ -81,7 +91,7 @@ func decode(p h264.Params, o decodeOpts, w io.Writer) error {
 
 	k := sim.NewKernel()
 	var rec *obs.Recorder
-	if o.obs || o.timeline != "" || o.metricsAddr != "" {
+	if o.obs || o.timeline != "" || o.metricsAddr != "" || o.httpAddr != "" {
 		rec = obs.NewRecorder(1 << 18)
 		k.SetObserver(rec)
 	}
@@ -94,10 +104,20 @@ func decode(p h264.Params, o decodeOpts, w io.Writer) error {
 	if err := rt.Start(); err != nil {
 		return err
 	}
-	if o.faultMode() {
-		return chaosDecode(k, rt, o, w)
+	var host *web.SoloHost
+	if o.httpAddr != "" {
+		host = web.NewSoloHost("h264dec", rec, k, rt, nil)
+		url, shutdown, err := host.Serve(o.httpAddr)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Fprintf(w, "web UI at %s\n", url)
 	}
-	st, err := k.Run()
+	if o.faultMode() {
+		return chaosDecode(k, rt, host, o, w)
+	}
+	st, err := runKernel(k, host)
 	if err != nil {
 		return err
 	}
@@ -155,16 +175,39 @@ func decode(p h264.Params, o decodeOpts, w io.Writer) error {
 			fmt.Fprintf(w, "wrote timeline %s (open in ui.perfetto.dev)\n", o.timeline)
 		}
 		if o.metricsAddr != "" {
-			closer, err := rec.Metrics.Serve(o.metricsAddr)
+			srv, err := rec.Metrics.Serve(o.metricsAddr)
 			if err != nil {
 				return err
 			}
-			defer closer.Close()
+			defer srv.Close()
 			fmt.Fprintf(w, "serving metrics on %s/metrics — press Enter to exit\n", o.metricsAddr)
 			fmt.Scanln()
 		}
 	}
+	if o.httpAddr != "" && o.metricsAddr == "" {
+		fmt.Fprintf(w, "web UI still serving — press Enter to exit\n")
+		fmt.Scanln()
+	}
 	return nil
+}
+
+// runKernel runs the kernel to completion. With a web host attached it
+// runs in 1ms simulated-time slices, releasing the host between slices
+// so browser queries interleave with the decode instead of blocking
+// until it finishes.
+func runKernel(k *sim.Kernel, host *web.SoloHost) (sim.RunStatus, error) {
+	if host == nil {
+		return k.Run()
+	}
+	const slice = sim.Duration(1_000_000)
+	for {
+		host.Lock()
+		st, err := k.RunUntil(k.Now() + slice)
+		host.Unlock()
+		if st != sim.RunHorizon {
+			return st, err
+		}
+	}
 }
 
 // chaosDecode runs the decoder as a chaos experiment: arm the fault
@@ -173,7 +216,7 @@ func decode(p h264.Params, o decodeOpts, w io.Writer) error {
 // deterministic fault trace. The exit code stays 0; only a panic that
 // escapes the containment layers crashes the process, which is exactly
 // what the CI chaos-smoke job asserts against.
-func chaosDecode(k *sim.Kernel, rt *pedf.Runtime, o decodeOpts, w io.Writer) error {
+func chaosDecode(k *sim.Kernel, rt *pedf.Runtime, host *web.SoloHost, o decodeOpts, w io.Writer) error {
 	switch {
 	case o.faults != "":
 		text := o.faults
@@ -202,7 +245,7 @@ func chaosDecode(k *sim.Kernel, rt *pedf.Runtime, o decodeOpts, w io.Writer) err
 	k.SetWatchdog(sim.Duration(ns))
 	k.SetWallBudget(30 * time.Second)
 
-	st, err := k.Run()
+	st, err := runKernel(k, host)
 	switch {
 	case err != nil:
 		fmt.Fprintf(w, "contained crash: %v\n", err)
@@ -220,6 +263,10 @@ func chaosDecode(k *sim.Kernel, rt *pedf.Runtime, o decodeOpts, w io.Writer) err
 		for _, l := range lines {
 			fmt.Fprintf(w, "  %s\n", l)
 		}
+	}
+	if o.httpAddr != "" {
+		fmt.Fprintf(w, "web UI still serving — press Enter to exit\n")
+		fmt.Scanln()
 	}
 	return nil
 }

@@ -1,0 +1,372 @@
+// Command webcheck smoke-tests a live dfserve web UI end to end: it
+// creates a session over the JSON API, runs the decoder, and validates
+// every read endpoint — session listing, event windows and cursor
+// paging, the dataflow graph with its backpressure rollups, swim
+// lanes, the folded profile, the stall report, backward token
+// provenance, metrics, the live NDJSON stream, and the embedded index
+// page. It exits non-zero on the first failed check, printing what was
+// expected and what came back, so CI can gate on a running server
+// without jq or shell JSON parsing.
+//
+// Usage:
+//
+//	webcheck [-base http://127.0.0.1:7789] [-timeout 60s]
+//
+// The checker retries the first request until -timeout, so it can be
+// started concurrently with the server it checks.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	var (
+		base    = flag.String("base", "http://127.0.0.1:7789", "web UI base URL")
+		timeout = flag.Duration("timeout", 60*time.Second, "overall deadline (also the startup retry window)")
+	)
+	flag.Parse()
+	c := &checker{base: strings.TrimRight(*base, "/"), deadline: time.Now().Add(*timeout)}
+	if err := c.run(); err != nil {
+		fmt.Fprintf(os.Stderr, "webcheck: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("webcheck: OK — %d checks passed against %s\n", c.checks, c.base)
+}
+
+type checker struct {
+	base     string
+	deadline time.Time
+	checks   int
+}
+
+// getJSON fetches a path and decodes the JSON body into out, checking
+// the status code.
+func (c *checker) getJSON(path string, wantStatus int, out any) error {
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		return fmt.Errorf("GET %s: status %d (want %d): %s", path, resp.StatusCode, wantStatus, trim(body))
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			return fmt.Errorf("GET %s: bad JSON: %v: %s", path, err, trim(body))
+		}
+	}
+	c.checks++
+	return nil
+}
+
+func (c *checker) postJSON(path string, in, out any) error {
+	b, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(c.base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return fmt.Errorf("POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("POST %s: status %d: %s", path, resp.StatusCode, trim(body))
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			return fmt.Errorf("POST %s: bad JSON: %v: %s", path, err, trim(body))
+		}
+	}
+	c.checks++
+	return nil
+}
+
+func trim(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}
+
+// waitUp retries the session listing until the server answers or the
+// deadline passes (the server may still be starting).
+func (c *checker) waitUp() error {
+	for {
+		var v struct {
+			Sessions []any `json:"sessions"`
+		}
+		err := c.getJSON("/api/sessions", http.StatusOK, &v)
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(c.deadline) {
+			return fmt.Errorf("server not reachable by deadline: %w", err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+type eventJSON struct {
+	Seq  uint64 `json:"seq"`
+	Kind string `json:"kind"`
+	Link int32  `json:"link"`
+	Arg2 int64  `json:"arg2"`
+}
+
+type eventsResp struct {
+	First  uint64      `json:"first"`
+	Next   uint64      `json:"next"`
+	Total  uint64      `json:"total"`
+	NowNS  uint64      `json:"now_ns"`
+	Events []eventJSON `json:"events"`
+}
+
+func (c *checker) run() error {
+	if err := c.waitUp(); err != nil {
+		return err
+	}
+
+	// The embedded UI must be served at the root.
+	resp, err := http.Get(c.base + "/")
+	if err != nil {
+		return fmt.Errorf("GET /: %w", err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(page), "dfdbg") {
+		return fmt.Errorf("GET /: status %d, want the embedded UI mentioning dfdbg", resp.StatusCode)
+	}
+	c.checks++
+
+	// Create a small session and run it to completion.
+	var created struct {
+		ID string `json:"id"`
+	}
+	params := map[string]any{"w": 16, "h": 16, "qp": 8, "seed": 7, "bug": "none"}
+	if err := c.postJSON("/api/sessions", params, &created); err != nil {
+		return err
+	}
+	if created.ID == "" {
+		return fmt.Errorf("session create returned no id")
+	}
+	s := "/api/sessions/" + created.ID
+
+	var list struct {
+		Sessions []struct {
+			ID string `json:"id"`
+		} `json:"sessions"`
+	}
+	if err := c.getJSON("/api/sessions", http.StatusOK, &list); err != nil {
+		return err
+	}
+	found := false
+	for _, e := range list.Sessions {
+		found = found || e.ID == created.ID
+	}
+	if !found {
+		return fmt.Errorf("created session %s missing from listing", created.ID)
+	}
+
+	// Attach the live stream before running so it observes events.
+	streamc := make(chan error, 1)
+	streamReq, err := http.NewRequest("GET", c.base+s+"/stream?fmt=ndjson", nil)
+	if err != nil {
+		return err
+	}
+	streamResp, err := http.DefaultClient.Do(streamReq)
+	if err != nil {
+		return fmt.Errorf("GET %s/stream: %w", s, err)
+	}
+	defer streamResp.Body.Close()
+	go func() {
+		sc := bufio.NewScanner(streamResp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			var line struct {
+				Type string `json:"type"`
+			}
+			if json.Unmarshal(sc.Bytes(), &line) == nil && line.Type == "event" {
+				streamc <- nil
+				return
+			}
+		}
+		streamc <- fmt.Errorf("stream closed without delivering an event")
+	}()
+
+	var res struct {
+		Output string `json:"output"`
+		Err    string `json:"error"`
+	}
+	if err := c.postJSON(s+"/exec", map[string]string{"line": "continue"}, &res); err != nil {
+		return err
+	}
+	if res.Err != "" {
+		return fmt.Errorf("exec continue: %s", res.Err)
+	}
+
+	select {
+	case err := <-streamc:
+		if err != nil {
+			return err
+		}
+		c.checks++
+	case <-time.After(time.Until(c.deadline)):
+		return fmt.Errorf("live stream delivered no event for a full decode")
+	}
+
+	// Events: the run must have recorded some, and the cursor must page
+	// through them contiguously.
+	var ev eventsResp
+	if err := c.getJSON(s+"/events?since=0&limit=500", http.StatusOK, &ev); err != nil {
+		return err
+	}
+	if ev.Total == 0 || len(ev.Events) == 0 {
+		return fmt.Errorf("no events recorded after a full decode (total=%d)", ev.Total)
+	}
+	pages, cursor, last := 0, ev.First, uint64(0)
+	for cursor < ev.Total {
+		var page eventsResp
+		if err := c.getJSON(fmt.Sprintf("%s/events?since=%d&limit=1000", s, cursor), http.StatusOK, &page); err != nil {
+			return err
+		}
+		if len(page.Events) == 0 {
+			return fmt.Errorf("empty page at cursor %d with total %d", cursor, page.Total)
+		}
+		if pages > 0 && page.First != last+1 {
+			return fmt.Errorf("paging gap: page starts at seq %d, previous ended at %d", page.First, last)
+		}
+		for i, e := range page.Events {
+			if e.Seq != page.First+uint64(i) {
+				return fmt.Errorf("non-contiguous seq %d at index %d of page starting %d", e.Seq, i, page.First)
+			}
+		}
+		last = page.Events[len(page.Events)-1].Seq
+		cursor = page.Next
+		pages++
+		if pages > 10000 {
+			return fmt.Errorf("paging did not terminate")
+		}
+	}
+	if pages < 2 {
+		return fmt.Errorf("expected multiple event pages, got %d", pages)
+	}
+	c.checks++
+
+	// Graph: nodes, links, and evidence of traffic.
+	var g struct {
+		Nodes []struct {
+			Name string `json:"name"`
+		} `json:"nodes"`
+		Links []struct {
+			Pushes uint64 `json:"pushes"`
+			Cap    int    `json:"cap"`
+		} `json:"links"`
+	}
+	if err := c.getJSON(s+"/graph", http.StatusOK, &g); err != nil {
+		return err
+	}
+	if len(g.Nodes) == 0 || len(g.Links) == 0 {
+		return fmt.Errorf("graph is empty: %d nodes, %d links", len(g.Nodes), len(g.Links))
+	}
+	traffic := false
+	for _, l := range g.Links {
+		traffic = traffic || l.Pushes > 0
+	}
+	if !traffic {
+		return fmt.Errorf("no link saw a push after a full decode")
+	}
+	c.checks++
+
+	// Lanes and profile agree on the actor population.
+	var lanes struct {
+		Lanes []struct {
+			Actor   string `json:"actor"`
+			Firings uint64 `json:"firings"`
+		} `json:"lanes"`
+	}
+	if err := c.getJSON(s+"/lanes", http.StatusOK, &lanes); err != nil {
+		return err
+	}
+	if len(lanes.Lanes) == 0 {
+		return fmt.Errorf("no swim lanes after a full decode")
+	}
+	var prof struct {
+		TotalNS uint64 `json:"total_ns"`
+		Actors  []any  `json:"actors"`
+		Folded  string `json:"folded"`
+	}
+	if err := c.getJSON(s+"/profile", http.StatusOK, &prof); err != nil {
+		return err
+	}
+	if prof.TotalNS == 0 || len(prof.Actors) == 0 || prof.Folded == "" {
+		return fmt.Errorf("profile is empty (total_ns=%d, %d actors)", prof.TotalNS, len(prof.Actors))
+	}
+	if len(prof.Actors) != len(lanes.Lanes) {
+		return fmt.Errorf("profile has %d actors but lanes has %d", len(prof.Actors), len(lanes.Lanes))
+	}
+	c.checks++
+
+	// Stall report answers (a clean run reports not-stalled).
+	var stall struct {
+		Stalled bool `json:"stalled"`
+	}
+	if err := c.getJSON(s+"/stall", http.StatusOK, &stall); err != nil {
+		return err
+	}
+
+	// Provenance: walk back from the last push in the first page.
+	var pushes eventsResp
+	if err := c.getJSON(s+"/events?since=0&limit=5000&kind=push", http.StatusOK, &pushes); err != nil {
+		return err
+	}
+	if len(pushes.Events) == 0 {
+		return fmt.Errorf("no push events recorded")
+	}
+	tok := pushes.Events[len(pushes.Events)-1]
+	var prov struct {
+		Provenance *json.RawMessage `json:"provenance"`
+	}
+	provPath := fmt.Sprintf("%s/provenance?token=%d:%d&depth=4&fanin=4", s, tok.Link, tok.Arg2)
+	if err := c.getJSON(provPath, http.StatusOK, &prov); err != nil {
+		return err
+	}
+	if prov.Provenance == nil {
+		return fmt.Errorf("provenance walk for %d:%d returned nothing", tok.Link, tok.Arg2)
+	}
+	c.checks++
+
+	// Metrics, per-session and server-wide.
+	for _, path := range []string{s + "/metrics", "/api/server/metrics"} {
+		var m struct {
+			Metrics []any `json:"metrics"`
+		}
+		if err := c.getJSON(path, http.StatusOK, &m); err != nil {
+			return err
+		}
+	}
+
+	// Error shape: an unknown session is a JSON 404.
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := c.getJSON("/api/sessions/nope/graph", http.StatusNotFound, &e); err != nil {
+		return err
+	}
+	if e.Error == "" {
+		return fmt.Errorf("404 body carries no error message")
+	}
+	return nil
+}

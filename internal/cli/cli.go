@@ -30,6 +30,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"dfdbg/internal/analysis"
 	"dfdbg/internal/analysis/absint"
@@ -61,6 +62,13 @@ type CLI struct {
 	// against the live application; `analyze` and `regions` prefer it
 	// over the structural-only pass on the reconstructed model.
 	Full func() (*analysis.Report, *analysis.Graph, error)
+	// Guard, when set, is held for the duration of every Dispatch: web
+	// queries (and any other concurrent reader) take the same lock, so
+	// commands that mutate the simulation serialize against them.
+	Guard sync.Locker
+	// StartWeb, when set, enables the `web` command: it starts the HTTP
+	// observability UI on the given address and returns the bound URL.
+	StartWeb func(addr string) (string, error)
 
 	lastStop *lowdbg.StopEvent
 	curProc  *sim.Proc
@@ -141,6 +149,10 @@ func (c *CLI) Run(r io.Reader) {
 // decides for itself what to do with them. File-writing commands
 // (timeline export) still touch the filesystem.
 func (c *CLI) Dispatch(line string) Result {
+	if c.Guard != nil {
+		c.Guard.Lock()
+		defer c.Guard.Unlock()
+	}
 	var buf strings.Builder
 	prev := c.Out
 	c.Out = &buf
@@ -251,6 +263,8 @@ func (c *CLI) Execute(line string) error {
 		return c.unstickCmd(rest)
 	case "watchdog":
 		return c.watchdogCmd(rest)
+	case "web":
+		return c.webCmd(rest)
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
 	}
@@ -348,6 +362,7 @@ Observability commands:
   metrics [prom]                         metrics registry (text or Prometheus)
   profile [n | folded]                   simulated-time profile of the run
   timeline export <file>                 Chrome trace / Perfetto JSON ("-" = stdout)
+  web [<addr>]                           start the browser UI (default 127.0.0.1:0)
 Fault injection & recovery:
   fault status|list|trace|clear          inspect / disarm the fault plan
   fault load <file> | add <spec...>      arm deterministic faults
@@ -1159,6 +1174,29 @@ func (c *CLI) timelineCmd(rest []string) error {
 	return nil
 }
 
+// webCmd starts the HTTP observability UI: `web` picks a free port on
+// localhost, `web <addr>` binds a specific address. The server lives
+// until the process exits.
+func (c *CLI) webCmd(rest []string) error {
+	if c.StartWeb == nil {
+		return fmt.Errorf("the web UI is not available in this session")
+	}
+	addr := "127.0.0.1:0"
+	switch len(rest) {
+	case 0:
+	case 1:
+		addr = rest[0]
+	default:
+		return fmt.Errorf("usage: web [<addr>]")
+	}
+	url, err := c.StartWeb(addr)
+	if err != nil {
+		return err
+	}
+	c.printf("web UI at %s\n", url)
+	return nil
+}
+
 // commandWords is the command vocabulary CompleteLine draws on when the
 // cursor is still on the first word of the line.
 var commandWords = []string{
@@ -1167,7 +1205,7 @@ var commandWords = []string{
 	"help", "iface", "info", "inject", "list", "metrics", "module", "next",
 	"peek", "print", "profile", "quit", "regions", "replace", "set", "step",
 	"step_both", "tbreak", "thread", "timeline", "trace", "unstick",
-	"watch", "watchdog",
+	"watch", "watchdog", "web",
 }
 
 // CompleteLine offers completions for the last word of a partial command

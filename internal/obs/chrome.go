@@ -19,6 +19,8 @@ import (
 //	pid 1            scheduler      one lane per module (step slices)
 //	pid 2            memory         one lane per level (transfer slices)
 //	pid 3            links          occupancy counter series
+//	pid 4            faults         instant events: injected faults,
+//	                                token surgery, watchdog stalls
 //	pid 10 + pe + 1  PE tracks      one lane per actor (firing slices)
 //
 // Host-side actors (PE id -1, e.g. the environment process) land on
@@ -28,7 +30,15 @@ const (
 	pidScheduler = 1
 	pidMemory    = 2
 	pidLinks     = 3
+	pidFaults    = 4
 	pidPEBase    = 10 // + pe id + 1
+)
+
+// Fault-track thread lanes.
+const (
+	tidFaultInjected = 1 // KFault: plan-driven fault fired
+	tidFaultSurgery  = 2 // KInject/KDropTok/KReplace: manual token surgery
+	tidFaultWatchdog = 3 // KStall: progress watchdog tripped
 )
 
 func pePid(pe int32) int { return pidPEBase + int(pe) + 1 }
@@ -82,6 +92,17 @@ func (c *chromeWriter) complete(pid, tid int, name string, start, end uint64, ar
 		pid, tid, jsonEscape(name), tsUS(start), tsUS(end-start), extra))
 }
 
+// instant emits a ph:"i" thread-scoped instant event. args is
+// pre-rendered JSON ("" for none).
+func (c *chromeWriter) instant(pid, tid int, name string, at uint64, args string) {
+	extra := ""
+	if args != "" {
+		extra = `,"args":{` + args + `}`
+	}
+	c.emit(fmt.Sprintf(`{"ph":"i","pid":%d,"tid":%d,"name":"%s","cat":"dfobs","ts":%s,"s":"t"%s}`,
+		pid, tid, jsonEscape(name), tsUS(at), extra))
+}
+
 func (c *chromeWriter) counter(pid int, name string, at uint64, series string, v int64) {
 	c.emit(fmt.Sprintf(`{"ph":"C","pid":%d,"name":"%s","cat":"dfobs","ts":%s,"args":{"%s":%d}}`,
 		pid, jsonEscape(name), tsUS(at), jsonEscape(series), v))
@@ -116,6 +137,7 @@ func WriteChromeTrace(w io.Writer, events []Event, total uint64, linkName func(i
 	peSeen := map[int]bool{}
 	levelSeen := map[int32]bool{}
 	linkSeen := map[int32]bool{}
+	faultLaneSeen := map[int]bool{}
 	for _, ev := range events {
 		switch ev.Kind {
 		case KFireBegin, KCtlBegin:
@@ -134,6 +156,15 @@ func WriteChromeTrace(w io.Writer, events []Event, total uint64, linkName func(i
 			levelSeen[ev.Link] = true
 		case KPush, KPop:
 			linkSeen[ev.Link] = true
+		case KFault:
+			faultLaneSeen[tidFaultInjected] = true
+		case KInject, KDropTok:
+			faultLaneSeen[tidFaultSurgery] = true
+			linkSeen[ev.Link] = true // surgery moves link occupancy too
+		case KReplace:
+			faultLaneSeen[tidFaultSurgery] = true
+		case KStall:
+			faultLaneSeen[tidFaultWatchdog] = true
 		}
 	}
 	// Assign per-PE thread lanes in first-seen order.
@@ -161,6 +192,22 @@ func WriteChromeTrace(w io.Writer, events []Event, total uint64, linkName func(i
 	}
 	if len(linkSeen) > 0 {
 		cw.meta(pidLinks, 0, "process_name", "links")
+	}
+	if len(faultLaneSeen) > 0 {
+		cw.meta(pidFaults, 0, "process_name", "faults")
+		faultLanes := []struct {
+			tid  int
+			name string
+		}{
+			{tidFaultInjected, "injected"},
+			{tidFaultSurgery, "surgery"},
+			{tidFaultWatchdog, "watchdog"},
+		}
+		for _, l := range faultLanes {
+			if faultLaneSeen[l.tid] {
+				cw.meta(pidFaults, l.tid, "thread_name", l.name)
+			}
+		}
 	}
 	var pids []int
 	for pid := range peSeen {
@@ -218,6 +265,22 @@ func WriteChromeTrace(w io.Writer, events []Event, total uint64, linkName func(i
 				fmt.Sprintf(`"by":"%s"`, jsonEscape(ev.Actor)))
 		case KPush, KPop:
 			cw.counter(pidLinks, linkName(ev.Link), ev.At, "tokens", ev.Arg)
+		case KFault:
+			cw.instant(pidFaults, tidFaultInjected, "fault: "+ev.Other, ev.At, "")
+		case KInject:
+			cw.instant(pidFaults, tidFaultSurgery, "inject "+linkName(ev.Link), ev.At,
+				fmt.Sprintf(`"seq":%d`, ev.Arg2))
+			cw.counter(pidLinks, linkName(ev.Link), ev.At, "tokens", ev.Arg)
+		case KDropTok:
+			cw.instant(pidFaults, tidFaultSurgery, "drop "+linkName(ev.Link), ev.At,
+				fmt.Sprintf(`"pos":%d`, ev.Arg2))
+			cw.counter(pidLinks, linkName(ev.Link), ev.At, "tokens", ev.Arg)
+		case KReplace:
+			cw.instant(pidFaults, tidFaultSurgery, "replace "+linkName(ev.Link), ev.At,
+				fmt.Sprintf(`"pos":%d`, ev.Arg2))
+		case KStall:
+			cw.instant(pidFaults, tidFaultWatchdog, "stall", ev.At,
+				fmt.Sprintf(`"silent_ns":%d,"procs":%d`, ev.Arg, ev.Arg2))
 		}
 	}
 	// Close spans still open at the run horizon.

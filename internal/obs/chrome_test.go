@@ -1,10 +1,16 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 // traceDoc is the Chrome trace-event JSON object form.
 type traceDoc struct {
@@ -138,6 +144,107 @@ func TestWriteChromeTraceEmpty(t *testing.T) {
 	}
 	if len(doc.TraceEvents) != 0 {
 		t.Errorf("events = %v", doc.TraceEvents)
+	}
+}
+
+// faultEvents is a scripted run with every fault-layer kind: a plan
+// fault firing, token surgery (inject/drop/replace), and a watchdog
+// stall, interleaved with normal traffic.
+func faultEvents() []Event {
+	return []Event{
+		{At: 10, Kind: KFireBegin, Actor: "fa", PE: 0, Arg: 0},
+		{At: 20, Kind: KPush, Actor: "fa", Other: "fb", Port: "o", Link: 1, Arg: 1, Arg2: 0},
+		{At: 25, Kind: KFault, Other: "at pop 3 on fa::o corrupt xor=255", Link: 1},
+		{At: 30, Kind: KFireEnd, Actor: "fa", PE: 0, Arg2: 20},
+		{At: 40, Kind: KStall, Arg: 5000, Arg2: 2},
+		{At: 50, Kind: KInject, Actor: "fa", Other: "fb", Port: "o", Link: 1, Arg: 2, Arg2: 1},
+		{At: 60, Kind: KDropTok, Actor: "fa", Other: "fb", Link: 1, Arg: 1, Arg2: 0},
+		{At: 70, Kind: KReplace, Actor: "fa", Other: "fb", Link: 1, Arg: 1, Arg2: 0},
+		{At: 95, Kind: KPop, Actor: "fb", Other: "fa", Port: "i", Link: 1, Arg: 0, Arg2: 0},
+	}
+}
+
+// TestWriteChromeTraceFaultsGolden pins the fault-track rendering
+// byte-for-byte (the export uses only simulated time, so it is stable).
+func TestWriteChromeTraceFaultsGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, faultEvents(), 100, nil); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_faults.golden")
+	if *update {
+		if err := os.WriteFile(golden, b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Errorf("fault trace drifted from golden.\ngot:\n%s\nwant:\n%s", b.Bytes(), want)
+	}
+}
+
+func TestWriteChromeTraceFaultEvents(t *testing.T) {
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, faultEvents(), 100, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	byName := map[string][]traceEvent{}
+	for _, ev := range doc.TraceEvents {
+		byName[ev.Name] = append(byName[ev.Name], ev)
+	}
+	for name, tid := range map[string]int{
+		"fault: at pop 3 on fa::o corrupt xor=255": tidFaultInjected,
+		"inject link1":  tidFaultSurgery,
+		"drop link1":    tidFaultSurgery,
+		"replace link1": tidFaultSurgery,
+		"stall":         tidFaultWatchdog,
+	} {
+		evs := byName[name]
+		if len(evs) != 1 {
+			t.Errorf("%q: %d events, want 1", name, len(evs))
+			continue
+		}
+		if evs[0].Ph != "i" || evs[0].Pid != pidFaults || evs[0].Tid != tid {
+			t.Errorf("%q = %+v, want instant on faults/%d", name, evs[0], tid)
+		}
+	}
+	if got := byName["stall"][0].Args["silent_ns"]; got != float64(5000) {
+		t.Errorf("stall args = %v", byName["stall"][0].Args)
+	}
+	// Surgery must keep the occupancy counter truthful: push(1),
+	// inject(2), drop(1), pop(0).
+	var occ []float64
+	for _, ev := range byName["link1"] {
+		if ev.Ph == "C" {
+			occ = append(occ, ev.Args["tokens"].(float64))
+		}
+	}
+	want := []float64{1, 2, 1, 0}
+	if len(occ) != len(want) {
+		t.Fatalf("occupancy series = %v, want %v", occ, want)
+	}
+	for i := range want {
+		if occ[i] != want[i] {
+			t.Fatalf("occupancy series = %v, want %v", occ, want)
+		}
+	}
+	// Lane metadata present for every used lane.
+	lanes := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Pid == pidFaults && ev.Name == "thread_name" {
+			lanes[ev.Tid] = true
+		}
+	}
+	if !lanes[tidFaultInjected] || !lanes[tidFaultSurgery] || !lanes[tidFaultWatchdog] {
+		t.Errorf("fault lane metadata = %v", lanes)
 	}
 }
 

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -316,17 +317,69 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
+// MetricsServer is a running metrics endpoint returned by
+// Registry.Serve. The serve loop's error is retained rather than
+// discarded: Close reports it, and Done/Err let a caller notice an
+// endpoint that died early (port stolen, fd exhaustion) without
+// tearing it down.
+type MetricsServer struct {
+	ln   net.Listener
+	done chan struct{}
+	err  error // serve-loop exit cause; valid once done is closed
+}
+
+// Addr returns the bound listen address.
+func (s *MetricsServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Done is closed when the serve loop has exited.
+func (s *MetricsServer) Done() <-chan struct{} { return s.done }
+
+// Err returns the serve loop's exit error, nil while it still runs or
+// when it ended by Close.
+func (s *MetricsServer) Err() error {
+	select {
+	case <-s.done:
+	default:
+		return nil
+	}
+	if errors.Is(s.err, net.ErrClosed) {
+		return nil
+	}
+	return s.err
+}
+
+// Close stops the listener and waits for the serve loop to exit, so
+// shutdown is deterministic: after Close returns no handler is running.
+// It returns the loop's error when it died for any reason other than
+// the close itself.
+func (s *MetricsServer) Close() error {
+	err := s.ln.Close()
+	<-s.done
+	if lerr := s.Err(); lerr != nil {
+		return lerr
+	}
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}
+
 // Serve exposes the registry at http://addr/metrics in a background
-// goroutine and returns the listener (close it to stop). Function-
-// backed metrics read simulation state, so values are a best-effort
-// snapshot while the simulation runs.
-func (r *Registry) Serve(addr string) (io.Closer, error) {
+// goroutine. Function-backed metrics read simulation state, so values
+// are a best-effort snapshot while the simulation runs. Close the
+// returned server to stop; it also reports whether the serve loop died
+// on its own.
+func (r *Registry) Serve(addr string) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
-	go func() { _ = http.Serve(ln, mux) }()
-	return ln, nil
+	s := &MetricsServer{ln: ln, done: make(chan struct{})}
+	go func() {
+		s.err = http.Serve(ln, mux)
+		close(s.done)
+	}()
+	return s, nil
 }

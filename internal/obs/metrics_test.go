@@ -89,12 +89,12 @@ func TestWritePrometheus(t *testing.T) {
 func TestServeMetrics(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("served_total", "x").Add(9)
-	closer, err := reg.Serve("127.0.0.1:0")
+	srv, err := reg.Serve("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer closer.Close()
-	addr := closer.(net.Listener).Addr().String()
+	defer srv.Close()
+	addr := srv.Addr().String()
 	resp, err := http.Get("http://" + addr + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -103,6 +103,70 @@ func TestServeMetrics(t *testing.T) {
 	body, _ := io.ReadAll(resp.Body)
 	if !strings.Contains(string(body), "served_total 9") {
 		t.Errorf("served body:\n%s", body)
+	}
+}
+
+// TestServeCloseDeterministic is the regression test for the old Serve
+// shape, where the http.Serve goroutine swallowed its error and Close
+// returned before the loop exited: Close must wait for the serve loop,
+// after which the port is immediately rebindable and no error leaks
+// from the close-initiated shutdown.
+func TestServeCloseDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+	if _, err := http.Get("http://" + addr + "/metrics"); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Err() != nil {
+		t.Fatalf("live server reports error: %v", srv.Err())
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-srv.Done():
+	default:
+		t.Fatal("Close returned before the serve loop exited")
+	}
+	if srv.Err() != nil {
+		t.Fatalf("close-initiated shutdown leaks error: %v", srv.Err())
+	}
+	// The loop is down, so the exact port is free again right away.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port not released after Close: %v", err)
+	}
+	ln.Close()
+	// Double close stays safe and error-free.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestServeSurfacesLoopDeath kills the listener behind the server's
+// back (not via Close) and checks the failure is observable.
+func TestServeSurfacesLoopDeath(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.ln.Close() // simulate the listener dying out from under the loop
+	<-srv.Done()
+	// The loop exited on net.ErrClosed, which Err filters as a normal
+	// shutdown — but Done() firing without Close is the caller's signal
+	// that the endpoint is gone.
+	select {
+	case <-srv.Done():
+	default:
+		t.Fatal("Done not closed after loop death")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close after loop death: %v", err)
 	}
 }
 

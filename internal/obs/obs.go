@@ -24,6 +24,8 @@
 //     (checked by the P2-style determinism test).
 package obs
 
+import "sync/atomic"
+
 // Kind classifies a recorded event.
 type Kind uint8
 
@@ -128,6 +130,17 @@ func (k Kind) String() string {
 	return "Kind(?)"
 }
 
+// ParseKind maps a kind's String() name ("push", "work+", ...) back to
+// the Kind, for query-side filters.
+func ParseKind(name string) (Kind, bool) {
+	for k := KNone + 1; k < numKinds; k++ {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return KNone, false
+}
+
 // Mask selects which kinds a Recorder stores.
 type Mask uint64
 
@@ -184,6 +197,13 @@ type Recorder struct {
 	head     uint64 // total events ever recorded
 	mask     Mask
 	payloads bool
+
+	// tap, when installed, receives every recorded event (plus its
+	// sequence number) synchronously on the recording goroutine. The
+	// pointer is atomic so the web layer can attach and detach live
+	// streams from other goroutines; the installed function must never
+	// block (web.Broadcaster queues with drop-oldest backpressure).
+	tap atomic.Pointer[func(Event, uint64)]
 
 	// Metrics is the registry the instrumented layers publish into.
 	Metrics *Registry
@@ -242,8 +262,23 @@ func (r *Recorder) Record(ev Event) {
 	if r == nil {
 		return
 	}
-	r.ring[r.head%uint64(len(r.ring))] = ev
+	seq := r.head
+	r.ring[seq%uint64(len(r.ring))] = ev
 	r.head++
+	if t := r.tap.Load(); t != nil {
+		(*t)(ev, seq)
+	}
+}
+
+// SetTap installs (or with nil removes) the live event tap. Safe to
+// call from any goroutine; at most one tap is active — fan-out to many
+// consumers belongs to the tap function (see web.Broadcaster).
+func (r *Recorder) SetTap(fn func(Event, uint64)) {
+	if fn == nil {
+		r.tap.Store(nil)
+		return
+	}
+	r.tap.Store(&fn)
 }
 
 // Cap returns the ring capacity.
@@ -280,6 +315,53 @@ func (r *Recorder) Snapshot() []Event {
 		out[i] = r.ring[(start+uint64(i))%uint64(len(r.ring))]
 	}
 	return out
+}
+
+// Range calls fn for every retained event in chronological order
+// without copying the ring; it stops early when fn returns false.
+// Like Snapshot, it must run on the goroutine that owns the kernel —
+// the web layer calls it from inside a session's serialized query.
+func (r *Recorder) Range(fn func(Event) bool) {
+	if r == nil {
+		return
+	}
+	n := r.Len()
+	start := r.head - uint64(n)
+	for i := 0; i < n; i++ {
+		if !fn(r.ring[(start+uint64(i))%uint64(len(r.ring))]) {
+			return
+		}
+	}
+}
+
+// Window copies retained events by total-order sequence number: every
+// event with sequence >= from, oldest first, capped at max entries when
+// max > 0. The sequence of an event is the recorder's total count at
+// the moment it was recorded (the first event ever is sequence 0), so
+// a poller advances with from = first + len(returned). Events older
+// than the drop-oldest horizon are silently absent: the returned first
+// sequence tells the caller how much was lost. Like Snapshot, Window
+// must run on the goroutine that owns the kernel.
+func (r *Recorder) Window(from uint64, max int) (events []Event, first uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	oldest := r.head - uint64(r.Len())
+	if from < oldest {
+		from = oldest
+	}
+	if from >= r.head {
+		return nil, r.head
+	}
+	n := int(r.head - from)
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]Event, n)
+	for i := 0; i < n; i++ {
+		out[i] = r.ring[(from+uint64(i))%uint64(len(r.ring))]
+	}
+	return out, from
 }
 
 // Reset discards all retained events (the ring keeps its capacity).

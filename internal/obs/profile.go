@@ -66,45 +66,79 @@ type actorFold struct {
 // end events (their begin was dropped from the ring) are ignored —
 // best-effort under drop-oldest.
 func FoldEvents(events []Event, total uint64) *Profile {
-	actors := make(map[string]*actorFold)
-	order := []string{}
-	get := func(ev Event) *actorFold {
-		a := actors[ev.Actor]
-		if a == nil {
-			a = &actorFold{name: ev.Actor, pe: ev.PE}
-			actors[ev.Actor] = a
-			order = append(order, ev.Actor)
-		}
-		return a
-	}
+	var f folder
 	for _, ev := range events {
-		switch ev.Kind {
-		case KFireBegin, KCtlBegin:
-			a := get(ev)
-			a.pe = ev.PE
-			a.inFire = true
-			a.fireStart = ev.At
-			a.fireBlocked = 0
-			a.firings++
-		case KFireEnd, KCtlEnd:
-			a := get(ev)
-			if a.inFire {
-				a.closeFire(ev.At)
-			}
-		case KBlockBegin:
-			a := get(ev)
-			a.inBlock = true
-			a.blockStart = ev.At
-		case KBlockEnd:
-			a := get(ev)
-			if a.inBlock {
-				a.closeBlock(ev.At)
-			}
+		f.feed(ev)
+	}
+	return f.finish(total, uint64(len(events)))
+}
+
+// FoldRange folds the recorder's retained events in place — same
+// result as FoldEvents(r.Snapshot(), total) without materializing the
+// copy, which matters when a dashboard refolds a large ring on every
+// refresh. Like Range, it must run on the goroutine that owns the
+// kernel.
+func FoldRange(r *Recorder, total uint64) *Profile {
+	var f folder
+	var n uint64
+	r.Range(func(ev Event) bool {
+		f.feed(ev)
+		n++
+		return true
+	})
+	return f.finish(total, n)
+}
+
+// folder is the incremental fold: feed events in chronological order,
+// then finish with the kernel's end time.
+type folder struct {
+	actors map[string]*actorFold
+	order  []string
+}
+
+func (f *folder) get(ev Event) *actorFold {
+	a := f.actors[ev.Actor]
+	if a == nil {
+		if f.actors == nil {
+			f.actors = make(map[string]*actorFold)
+		}
+		a = &actorFold{name: ev.Actor, pe: ev.PE}
+		f.actors[ev.Actor] = a
+		f.order = append(f.order, ev.Actor)
+	}
+	return a
+}
+
+func (f *folder) feed(ev Event) {
+	switch ev.Kind {
+	case KFireBegin, KCtlBegin:
+		a := f.get(ev)
+		a.pe = ev.PE
+		a.inFire = true
+		a.fireStart = ev.At
+		a.fireBlocked = 0
+		a.firings++
+	case KFireEnd, KCtlEnd:
+		a := f.get(ev)
+		if a.inFire {
+			a.closeFire(ev.At)
+		}
+	case KBlockBegin:
+		a := f.get(ev)
+		a.inBlock = true
+		a.blockStart = ev.At
+	case KBlockEnd:
+		a := f.get(ev)
+		if a.inBlock {
+			a.closeBlock(ev.At)
 		}
 	}
-	p := &Profile{Total: total, Events: uint64(len(events))}
-	for _, name := range order {
-		a := actors[name]
+}
+
+func (f *folder) finish(total, events uint64) *Profile {
+	p := &Profile{Total: total, Events: events}
+	for _, name := range f.order {
+		a := f.actors[name]
 		if a.inBlock {
 			a.closeBlock(total)
 		}
@@ -120,7 +154,7 @@ func FoldEvents(events []Event, total uint64) *Profile {
 			Busy: busy, Blocked: blocked, Idle: total - busy - blocked,
 		})
 	}
-	p.foldPEs(actors, order, total)
+	p.foldPEs(f.actors, f.order, total)
 	return p
 }
 

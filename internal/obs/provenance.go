@@ -1,0 +1,232 @@
+package obs
+
+// Backward token provenance: walk the recorded event stream in reverse
+// from one token (a KPush on a link) to the firings that produced it
+// and, recursively, to the tokens those firings consumed. This is the
+// zeonica-style offline backward dataflow trace, but computed over the
+// live ring so the web UI can answer "where did this corrupt token come
+// from?" without re-running.
+//
+// Token identity is (link id, production sequence number): pushes and
+// injections on one link share the sequence counter, so the pair is
+// unique for the lifetime of a session. KPop events carry the
+// *consumption* sequence instead, which only equals the production
+// sequence while the FIFO was never disturbed by token surgery — the
+// walker therefore replays each link's FIFO from the event stream
+// (push/inject append, droptok removes a position, pop shifts the
+// head) to resolve every pop to the production sequence it actually
+// consumed, staying correct under InjectToken/DropToken.
+
+// ProvenanceHop identifies one token and the context that produced it.
+type ProvenanceHop struct {
+	Link     int32  `json:"link"`
+	Seq      int64  `json:"seq"`
+	At       uint64 `json:"at"`
+	Producer string `json:"producer"`
+	Consumer string `json:"consumer"`
+	Port     string `json:"port,omitempty"`
+	Val      string `json:"val,omitempty"`
+	// Kind is "push" for a normal production, "inject" for out-of-band
+	// token surgery (an injection is a provenance root: it has no
+	// causing firing).
+	Kind string `json:"kind"`
+	// Firing is the producer's firing index when the push happened
+	// inside a WORK firing, -1 otherwise (environment feeders,
+	// injections, or the KFireBegin fell off the ring).
+	Firing   int64  `json:"firing"`
+	FiringAt uint64 `json:"firing_at,omitempty"`
+}
+
+// ProvenanceNode is one step of the backward walk; Inputs are the
+// tokens the producing firing consumed before this push.
+type ProvenanceNode struct {
+	Hop    ProvenanceHop     `json:"hop"`
+	Inputs []*ProvenanceNode `json:"inputs,omitempty"`
+	// Truncated marks nodes whose inputs were cut by the depth or
+	// fan-in limit (or a feedback cycle revisiting a token).
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// Default truncation limits for TraceProvenance.
+const (
+	DefaultProvenanceDepth = 12
+	DefaultProvenanceFanIn = 16
+)
+
+type tokKey struct {
+	link int32
+	seq  int64
+}
+
+type provWalker struct {
+	events []Event
+	// pushAt maps a token to the index of its KPush/KInject event.
+	pushAt map[tokKey]int
+	// popTok maps the index of a KPop event to the token it consumed,
+	// resolved by FIFO replay (absent when the replay had no state for
+	// the link because older events fell off the ring).
+	popTok   map[int]tokKey
+	maxDepth int
+	maxFanIn int
+	onPath   map[tokKey]bool
+}
+
+// TraceProvenance walks backward from the token (link, seq) through the
+// given chronologically-ordered events (as returned by
+// Recorder.Snapshot). maxDepth bounds the recursion, maxFanIn the
+// consumed tokens expanded per firing; values <= 0 select the defaults.
+// It returns nil when the token's push event is not present (never
+// happened, or overwritten by drop-oldest).
+func TraceProvenance(events []Event, link int32, seq int64, maxDepth, maxFanIn int) *ProvenanceNode {
+	if maxDepth <= 0 {
+		maxDepth = DefaultProvenanceDepth
+	}
+	if maxFanIn <= 0 {
+		maxFanIn = DefaultProvenanceFanIn
+	}
+	w := &provWalker{
+		events:   events,
+		pushAt:   make(map[tokKey]int),
+		popTok:   make(map[int]tokKey),
+		maxDepth: maxDepth,
+		maxFanIn: maxFanIn,
+		onPath:   make(map[tokKey]bool),
+	}
+	w.index()
+	i, ok := w.pushAt[tokKey{link, seq}]
+	if !ok {
+		return nil
+	}
+	return w.node(i, maxDepth)
+}
+
+// index replays every link's FIFO over the event stream, filling
+// pushAt and popTok. Links whose early history was dropped replay from
+// an empty queue: pops that drain state we never saw stay unresolved
+// rather than guessing.
+func (w *provWalker) index() {
+	queues := make(map[int32][]int64)
+	for i, ev := range w.events {
+		switch ev.Kind {
+		case KPush, KInject:
+			k := tokKey{ev.Link, ev.Arg2}
+			w.pushAt[k] = i
+			queues[ev.Link] = append(queues[ev.Link], ev.Arg2)
+		case KDropTok:
+			q := queues[ev.Link]
+			if p := int(ev.Arg2); p >= 0 && p < len(q) {
+				queues[ev.Link] = append(q[:p], q[p+1:]...)
+			}
+		case KPop:
+			q := queues[ev.Link]
+			if len(q) > 0 {
+				w.popTok[i] = tokKey{ev.Link, q[0]}
+				queues[ev.Link] = q[1:]
+			}
+		}
+	}
+}
+
+// node builds the provenance tree rooted at the push/inject event at
+// index i.
+func (w *provWalker) node(i int, depth int) *ProvenanceNode {
+	ev := w.events[i]
+	n := &ProvenanceNode{Hop: ProvenanceHop{
+		Link: ev.Link, Seq: ev.Arg2, At: ev.At,
+		Producer: ev.Actor, Consumer: ev.Other, Port: ev.Port,
+		Val: ev.Val, Kind: "push", Firing: -1,
+	}}
+	if ev.Kind == KInject {
+		n.Hop.Kind = "inject"
+		return n // out-of-band surgery is a provenance root
+	}
+	fire := w.enclosingFiring(i, ev.Actor)
+	if fire < 0 {
+		return n // environment feeder, or the firing fell off the ring
+	}
+	fev := w.events[fire]
+	n.Hop.Firing = fev.Arg
+	n.Hop.FiringAt = fev.At
+
+	key := tokKey{ev.Link, ev.Arg2}
+	if depth <= 0 || w.onPath[key] {
+		n.Truncated = true
+		return n
+	}
+	w.onPath[key] = true
+	defer delete(w.onPath, key)
+
+	// Causing tokens: everything this actor popped between the firing
+	// begin and the push itself.
+	for j := fire + 1; j < i; j++ {
+		pe := w.events[j]
+		if pe.Kind != KPop || pe.Actor != ev.Actor {
+			continue
+		}
+		if len(n.Inputs) >= w.maxFanIn {
+			n.Truncated = true
+			break
+		}
+		tok, ok := w.popTok[j]
+		if !ok {
+			// The replay had no state for this pop (history dropped):
+			// surface the hop without recursing.
+			n.Inputs = append(n.Inputs, &ProvenanceNode{
+				Hop: ProvenanceHop{
+					Link: pe.Link, Seq: -1, At: pe.At,
+					Producer: pe.Other, Consumer: pe.Actor, Port: pe.Port,
+					Kind: "push", Firing: -1,
+				},
+				Truncated: true,
+			})
+			continue
+		}
+		src, ok := w.pushAt[tok]
+		if !ok {
+			n.Inputs = append(n.Inputs, &ProvenanceNode{
+				Hop: ProvenanceHop{
+					Link: tok.link, Seq: tok.seq, At: pe.At,
+					Producer: pe.Other, Consumer: pe.Actor, Port: pe.Port,
+					Kind: "push", Firing: -1,
+				},
+				Truncated: true,
+			})
+			continue
+		}
+		n.Inputs = append(n.Inputs, w.node(src, depth-1))
+	}
+	return n
+}
+
+// enclosingFiring scans backward from the push at index i for the
+// KFireBegin of the same actor, giving up if a KFireEnd of that actor
+// intervenes (the push was not made inside a firing).
+func (w *provWalker) enclosingFiring(i int, actor string) int {
+	for j := i - 1; j >= 0; j-- {
+		ev := w.events[j]
+		if ev.Actor != actor {
+			continue
+		}
+		switch ev.Kind {
+		case KFireBegin:
+			return j
+		case KFireEnd:
+			return -1
+		}
+	}
+	return -1
+}
+
+// Depth returns the height of the provenance tree (a single node is 1).
+func (n *ProvenanceNode) Depth() int {
+	if n == nil {
+		return 0
+	}
+	d := 0
+	for _, in := range n.Inputs {
+		if id := in.Depth(); id > d {
+			d = id
+		}
+	}
+	return d + 1
+}

@@ -1,0 +1,173 @@
+package obs
+
+import "testing"
+
+// provChain builds the canonical two-stage pipeline event stream:
+// feeder pushes onto link 1, "mid" fires (pop link 1, push link 2),
+// "snk" pops link 2.
+func provChain() []Event {
+	return []Event{
+		// Environment feeder: pushes outside any firing.
+		{At: 10, Kind: KPush, Link: 1, Arg2: 0, Actor: "feed", Other: "mid", Port: "o"},
+		{At: 20, Kind: KFireBegin, Actor: "mid", Arg: 0},
+		{At: 21, Kind: KPop, Link: 1, Arg2: 0, Actor: "mid", Other: "feed", Port: "i"},
+		{At: 25, Kind: KPush, Link: 2, Arg2: 0, Actor: "mid", Other: "snk", Port: "o"},
+		{At: 26, Kind: KFireEnd, Actor: "mid", Arg: 0},
+		{At: 30, Kind: KFireBegin, Actor: "snk", Arg: 0},
+		{At: 31, Kind: KPop, Link: 2, Arg2: 0, Actor: "snk", Other: "mid", Port: "i"},
+		{At: 32, Kind: KFireEnd, Actor: "snk", Arg: 0},
+	}
+}
+
+func TestProvenanceChain(t *testing.T) {
+	n := TraceProvenance(provChain(), 2, 0, 0, 0)
+	if n == nil {
+		t.Fatal("no provenance for link 2 seq 0")
+	}
+	if n.Hop.Producer != "mid" || n.Hop.Firing != 0 || n.Hop.Kind != "push" {
+		t.Fatalf("root hop = %+v", n.Hop)
+	}
+	if len(n.Inputs) != 1 {
+		t.Fatalf("root has %d inputs, want 1", len(n.Inputs))
+	}
+	in := n.Inputs[0]
+	if in.Hop.Link != 1 || in.Hop.Seq != 0 || in.Hop.Producer != "feed" {
+		t.Fatalf("input hop = %+v", in.Hop)
+	}
+	if in.Hop.Firing != -1 {
+		t.Errorf("feeder push attributed to firing %d, want -1", in.Hop.Firing)
+	}
+	if len(in.Inputs) != 0 {
+		t.Errorf("feeder node has inputs: %+v", in.Inputs)
+	}
+	if d := n.Depth(); d != 2 {
+		t.Errorf("Depth() = %d, want 2", d)
+	}
+}
+
+func TestProvenanceUnknownToken(t *testing.T) {
+	if n := TraceProvenance(provChain(), 2, 99, 0, 0); n != nil {
+		t.Fatalf("provenance for never-pushed token: %+v", n)
+	}
+	if n := TraceProvenance(nil, 1, 0, 0, 0); n != nil {
+		t.Fatalf("provenance over empty stream: %+v", n)
+	}
+}
+
+func TestProvenanceInjectIsRoot(t *testing.T) {
+	evs := []Event{
+		{At: 5, Kind: KInject, Link: 1, Arg2: 0, Actor: "feed", Other: "mid", Port: "o"},
+		{At: 20, Kind: KFireBegin, Actor: "mid", Arg: 0},
+		{At: 21, Kind: KPop, Link: 1, Arg2: 0, Actor: "mid", Other: "feed", Port: "i"},
+		{At: 25, Kind: KPush, Link: 2, Arg2: 0, Actor: "mid", Other: "snk", Port: "o"},
+		{At: 26, Kind: KFireEnd, Actor: "mid", Arg: 0},
+	}
+	n := TraceProvenance(evs, 2, 0, 0, 0)
+	if n == nil || len(n.Inputs) != 1 {
+		t.Fatalf("provenance = %+v", n)
+	}
+	if got := n.Inputs[0].Hop.Kind; got != "inject" {
+		t.Fatalf("input kind = %q, want inject", got)
+	}
+	if len(n.Inputs[0].Inputs) != 0 {
+		t.Error("injected token has causing inputs")
+	}
+}
+
+// TestProvenanceSurvivesDropTok checks the FIFO replay: after dropping
+// the queue head out-of-band, the next pop consumes production seq 1,
+// and the walker must attribute it so.
+func TestProvenanceSurvivesDropTok(t *testing.T) {
+	evs := []Event{
+		{At: 10, Kind: KPush, Link: 1, Arg2: 0, Actor: "feed", Other: "mid", Port: "o"},
+		{At: 11, Kind: KPush, Link: 1, Arg2: 1, Actor: "feed", Other: "mid", Port: "o"},
+		{At: 12, Kind: KDropTok, Link: 1, Arg2: 0, Actor: "feed", Other: "mid"},
+		{At: 20, Kind: KFireBegin, Actor: "mid", Arg: 0},
+		// The runtime would stamp this consumption seq 0 (first pop),
+		// but the token it gets is production seq 1.
+		{At: 21, Kind: KPop, Link: 1, Arg2: 0, Actor: "mid", Other: "feed", Port: "i"},
+		{At: 25, Kind: KPush, Link: 2, Arg2: 0, Actor: "mid", Other: "snk", Port: "o"},
+		{At: 26, Kind: KFireEnd, Actor: "mid", Arg: 0},
+	}
+	n := TraceProvenance(evs, 2, 0, 0, 0)
+	if n == nil || len(n.Inputs) != 1 {
+		t.Fatalf("provenance = %+v", n)
+	}
+	if got := n.Inputs[0].Hop.Seq; got != 1 {
+		t.Fatalf("consumed production seq = %d, want 1 (droptok shifted the FIFO)", got)
+	}
+}
+
+// TestProvenanceFeedbackCycleTerminates drives a self-feeding loop
+// (a's output is a's input) and checks the walker truncates instead of
+// recursing forever.
+func TestProvenanceFeedbackCycleTerminates(t *testing.T) {
+	var evs []Event
+	for i := 0; i < 30; i++ {
+		evs = append(evs,
+			Event{At: uint64(10 * i), Kind: KFireBegin, Actor: "a", Arg: int64(i)},
+			Event{At: uint64(10*i + 1), Kind: KPop, Link: 1, Arg2: int64(i), Actor: "a", Other: "a", Port: "i"},
+			Event{At: uint64(10*i + 2), Kind: KPush, Link: 1, Arg2: int64(i + 1), Actor: "a", Other: "a", Port: "o"},
+			Event{At: uint64(10*i + 3), Kind: KFireEnd, Actor: "a", Arg: int64(i)},
+		)
+	}
+	// Seed token so pops resolve: push seq 0 before everything.
+	evs = append([]Event{{At: 1, Kind: KPush, Link: 1, Arg2: 0, Actor: "feed", Other: "a", Port: "o"}}, evs...)
+	n := TraceProvenance(evs, 1, 30, 4, 0)
+	if n == nil {
+		t.Fatal("no provenance")
+	}
+	if d := n.Depth(); d > 5 {
+		t.Fatalf("depth %d escapes maxDepth 4", d)
+	}
+	// Walk to the deepest node: it must be marked truncated.
+	cur := n
+	for len(cur.Inputs) > 0 {
+		cur = cur.Inputs[0]
+	}
+	if !cur.Truncated && cur.Hop.Seq != 0 {
+		t.Fatalf("deepest node neither truncated nor the origin: %+v", cur.Hop)
+	}
+}
+
+func TestProvenanceFanInCap(t *testing.T) {
+	evs := []Event{
+		{At: 1, Kind: KPush, Link: 1, Arg2: 0, Actor: "f1", Other: "mid", Port: "o"},
+		{At: 2, Kind: KPush, Link: 2, Arg2: 0, Actor: "f2", Other: "mid", Port: "o"},
+		{At: 3, Kind: KPush, Link: 3, Arg2: 0, Actor: "f3", Other: "mid", Port: "o"},
+		{At: 10, Kind: KFireBegin, Actor: "mid", Arg: 0},
+		{At: 11, Kind: KPop, Link: 1, Arg2: 0, Actor: "mid", Other: "f1", Port: "a"},
+		{At: 12, Kind: KPop, Link: 2, Arg2: 0, Actor: "mid", Other: "f2", Port: "b"},
+		{At: 13, Kind: KPop, Link: 3, Arg2: 0, Actor: "mid", Other: "f3", Port: "c"},
+		{At: 14, Kind: KPush, Link: 4, Arg2: 0, Actor: "mid", Other: "snk", Port: "o"},
+		{At: 15, Kind: KFireEnd, Actor: "mid", Arg: 0},
+	}
+	n := TraceProvenance(evs, 4, 0, 0, 2)
+	if n == nil {
+		t.Fatal("no provenance")
+	}
+	if len(n.Inputs) != 2 || !n.Truncated {
+		t.Fatalf("fan-in cap: %d inputs, truncated=%v", len(n.Inputs), n.Truncated)
+	}
+}
+
+// TestProvenanceDroppedHistory: when the pop's backing push fell off
+// the ring, the walker surfaces an unresolved hop instead of inventing
+// one.
+func TestProvenanceDroppedHistory(t *testing.T) {
+	evs := []Event{
+		// No KPush for link 1 — its history was overwritten.
+		{At: 20, Kind: KFireBegin, Actor: "mid", Arg: 7},
+		{At: 21, Kind: KPop, Link: 1, Arg2: 40, Actor: "mid", Other: "feed", Port: "i"},
+		{At: 25, Kind: KPush, Link: 2, Arg2: 3, Actor: "mid", Other: "snk", Port: "o"},
+		{At: 26, Kind: KFireEnd, Actor: "mid", Arg: 7},
+	}
+	n := TraceProvenance(evs, 2, 3, 0, 0)
+	if n == nil || len(n.Inputs) != 1 {
+		t.Fatalf("provenance = %+v", n)
+	}
+	in := n.Inputs[0]
+	if !in.Truncated || in.Hop.Seq != -1 || in.Hop.Link != 1 {
+		t.Fatalf("unresolved hop = %+v truncated=%v", in.Hop, in.Truncated)
+	}
+}

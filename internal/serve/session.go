@@ -21,6 +21,7 @@ import (
 	"dfdbg/internal/pedf"
 	"dfdbg/internal/sim"
 	"dfdbg/internal/trace"
+	"dfdbg/internal/web"
 )
 
 // Errors returned by the session layer and rendered onto the wire.
@@ -207,6 +208,7 @@ type stack struct {
 	cli *cli.CLI
 	k   *sim.Kernel
 	rec *obs.Recorder
+	rt  *pedf.Runtime
 }
 
 // Session is one hosted debug session: a kernel, runtime and command
@@ -230,6 +232,16 @@ type Session struct {
 
 	subMu sync.Mutex
 	subs  map[subscriber]struct{}
+
+	// kPtr/recPtr expose the session's kernel and recorder to the web
+	// layer's lock-free paths (stall snapshots, the live event tap).
+	// They are set by loop once the stack booted and cleared on
+	// teardown; everything else still goes through do().
+	kPtr   atomic.Pointer[sim.Kernel]
+	recPtr atomic.Pointer[obs.Recorder]
+
+	webMu sync.Mutex
+	webBC *web.Broadcaster
 }
 
 // buildStack elaborates the decoder and boots the framework
@@ -268,7 +280,7 @@ func buildStack(params SessionParams) (*stack, error) {
 	c.Full = func() (*analysis.Report, *analysis.Graph, error) {
 		return pedfgraph.Analyze(rt, "h264")
 	}
-	return &stack{cli: c, k: k, rec: orec}, nil
+	return &stack{cli: c, k: k, rec: orec, rt: rt}, nil
 }
 
 // loop is the session goroutine: it builds the stack (so the kernel is
@@ -283,6 +295,8 @@ func (s *Session) loop(ready chan<- error) {
 	if err != nil {
 		return
 	}
+	s.kPtr.Store(st.k)
+	s.recPtr.Store(st.rec)
 	s.touch()
 	for {
 		select {
@@ -314,6 +328,15 @@ func (s *Session) loop(ready chan<- error) {
 // teardown unwinds the kernel's processes, removes the session and
 // tells the subscribers. Runs on the session goroutine.
 func (s *Session) teardown(st *stack, reason string) {
+	// Tear the web fan-out first: close live streams and remove the
+	// recorder tap before the lock-free pointers go away.
+	s.webMu.Lock()
+	if s.webBC != nil {
+		s.webBC.Detach()
+	}
+	s.webMu.Unlock()
+	s.kPtr.Store(nil)
+	s.recPtr.Store(nil)
 	_ = st.k.Shutdown()
 	s.mgr.remove(s)
 	s.publish(Event{Event: "session-closed", Session: s.ID, Reason: reason})

@@ -18,6 +18,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"dfdbg/internal/fault"
@@ -246,6 +247,11 @@ type Kernel struct {
 	wallBudget     time.Duration
 	watchdogStalls uint64
 	lastStall      *StallReport
+	// stallSnap mirrors lastStall behind an atomic pointer so observers
+	// on other goroutines (the web layer's /stall endpoint) can read
+	// the most recent report while a run is in flight. A StallReport is
+	// immutable once committed, so sharing the pointer is safe.
+	stallSnap atomic.Pointer[StallReport]
 }
 
 // NewKernel returns an empty kernel at time zero.
@@ -322,6 +328,12 @@ func (k *Kernel) NoteProgress() { k.progressAt = k.now }
 // (nil before the first stall).
 func (k *Kernel) LastStall() *StallReport { return k.lastStall }
 
+// StallSnapshot returns the most recent stall report like LastStall,
+// but is safe to call from any goroutine — including while the kernel
+// is mid-run on its owning goroutine. The returned report must be
+// treated as read-only.
+func (k *Kernel) StallSnapshot() *StallReport { return k.stallSnap.Load() }
+
 // WatchdogStalls counts watchdog trips.
 func (k *Kernel) WatchdogStalls() uint64 { return k.watchdogStalls }
 
@@ -353,6 +365,7 @@ func (k *Kernel) stallReport(idle, wall bool) *StallReport {
 func (k *Kernel) commitStall(r *StallReport) {
 	k.watchdogStalls++
 	k.lastStall = r
+	k.stallSnap.Store(r)
 	if k.obs.Wants(obs.KStall) {
 		k.obs.Record(obs.Event{
 			At: uint64(k.now), Kind: obs.KStall, PE: -1,

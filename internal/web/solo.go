@@ -1,0 +1,116 @@
+package web
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+
+	"dfdbg/internal/analysis"
+	"dfdbg/internal/obs"
+	"dfdbg/internal/pedf"
+	"dfdbg/internal/sim"
+)
+
+// SoloHost adapts a single in-process debug stack (the dfdbg REPL, or
+// a batch h264dec run) to the web layer. It embeds the mutex that
+// serializes web queries against the owning code path: the embedder
+// must hold the host (via sync.Locker) while it mutates simulation
+// state — dfdbg takes it around every dispatched command (cli.Guard),
+// h264dec around each run slice — and web queries take it around every
+// read. The live stream needs no lock at all: it rides the recorder
+// tap.
+type SoloHost struct {
+	sync.Mutex // the embedder's mutation guard; Query locks it too
+
+	id   string
+	rec  *obs.Recorder
+	k    *sim.Kernel
+	rt   *pedf.Runtime
+	full func() (*analysis.Report, error)
+	// exec, when set, dispatches a debugger command line (the dfdbg
+	// host wires this to cli.Dispatch; batch hosts leave it nil and the
+	// web layer answers 403).
+	exec func(line string) (ExecResult, error)
+
+	bcOnce sync.Once
+	bc     *Broadcaster
+}
+
+// NewSoloHost builds a host over one stack. full may be nil (no
+// analysis wiring).
+func NewSoloHost(id string, rec *obs.Recorder, k *sim.Kernel, rt *pedf.Runtime,
+	full func() (*analysis.Report, error)) *SoloHost {
+	return &SoloHost{id: id, rec: rec, k: k, rt: rt, full: full}
+}
+
+// SetExec installs the command-dispatch hook (making POST /exec work).
+// The hook must do its own locking: it is called without the host held.
+func (h *SoloHost) SetExec(fn func(line string) (ExecResult, error)) { h.exec = fn }
+
+// ID implements Host.
+func (h *SoloHost) ID() string { return h.id }
+
+// Query implements Host: it locks the host for the duration of fn.
+func (h *SoloHost) Query(fn func(*Snapshot)) error {
+	h.Lock()
+	defer h.Unlock()
+	fn(&Snapshot{
+		Rec:   h.rec,
+		NowNS: uint64(h.k.Now()),
+		RT:    h.rt,
+		Stall: h.k.LastStall(),
+		Full:  h.full,
+	})
+	return nil
+}
+
+// StallSnapshot implements Host lock-free.
+func (h *SoloHost) StallSnapshot() *sim.StallReport { return h.k.StallSnapshot() }
+
+// Stream implements Host via a lazily-created broadcaster over the
+// recorder tap.
+func (h *SoloHost) Stream(st *Stream) (func(), error) {
+	h.bcOnce.Do(func() { h.bc = NewBroadcaster(h.rec.SetTap) })
+	return h.bc.Subscribe(st), nil
+}
+
+// Exec implements Host; read-only unless SetExec was called.
+func (h *SoloHost) Exec(line string) (ExecResult, error) {
+	if h.exec == nil {
+		return ExecResult{}, ErrReadOnly
+	}
+	return h.exec(line)
+}
+
+// The solo host doubles as a single-session Backend.
+
+// List implements Backend.
+func (h *SoloHost) List() []SessionMeta {
+	return []SessionMeta{{ID: h.id}}
+}
+
+// Open implements Backend: any id resolves to the one session, so
+// bookmarked URLs keep working across restarts.
+func (h *SoloHost) Open(string) (Host, error) { return h, nil }
+
+// Create implements Backend by refusing: the solo process owns its one
+// session.
+func (h *SoloHost) Create(SessionParams) (Host, error) {
+	return nil, errors.New("web: single-session host (create sessions via dfserve)")
+}
+
+// Metrics implements Backend with the stack's own registry.
+func (h *SoloHost) Metrics() []obs.MetricValue { return h.rec.Metrics.Snapshot() }
+
+// Serve starts the web UI for a solo host on addr (host:port; port 0
+// picks one) and returns the bound URL and a shutdown func.
+func (h *SoloHost) Serve(addr string) (url string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: NewServer(h).Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return "http://" + ln.Addr().String() + "/", func() { _ = srv.Close() }, nil
+}

@@ -1,0 +1,296 @@
+package web
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dfdbg/internal/obs"
+)
+
+// DefaultStreamQueue is the per-client event queue length, matching
+// the serve layer's default fan-out queue.
+const DefaultStreamQueue = 256
+
+// Stream is one live client's bounded event queue. The producer side
+// (the recorder tap, running on the kernel goroutine) never blocks:
+// when the queue is full the oldest event is dropped and counted,
+// exactly the serve fan-out's backpressure discipline. Notes (stop
+// notifications and the like) ride a separate unbounded-but-tiny
+// queue — like serve's responses, they are never dropped.
+type Stream struct {
+	mu      sync.Mutex
+	buf     []streamEvent // fixed-size ring: head+count, O(1) push
+	head    int           // index of the oldest queued event
+	count   int
+	notes   []note
+	dropped uint64
+	wake    chan struct{}
+	closed  bool
+}
+
+type streamEvent struct {
+	seq uint64
+	ev  obs.Event
+}
+
+type note struct {
+	kind    string
+	payload any
+}
+
+// NewStream builds a stream with the given queue capacity
+// (DefaultStreamQueue if <= 0).
+func NewStream(queue int) *Stream {
+	if queue <= 0 {
+		queue = DefaultStreamQueue
+	}
+	return &Stream{buf: make([]streamEvent, queue), wake: make(chan struct{}, 1)}
+}
+
+// Push enqueues one event; called from the recorder tap on the kernel
+// goroutine. Never blocks, O(1) even when the queue is full (the
+// oldest event is overwritten and counted as dropped — a slow client
+// must not tax the simulation).
+func (st *Stream) Push(ev obs.Event, seq uint64) {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	wasIdle := st.count == 0 && len(st.notes) == 0
+	if st.count == len(st.buf) {
+		st.buf[st.head] = streamEvent{seq, ev}
+		st.head = (st.head + 1) % len(st.buf)
+		st.dropped++
+	} else {
+		st.buf[(st.head+st.count)%len(st.buf)] = streamEvent{seq, ev}
+		st.count++
+	}
+	st.mu.Unlock()
+	// Wake the writer only on the idle->pending transition: while the
+	// queue holds events the writer is already scheduled to drain, and
+	// skipping the channel op keeps a saturating producer cheap.
+	if wasIdle {
+		st.notify()
+	}
+}
+
+// PushNote enqueues an out-of-band notification (e.g. a stop event).
+// Notes are never dropped.
+func (st *Stream) PushNote(kind string, payload any) {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	wasIdle := st.count == 0 && len(st.notes) == 0
+	st.notes = append(st.notes, note{kind, payload})
+	st.mu.Unlock()
+	if wasIdle {
+		st.notify()
+	}
+}
+
+func (st *Stream) notify() {
+	select {
+	case st.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Close marks the stream dead; subsequent pushes are discarded.
+func (st *Stream) Close() {
+	st.mu.Lock()
+	st.closed = true
+	st.buf = nil
+	st.head, st.count = 0, 0
+	st.notes = nil
+	st.mu.Unlock()
+	st.notify()
+}
+
+func (st *Stream) isClosed() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.closed
+}
+
+// drain removes and returns everything queued, oldest first.
+func (st *Stream) drain() (evs []streamEvent, notes []note, dropped uint64) {
+	st.mu.Lock()
+	if st.count > 0 {
+		evs = make([]streamEvent, st.count)
+		n := copy(evs, st.buf[st.head:min(st.head+st.count, len(st.buf))])
+		copy(evs[n:], st.buf[:st.count-n])
+		st.head, st.count = 0, 0
+	}
+	notes, st.notes = st.notes, nil
+	dropped, st.dropped = st.dropped, 0
+	st.mu.Unlock()
+	return evs, notes, dropped
+}
+
+// Broadcaster fans the recorder tap out to any number of Streams. The
+// tap is installed on first subscribe and removed on last unsubscribe,
+// so an unwatched session pays nothing beyond the recorder's one
+// atomic load per event. The subscriber list is copy-on-write: fanout
+// (the per-event hot path on the kernel goroutine) reads it with one
+// atomic load and takes no lock.
+type Broadcaster struct {
+	attach func(fn func(obs.Event, uint64)) // install (or with nil remove) the tap
+
+	mu   sync.Mutex // guards subscribe/detach (list rebuilds)
+	subs atomic.Pointer[[]*Stream]
+}
+
+// NewBroadcaster wires a broadcaster to a tap-attachment function
+// (typically a closure over Recorder.SetTap).
+func NewBroadcaster(attach func(fn func(obs.Event, uint64))) *Broadcaster {
+	b := &Broadcaster{attach: attach}
+	b.subs.Store(&[]*Stream{})
+	return b
+}
+
+// Subscribe adds st to the fan-out and returns a detach function.
+func (b *Broadcaster) Subscribe(st *Stream) func() {
+	b.mu.Lock()
+	old := *b.subs.Load()
+	next := make([]*Stream, len(old)+1)
+	copy(next, old)
+	next[len(old)] = st
+	b.subs.Store(&next)
+	if len(next) == 1 {
+		b.attach(b.fanout)
+	}
+	b.mu.Unlock()
+	return func() {
+		b.mu.Lock()
+		old := *b.subs.Load()
+		next := make([]*Stream, 0, len(old))
+		for _, s := range old {
+			if s != st {
+				next = append(next, s)
+			}
+		}
+		b.subs.Store(&next)
+		if len(next) == 0 {
+			b.attach(nil)
+		}
+		b.mu.Unlock()
+		st.Close()
+	}
+}
+
+// fanout delivers one event to every subscriber; runs on the kernel
+// goroutine, bounded work, never blocks.
+func (b *Broadcaster) fanout(ev obs.Event, seq uint64) {
+	for _, st := range *b.subs.Load() {
+		st.Push(ev, seq)
+	}
+}
+
+// Detach removes the tap regardless of subscribers (session teardown).
+func (b *Broadcaster) Detach() {
+	b.mu.Lock()
+	for _, st := range *b.subs.Load() {
+		st.Close()
+	}
+	b.subs.Store(&[]*Stream{})
+	b.attach(nil)
+	b.mu.Unlock()
+}
+
+// streamHeartbeat bounds how long a quiet stream goes without output
+// (keeps proxies from timing the connection out and gives the client a
+// liveness signal).
+const streamHeartbeat = 15 * time.Second
+
+// handleStream serves the live event feed as SSE (default) or NDJSON
+// (?fmt=ndjson). Event payloads are the same JSON objects /events
+// serves; drops are reported as a separate "dropped" record.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, h Host) {
+	ndjson := r.URL.Query().Get("fmt") == "ndjson"
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	st := NewStream(intParam(r, "queue", 0))
+	cancel, err := h.Stream(st)
+	if err != nil {
+		writeErr(w, http.StatusGone, err)
+		return
+	}
+	defer cancel()
+
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	}
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	emit := func(kind string, payload any) bool {
+		data, err := json.Marshal(payload)
+		if err != nil {
+			return false
+		}
+		if ndjson {
+			if _, err := fmt.Fprintf(w, "{\"type\":%q,\"data\":%s}\n", kind, data); err != nil {
+				return false
+			}
+		} else {
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", kind, data); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+
+	heartbeat := time.NewTicker(streamHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		evs, notes, dropped := st.drain()
+		if dropped > 0 {
+			if !emit("dropped", map[string]uint64{"dropped": dropped}) {
+				return
+			}
+		}
+		for _, n := range notes {
+			if !emit(n.kind, n.payload) {
+				return
+			}
+		}
+		for _, e := range evs {
+			if !emit("event", toEventJSON(e.ev, e.seq)) {
+				return
+			}
+		}
+		fl.Flush()
+		if st.isClosed() {
+			emit("closed", map[string]string{"reason": "session closed"})
+			fl.Flush()
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-st.wake:
+		case <-heartbeat.C:
+			if ndjson {
+				if !emit("ping", map[string]uint64{}) {
+					return
+				}
+			} else if _, err := fmt.Fprint(w, ": ping\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

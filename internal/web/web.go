@@ -1,0 +1,183 @@
+// Package web is the HTTP observability layer over live debug
+// sessions: JSON query APIs over the obs event ring (windowed events,
+// swim-lane summaries, per-link backpressure rollups, folded profiles,
+// stall wait-for graphs, static-analysis verdicts, backward token
+// provenance), a live SSE/NDJSON event stream, and an embedded
+// zero-dependency single-page UI.
+//
+// The layer is strictly read-only over simulation state: every query
+// runs through Host.Query, which the backend serializes onto the
+// goroutine that owns the kernel (dfserve's session goroutine, or the
+// solo host's mutex). Mutation goes through the one explicit escape
+// hatch — POST /exec — which reuses the debugger's command dispatch,
+// so the web surface can never touch a kernel in a way the CLI
+// couldn't. Live streaming uses the recorder's tap plus bounded
+// drop-oldest per-client queues, mirroring the serve fan-out's
+// backpressure discipline: a slow browser loses events (and is told
+// how many), it never stalls the simulation.
+package web
+
+import (
+	"embed"
+	"io/fs"
+	"net/http"
+	"sync"
+
+	"dfdbg/internal/analysis"
+	"dfdbg/internal/obs"
+	"dfdbg/internal/pedf"
+	"dfdbg/internal/sim"
+)
+
+//go:embed static
+var staticFS embed.FS
+
+// SessionParams mirrors the serve layer's session parameters (kept
+// separate so web never imports serve — serve imports web).
+type SessionParams struct {
+	W    int    `json:"w"`
+	H    int    `json:"h"`
+	QP   int    `json:"qp"`
+	Seed int64  `json:"seed"`
+	Bug  string `json:"bug"`
+}
+
+// SessionMeta describes one hosted session in listings.
+type SessionMeta struct {
+	ID       string        `json:"id"`
+	Params   SessionParams `json:"params"`
+	Busy     bool          `json:"busy"`
+	Commands uint64        `json:"commands"`
+	Clients  int           `json:"clients"`
+}
+
+// ExecResult is the outcome of a command dispatched via POST /exec.
+type ExecResult struct {
+	Output string `json:"output"`
+	Err    string `json:"error,omitempty"`
+	Quit   bool   `json:"quit,omitempty"`
+}
+
+// Snapshot is the read-only view a Query callback receives. It is only
+// valid for the duration of the callback: the backend guarantees the
+// kernel is quiescent while fn runs, and nothing may retain the
+// pointers afterwards (copy what the response needs).
+type Snapshot struct {
+	Rec   *obs.Recorder
+	NowNS uint64
+	RT    *pedf.Runtime
+	Stall *sim.StallReport
+	// Full runs the static-analysis pipeline (nil when the embedder has
+	// no analysis wiring).
+	Full func() (*analysis.Report, error)
+}
+
+// Host is one debug session as seen by the web layer.
+type Host interface {
+	ID() string
+	// Query runs fn with a consistent read-only snapshot, serialized
+	// against the kernel's owning goroutine.
+	Query(fn func(*Snapshot)) error
+	// StallSnapshot returns the most recent watchdog stall report
+	// without synchronizing with the kernel — it must answer even while
+	// a run is wedged (that is the whole point of the /stall endpoint).
+	StallSnapshot() *sim.StallReport
+	// Stream attaches st to the live event feed and returns a detach
+	// function.
+	Stream(st *Stream) (cancel func(), err error)
+	// Exec dispatches one debugger command line.
+	Exec(line string) (ExecResult, error)
+}
+
+// Backend surfaces sessions to the web layer.
+type Backend interface {
+	List() []SessionMeta
+	Open(id string) (Host, error)
+	// Create opens a new session (backends may refuse: the solo hosts
+	// serve exactly one fixed session).
+	Create(p SessionParams) (Host, error)
+	// Metrics snapshots the server-level registry (nil when there is
+	// none).
+	Metrics() []obs.MetricValue
+}
+
+// Server routes the web API and the embedded UI.
+type Server struct {
+	b   Backend
+	mux *http.ServeMux
+
+	// One-entry fold cache: the dashboard asks for /lanes and /profile
+	// in the same refresh, and between refreshes of a paused session the
+	// ring does not advance — both cases refold identical input. Keyed
+	// on (session, events recorded, kernel time); the cached Profile is
+	// read-only after construction so sharing it across handlers is
+	// safe.
+	foldMu  sync.Mutex
+	foldID  string
+	foldKey [2]uint64 // Recorder.Total(), kernel now (ns)
+	foldP   *obs.Profile
+}
+
+// fold returns the folded profile for the snapshot, reusing the cached
+// fold when the ring has not advanced. Must be called from inside a
+// Query callback (snap is only valid there).
+func (s *Server) fold(id string, snap *Snapshot) *obs.Profile {
+	key := [2]uint64{snap.Rec.Total(), snap.NowNS}
+	s.foldMu.Lock()
+	if s.foldP != nil && s.foldID == id && s.foldKey == key {
+		p := s.foldP
+		s.foldMu.Unlock()
+		return p
+	}
+	s.foldMu.Unlock()
+	p := obs.FoldRange(snap.Rec, snap.NowNS)
+	p.Dropped = snap.Rec.Dropped()
+	s.foldMu.Lock()
+	s.foldID, s.foldKey, s.foldP = id, key, p
+	s.foldMu.Unlock()
+	return p
+}
+
+// NewServer builds the router over a backend.
+func NewServer(b Backend) *Server {
+	s := &Server{b: b, mux: http.NewServeMux()}
+	s.routes()
+	return s
+}
+
+// Handler returns the root handler (API plus embedded UI).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /api/sessions", s.handleSessions)
+	s.mux.HandleFunc("POST /api/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /api/server/metrics", s.handleServerMetrics)
+	s.mux.HandleFunc("GET /api/sessions/{id}/events", s.session(s.handleEvents))
+	s.mux.HandleFunc("GET /api/sessions/{id}/lanes", s.session(s.handleLanes))
+	s.mux.HandleFunc("GET /api/sessions/{id}/graph", s.session(s.handleGraph))
+	s.mux.HandleFunc("GET /api/sessions/{id}/profile", s.session(s.handleProfile))
+	s.mux.HandleFunc("GET /api/sessions/{id}/stall", s.session(s.handleStall))
+	s.mux.HandleFunc("GET /api/sessions/{id}/analyze", s.session(s.handleAnalyze))
+	s.mux.HandleFunc("GET /api/sessions/{id}/provenance", s.session(s.handleProvenance))
+	s.mux.HandleFunc("GET /api/sessions/{id}/metrics", s.session(s.handleMetrics))
+	s.mux.HandleFunc("GET /api/sessions/{id}/stream", s.session(s.handleStream))
+	s.mux.HandleFunc("POST /api/sessions/{id}/exec", s.session(s.handleExec))
+
+	static, err := fs.Sub(staticFS, "static")
+	if err != nil {
+		panic(err) // embed layout is fixed at build time
+	}
+	s.mux.Handle("GET /", http.FileServerFS(static))
+}
+
+// session resolves the {id} path segment to a Host.
+func (s *Server) session(h func(http.ResponseWriter, *http.Request, Host)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		host, err := s.b.Open(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		h(w, r, host)
+	}
+}

@@ -1,0 +1,227 @@
+// Web-layer overhead benchmarks and guarantees: attaching the HTTP
+// observability UI to a run must stay cheap. An unwatched host pays
+// one atomic tap load per recorded event; a browser-shaped poller
+// steals wall-clock only between run slices, never inside the kernel.
+package dfdbg
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"dfdbg/internal/h264"
+	"dfdbg/internal/mach"
+	"dfdbg/internal/obs"
+	"dfdbg/internal/pedf"
+	"dfdbg/internal/sim"
+	"dfdbg/internal/web"
+)
+
+// webBenchParams is the 120-frame sequence the web-overhead acceptance
+// criterion is pinned against.
+var webBenchParams = h264.Params{W: 16, H: 16, QP: 8, Seed: 7, Frames: 120}
+
+// webDecode runs one sliced decode with a solo web host attached and
+// returns the wall-clock spent inside the run loop. poller attaches a
+// browser-shaped dashboard client (paged /events cursor plus /graph,
+// /lanes, /profile on the UI's refresh cadence); streamer attaches a
+// live /stream drain, whose cost is dominated by the consumer-side
+// JSON rendering of every event (bounded by the queue's drop-oldest
+// discipline, and additive on a single-core host). The slicing loop is
+// identical in every mode so the measured difference is the client,
+// not the loop.
+func webDecode(tb testing.TB, p h264.Params, poller, streamer bool) time.Duration {
+	tb.Helper()
+	k := sim.NewKernel()
+	rec := obs.NewRecorder(1 << 18)
+	k.SetObserver(rec)
+	m := mach.New(k, mach.Config{})
+	rt := pedf.NewRuntime(k, m, nil)
+	bits, err := h264.EncodeSequence(h264.GenerateSequence(p), p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := h264.Build(rt, p, bits, false); err != nil {
+		tb.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		tb.Fatal(err)
+	}
+	host := web.NewSoloHost("bench", rec, k, rt, nil)
+
+	var (
+		stop     chan struct{}
+		wg       sync.WaitGroup
+		shutdown func()
+		hostURL  string
+	)
+	if poller || streamer {
+		url, shut, err := host.Serve("127.0.0.1:0")
+		if err != nil {
+			tb.Fatal(err)
+		}
+		hostURL, shutdown = url, shut
+		stop = make(chan struct{})
+	}
+	if poller {
+		wg.Add(1)
+		go func() { // the dashboard's refresh cadence (the SPA refreshes
+			// on stop events and user action, at most about once a second)
+			defer wg.Done()
+			tick := time.NewTicker(time.Second)
+			defer tick.Stop()
+			var since uint64
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					since = pollOnce(hostURL, since)
+				}
+			}
+		}()
+	}
+	if streamer {
+		wg.Add(1)
+		go func() { // the live event table
+			defer wg.Done()
+			resp, err := http.Get(hostURL + "api/sessions/bench/stream?fmt=ndjson")
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			buf := make([]byte, 32<<10)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := resp.Body.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	const slice = sim.Duration(1_000_000)
+	t0 := time.Now()
+	for {
+		host.Lock()
+		st, err := k.RunUntil(k.Now() + slice)
+		host.Unlock()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if st == sim.RunHorizon {
+			continue
+		}
+		if st != sim.RunIdle {
+			tb.Fatalf("run status %v", st)
+		}
+		break
+	}
+	elapsed := time.Since(t0)
+
+	if stop != nil {
+		close(stop)
+		shutdown() // unblocks the streamer's Read
+		wg.Wait()
+	}
+	return elapsed
+}
+
+// pollOnce performs one dashboard refresh: a page of the event cursor
+// plus the graph, lane and profile queries.
+func pollOnce(base string, since uint64) uint64 {
+	next := since
+	for i, ep := range []string{
+		fmt.Sprintf("api/sessions/bench/events?since=%d&limit=500", since),
+		"api/sessions/bench/graph",
+		"api/sessions/bench/lanes",
+		"api/sessions/bench/profile",
+	} {
+		resp, err := http.Get(base + ep)
+		if err != nil {
+			continue
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if i == 0 {
+			// Advance the cursor like the UI does, without a JSON
+			// dependency on the response shape: scan for "next": N.
+			var n uint64
+			if _, err := fmt.Sscanf(string(findNext(b)), "%d", &n); err == nil {
+				next = n
+			}
+		}
+	}
+	return next
+}
+
+// findNext extracts the digits following `"next": ` in a JSON body.
+func findNext(b []byte) []byte {
+	const key = `"next": `
+	for i := 0; i+len(key) < len(b); i++ {
+		if string(b[i:i+len(key)]) == key {
+			j := i + len(key)
+			k := j
+			for k < len(b) && b[k] >= '0' && b[k] <= '9' {
+				k++
+			}
+			return b[j:k]
+		}
+	}
+	return nil
+}
+
+// BenchmarkWebOverhead compares the 120-frame decode across web-client
+// configurations: none, the dashboard poller, and the live streamer.
+// The polled/unattached ratio is the pinned acceptance criterion (see
+// BENCH_obs.json, "web" section); the streamer row documents the cost
+// of rendering every event to a live client, which is consumer-side
+// CPU and therefore additive on single-core hosts.
+func BenchmarkWebOverhead(b *testing.B) {
+	for _, c := range []struct {
+		name             string
+		poller, streamer bool
+	}{
+		{"unattached", false, false},
+		{"polled", true, false},
+		{"streamed", false, true},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				webDecode(b, webBenchParams, c.poller, c.streamer)
+			}
+		})
+	}
+}
+
+// TestWebPollerWithinNoise asserts the attached-poller acceptance
+// criterion structurally: interleaved attached/unattached 120-frame
+// runs must stay within a generous 2x of each other (the pinned
+// baseline tracks the real ~1.1x; this test only catches structural
+// regressions like a poller that blocks the kernel).
+func TestWebPollerWithinNoise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	p := webBenchParams
+	webDecode(t, p, false, false) // warm up
+	webDecode(t, p, true, false)  // warm up
+	var plain, polled time.Duration
+	for i := 0; i < 3; i++ {
+		plain += webDecode(t, p, false, false)
+		polled += webDecode(t, p, true, false)
+	}
+	t.Logf("unattached %v, polled %v (%.2fx)", plain, polled,
+		float64(polled)/float64(plain))
+	if polled > 2*plain {
+		t.Errorf("polled run (%v) costs more than 2x the unattached run (%v): "+
+			"web queries are blocking the kernel", polled, plain)
+	}
+}
