@@ -22,6 +22,7 @@ import (
 	"strings"
 	"testing"
 
+	"dfdbg/internal/analysis/pedfgraph"
 	"dfdbg/internal/core"
 	"dfdbg/internal/dbginfo"
 	"dfdbg/internal/filterc"
@@ -332,6 +333,71 @@ func BenchmarkDecodeVideo(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkDecodeThroughput is the whole-decoder throughput baseline
+// for the batched execution engine (DESIGN §12): the 8-frame sequence
+// decoded per-token vs with proven-SDF regions batched, reported as
+// frames/sec of wall time. BENCH_sim.json pins the batched:per_token
+// ratio; benchguard enforces it in CI.
+func BenchmarkDecodeThroughput(b *testing.B) {
+	p := h264.Params{W: 16, H: 16, QP: 8, Seed: 7, Frames: 8}
+	bits, err := h264.EncodeSequence(h264.GenerateSequence(p), p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Batch plans are plain data (actor names, link IDs): analyze once on
+	// a throwaway instance and reuse the plans for every decode, the way
+	// a deployment would cache the analyzer's output per application.
+	var plans []pedf.BatchPlan
+	{
+		k := sim.NewKernel()
+		rt := pedf.NewRuntime(k, mach.New(k, mach.Config{}), nil)
+		if _, err := h264.Build(rt, p, bits, false); err != nil {
+			b.Fatal(err)
+		}
+		if plans, err = pedfgraph.BatchPlans(rt, "h264"); err != nil {
+			b.Fatal(err)
+		}
+		if len(plans) == 0 {
+			b.Fatal("no batchable region found in the decoder")
+		}
+	}
+	for _, batched := range []bool{false, true} {
+		name := "per_token"
+		if batched {
+			name = "batched"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k := sim.NewKernel()
+				m := mach.New(k, mach.Config{})
+				rt := pedf.NewRuntime(k, m, nil)
+				app, err := h264.Build(rt, p, bits, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := rt.Start(); err != nil {
+					b.Fatal(err)
+				}
+				if batched {
+					if err := rt.EnableBatch(plans); err != nil {
+						b.Fatal(err)
+					}
+					if len(rt.RegionModes()) == 0 {
+						b.Fatal("no region installed")
+					}
+				}
+				if st, err := k.Run(); err != nil || st != sim.RunIdle {
+					b.Fatalf("run = %v %v", st, err)
+				}
+				if _, err := app.OutputSequence(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(p.Frames)*float64(b.N)/b.Elapsed().Seconds(), "frames/sec")
 		})
 	}
 }

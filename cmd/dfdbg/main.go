@@ -188,6 +188,16 @@ func run(p h264.Params, bugName string, fo faultOpts, in io.Reader, out io.Write
 	c.Full = func() (*analysis.Report, *analysis.Graph, error) {
 		return pedfgraph.Analyze(rt, "h264")
 	}
+	// Arm the batched execution engine: regions the analyzer proves SDF
+	// run schedule-driven whenever no instrumentation is armed on them,
+	// and demote to the per-token path the moment one is. `batch` shows
+	// the live per-region mode.
+	if _, err := pedfgraph.EnableBatch(rt, "h264"); err != nil {
+		return err
+	}
+	c.Batch = func() (string, []pedf.RegionMode) {
+		return rt.BatchHold(), rt.RegionModes()
+	}
 	// The web UI shares the stack through a solo host: its mutex is the
 	// dispatch guard, so browser queries serialize against commands.
 	host := web.NewSoloHost("dfdbg", orec, k, rt, func() (*analysis.Report, error) {

@@ -8,7 +8,8 @@
 //	h264dec [-w 48] [-h 32] [-qp 8] [-seed 7] [-pgm out.pgm]
 //	        [-obs] [-timeline trace.json] [-metrics-addr :9090]
 //	        [-http 127.0.0.1:0] [-faults <spec|file>] [-fault-seed N]
-//	        [-watchdog 2ms]
+//	        [-watchdog 2ms] [-batch]
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -http the run serves the web observability UI (implies -obs):
 // the kernel runs in simulated-time slices so a browser attached
@@ -27,8 +28,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
+	"dfdbg/internal/analysis/pedfgraph"
 	"dfdbg/internal/fault"
 	"dfdbg/internal/h264"
 	"dfdbg/internal/mach"
@@ -54,12 +58,39 @@ func main() {
 		flts   = flag.String("faults", "", "fault plan: inline spec (;-separated) or a file path")
 		fsd    = flag.Int64("fault-seed", 0, "arm a seeded random fault plan (0 = off)")
 		wdog   = flag.String("watchdog", "", "progress watchdog threshold (default 2ms in fault mode)")
+		batch  = flag.Bool("batch", false, "batch proven-SDF regions (schedule-driven execution)")
+		cpupro = flag.String("cpuprofile", "", "write a pprof CPU profile of the decode")
+		mempro = flag.String("memprofile", "", "write a pprof heap profile after the decode")
 	)
 	flag.Parse()
 	p := h264.Params{W: *w, H: *h, QP: *qp, Seed: *seed, Frames: *frames, Chroma: *chroma}
 	o := decodeOpts{pgm: *pgm, obs: *obsOn, timeline: *tl, metricsAddr: *maddr,
-		httpAddr: *haddr, faults: *flts, faultSeed: *fsd, watchdog: *wdog}
-	if err := decode(p, o, os.Stdout); err != nil {
+		httpAddr: *haddr, faults: *flts, faultSeed: *fsd, watchdog: *wdog, batch: *batch}
+	if *cpupro != "" {
+		f, err := os.Create(*cpupro)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "h264dec: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "h264dec: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := decode(p, o, os.Stdout)
+	if *mempro != "" {
+		if f, ferr := os.Create(*mempro); ferr == nil {
+			runtime.GC() // settle the heap so the profile shows retained objects
+			if werr := pprof.WriteHeapProfile(f); werr != nil {
+				fmt.Fprintf(os.Stderr, "h264dec: memprofile: %v\n", werr)
+			}
+			f.Close()
+		} else {
+			fmt.Fprintf(os.Stderr, "h264dec: %v\n", ferr)
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "h264dec: %v\n", err)
 		os.Exit(1)
 	}
@@ -75,6 +106,7 @@ type decodeOpts struct {
 	faults      string // fault plan spec or file ("" = none)
 	faultSeed   int64  // random fault plan seed (0 = none)
 	watchdog    string // watchdog threshold ("" = default in fault mode)
+	batch       bool   // batch proven-SDF regions
 }
 
 // faultMode reports whether this run is a chaos experiment.
@@ -103,6 +135,13 @@ func decode(p h264.Params, o decodeOpts, w io.Writer) error {
 	}
 	if err := rt.Start(); err != nil {
 		return err
+	}
+	if o.batch {
+		n, err := pedfgraph.EnableBatch(rt, "h264")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "batched execution: %d SDF region(s) proven and armed\n", n)
 	}
 	var host *web.SoloHost
 	if o.httpAddr != "" {

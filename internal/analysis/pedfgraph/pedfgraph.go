@@ -257,6 +257,49 @@ func CheckRuntime(rt *pedf.Runtime, name string) (*analysis.Report, error) {
 	return rep, err
 }
 
+// BatchPlans runs the analyzer over a started runtime and renders every
+// proven-SDF region as a pedf batch plan: the executable bridge between
+// the static side (repetition vectors, schedules, buffer bounds) and
+// the batched execution engine (pedf.EnableBatch). Regions the analyzer
+// cannot prove — dynamic, inconsistent, or unscheduled — are simply
+// absent from the result and keep the per-token path.
+func BatchPlans(rt *pedf.Runtime, name string) ([]pedf.BatchPlan, error) {
+	rep, _, err := Analyze(rt, name)
+	if err != nil {
+		return nil, err
+	}
+	var plans []pedf.BatchPlan
+	for _, p := range analysis.ExecutablePlans(rep.Regions) {
+		bp := pedf.BatchPlan{Region: p.Region, Actors: p.Actors}
+		for _, s := range p.Steps {
+			ent := s.Actor
+			if s.Count > 1 {
+				ent = fmt.Sprintf("%s*%d", s.Actor, s.Count)
+			}
+			bp.Schedule = append(bp.Schedule, ent)
+		}
+		for _, r := range p.Rings {
+			bp.Rings = append(bp.Rings, pedf.BatchRing{Link: int(r.Link), Slots: r.Slots})
+		}
+		plans = append(plans, bp)
+	}
+	return plans, nil
+}
+
+// EnableBatch analyzes the application and installs batch plans for
+// every proven-SDF region on the runtime. Returns the number of regions
+// installed. Call after pedf.Runtime.Start.
+func EnableBatch(rt *pedf.Runtime, name string) (int, error) {
+	plans, err := BatchPlans(rt, name)
+	if err != nil {
+		return 0, err
+	}
+	if err := rt.EnableBatch(plans); err != nil {
+		return 0, err
+	}
+	return len(rt.RegionModes()), nil
+}
+
 // InstallPreRun registers a one-shot static analysis pass on the kernel:
 // immediately before the first dispatch, warnings and errors are printed
 // to w (one line each, without DOT details). The run itself proceeds —

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ExecStep is one entry of a flattened single-appearance schedule: fire
+// Actor Count times back to back.
+type ExecStep struct {
+	Actor string `json:"actor"`
+	Count int    `json:"count"`
+}
+
+// RingSpec sizes one intra-region link ring from its proven bound: a
+// link that provably never holds more than Slots tokens during a
+// schedule period can be backed by exactly Slots preallocated cells.
+type RingSpec struct {
+	Link  int64 `json:"link"`
+	Slots int   `json:"slots"`
+}
+
+// ExecPlan renders a proven-SDF region as an executable artifact for
+// the batched execution engine (DESIGN §12): the actor set eligible for
+// lazy dispatch, the single-appearance schedule as firing steps, and
+// ring sizes for every intra-region link. It deliberately contains only
+// plain data — the pedf layer resolves names against its runtime so
+// analysis keeps zero dependencies on the execution stack.
+type ExecPlan struct {
+	Region int        `json:"region"`
+	Actors []string   `json:"actors"`
+	Steps  []ExecStep `json:"steps"`
+	Rings  []RingSpec `json:"rings"`
+}
+
+// ExecutablePlan converts the region's schedule and bounds into an
+// ExecPlan. It returns an error when the region is not consistent SDF
+// or has no computed schedule (CSDF phases and inconsistent regions
+// stay on the per-token path).
+func (r *RegionInfo) ExecutablePlan() (*ExecPlan, error) {
+	if !r.Consistent {
+		return nil, fmt.Errorf("analysis: region %d is not consistent (%s)", r.ID, r.Note)
+	}
+	if r.Kind != "SDF" {
+		return nil, fmt.Errorf("analysis: region %d is %s, not SDF", r.ID, r.Kind)
+	}
+	if len(r.Schedule) == 0 {
+		return nil, fmt.Errorf("analysis: region %d has no schedule (%s)", r.ID, r.Note)
+	}
+	p := &ExecPlan{Region: r.ID, Actors: append([]string(nil), r.Actors...)}
+	for _, ent := range r.Schedule {
+		actor, count := ent, 1
+		if i := strings.LastIndexByte(ent, '*'); i >= 0 {
+			n, err := strconv.Atoi(ent[i+1:])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("analysis: region %d: bad schedule entry %q", r.ID, ent)
+			}
+			actor, count = ent[:i], n
+		}
+		if r.RepOf(actor) == 0 {
+			return nil, fmt.Errorf("analysis: region %d: schedule actor %q not in repetition vector", r.ID, actor)
+		}
+		p.Steps = append(p.Steps, ExecStep{Actor: actor, Count: count})
+	}
+	for _, b := range r.Bounds {
+		slots := b.Bound
+		if slots <= 0 {
+			slots = 1
+		}
+		p.Rings = append(p.Rings, RingSpec{Link: b.Link, Slots: slots})
+	}
+	return p, nil
+}
+
+// ExecutablePlans converts every eligible region of a report, silently
+// skipping regions that cannot be batched (dynamic, inconsistent, or
+// unscheduled ones keep the per-token path by design).
+func ExecutablePlans(regions []*RegionInfo) []*ExecPlan {
+	var out []*ExecPlan
+	for _, r := range regions {
+		if p, err := r.ExecutablePlan(); err == nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"testing"
+
+	"dfdbg/internal/analysis/absint"
+)
+
+func TestExecutablePlanMultirate(t *testing.T) {
+	g, classes := regionChain([]int{2}, []int{3}, 0)
+	regions := ComputeRegions(g, classes)
+	if len(regions) != 1 {
+		t.Fatalf("regions = %+v", regions)
+	}
+	p, err := regions[0].ExecutablePlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != 2 ||
+		p.Steps[0] != (ExecStep{Actor: "a", Count: 3}) ||
+		p.Steps[1] != (ExecStep{Actor: "b", Count: 2}) {
+		t.Fatalf("steps = %+v, want a*3 b*2", p.Steps)
+	}
+	if len(p.Rings) != 1 || p.Rings[0].Slots != 6 {
+		t.Fatalf("rings = %+v, want one 6-slot ring", p.Rings)
+	}
+	if len(p.Actors) != 2 {
+		t.Fatalf("actors = %v", p.Actors)
+	}
+}
+
+func TestExecutablePlanRejectsCSDF(t *testing.T) {
+	g, classes := regionChain([]int{1}, []int{1, 2}, 0)
+	regions := ComputeRegions(g, classes)
+	if len(regions) != 1 || regions[0].Kind != "CSDF" {
+		t.Fatalf("regions = %+v, want one CSDF region", regions)
+	}
+	if _, err := regions[0].ExecutablePlan(); err == nil {
+		t.Fatal("CSDF region produced an executable plan; it must stay per-token")
+	}
+	if plans := ExecutablePlans(regions); len(plans) != 0 {
+		t.Fatalf("ExecutablePlans = %+v, want none", plans)
+	}
+}
+
+func TestExecutablePlanRejectsInconsistent(t *testing.T) {
+	g := NewGraph("regions")
+	a := g.AddActor("a", "filter", "m")
+	b := g.AddActor("b", "filter", "m")
+	c := g.AddActor("c", "filter", "m")
+	g.Connect(a.AddOut("o1", "U32", 1), b.AddIn("in", "U32", 1), "data")
+	g.Connect(a.AddOut("o2", "U32", 1), c.AddIn("i1", "U32", 1), "data")
+	g.Connect(b.AddOut("out", "U32", 1), c.AddIn("i2", "U32", 2), "data")
+	classes := map[string]*absint.Class{
+		"a": patClass("a", nil, map[string][]int{"o1": {1}, "o2": {1}}),
+		"b": patClass("b", map[string][]int{"in": {1}}, map[string][]int{"out": {1}}),
+		"c": patClass("c", map[string][]int{"i1": {1}, "i2": {2}}, nil),
+	}
+	regions := ComputeRegions(g, classes)
+	if len(regions) != 1 || regions[0].Consistent {
+		t.Fatalf("regions = %+v, want one inconsistent region", regions)
+	}
+	if _, err := regions[0].ExecutablePlan(); err == nil {
+		t.Fatal("inconsistent region produced an executable plan")
+	}
+}

@@ -11,6 +11,7 @@ package chaos
 import (
 	"fmt"
 
+	"dfdbg/internal/analysis/pedfgraph"
 	"dfdbg/internal/core"
 	"dfdbg/internal/dbginfo"
 	"dfdbg/internal/fault"
@@ -26,6 +27,13 @@ type Options struct {
 	W, H     int          // frame size (default 16x16)
 	Watchdog sim.Duration // stall threshold (default 2ms)
 	Rounds   int          // max continue/recover cycles (default 50)
+
+	// Batch enables the batched execution engine before injecting
+	// faults. Because every chaos run arms a fault plan, the engine must
+	// demote every region to the per-token path (DESIGN §12), so a
+	// batched chaos run is required to produce the exact same Result as
+	// a non-batched one — the gauntlet asserts that.
+	Batch bool
 }
 
 // Result is the verdict of one seeded chaos run.
@@ -78,6 +86,11 @@ func Run(seed int64, o Options) (*Result, error) {
 	}
 	if err := rt.Start(); err != nil {
 		return nil, err
+	}
+	if o.Batch {
+		if _, err := pedfgraph.EnableBatch(rt, "h264"); err != nil {
+			return nil, err
+		}
 	}
 
 	plan := fault.Generate(seed, rt.FaultTargets())

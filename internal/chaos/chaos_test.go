@@ -33,6 +33,42 @@ func TestChaos(t *testing.T) {
 	t.Logf("outcomes over %d seeds: %v", seeds, byStatus)
 }
 
+// TestChaosBatched re-runs the 120-seed gauntlet with the batched
+// execution engine enabled. Every chaos run arms a fault plan, which
+// demotes every proven-SDF region to the per-token path (DESIGN §12),
+// so each seed must reproduce the exact verdict, fault trace, and
+// stall/recovery counts of its non-batched run — the demotion has to be
+// observably transparent even under injected deadlocks and crashes.
+func TestChaosBatched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is long; run without -short")
+	}
+	const seeds = 120
+	byStatus := map[string]int{}
+	for seed := int64(1); seed <= seeds; seed++ {
+		ref, err := Run(seed, Options{})
+		if err != nil {
+			t.Fatalf("seed %d violated the robustness contract: %v", seed, err)
+		}
+		bat, err := Run(seed, Options{Batch: true})
+		if err != nil {
+			t.Fatalf("seed %d (batched) violated the robustness contract: %v", seed, err)
+		}
+		if ref.String() != bat.String() {
+			t.Errorf("seed %d: batched result diverged:\n  per-token %s\n  batched   %s",
+				seed, ref, bat)
+		}
+		if strings.Join(ref.Trace, "\n") != strings.Join(bat.Trace, "\n") {
+			t.Errorf("seed %d: batched fault trace diverged from per-token run", seed)
+		}
+		byStatus[bat.FinalStatus]++
+	}
+	if byStatus["completed"] == 0 {
+		t.Error("no seed completed — the harness never exercises the happy path")
+	}
+	t.Logf("batched outcomes over %d seeds: %v", seeds, byStatus)
+}
+
 // TestChaosDeterminism reruns one seed and demands the identical fault
 // trace — the paper's reproducibility requirement (P2) extended to
 // injected faults.

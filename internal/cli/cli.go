@@ -39,6 +39,7 @@ import (
 	"dfdbg/internal/filterc"
 	"dfdbg/internal/lowdbg"
 	"dfdbg/internal/obs"
+	"dfdbg/internal/pedf"
 	"dfdbg/internal/sim"
 	"dfdbg/internal/trace"
 )
@@ -69,6 +70,10 @@ type CLI struct {
 	// StartWeb, when set, enables the `web` command: it starts the HTTP
 	// observability UI on the given address and returns the bound URL.
 	StartWeb func(addr string) (string, error)
+	// Batch, when set, enables the `batch` command: it reports the
+	// batched-execution mode of every proven-SDF region (hold reason plus
+	// per-region batched/per-token state, pedf.Runtime.RegionModes).
+	Batch func() (hold string, regions []pedf.RegionMode)
 
 	lastStop *lowdbg.StopEvent
 	curProc  *sim.Proc
@@ -222,6 +227,8 @@ func (c *CLI) Execute(line string) error {
 		return c.analyzeCmd(rest)
 	case "regions":
 		return c.regionsCmd(rest)
+	case "batch":
+		return c.batchCmd(rest)
 	case "filter":
 		return c.filterCmd(rest)
 	case "module":
@@ -323,6 +330,38 @@ func (c *CLI) regionsCmd(rest []string) error {
 	return nil
 }
 
+// batchCmd reports the batched-execution mode of every proven-SDF
+// region: whether it currently runs schedule-driven or per-token, and
+// the demotion reason (an armed breakpoint, watchpoint, fault plan or
+// attach hold forces the per-token path; see DESIGN §12).
+func (c *CLI) batchCmd(rest []string) error {
+	if len(rest) != 0 {
+		return fmt.Errorf("usage: batch")
+	}
+	if c.Batch == nil {
+		return fmt.Errorf("batched execution is not wired on this session")
+	}
+	hold, regions := c.Batch()
+	if len(regions) == 0 {
+		c.printf("no batchable regions (batched engine not enabled or nothing proven SDF)\n")
+		return nil
+	}
+	if hold != "" {
+		c.printf("global hold: %s\n", hold)
+	}
+	for _, r := range regions {
+		mode := "batched"
+		if !r.Batched {
+			mode = fmt.Sprintf("per-token (%s)", r.Reason)
+		}
+		c.printf("region %d [%s]: %s\n", r.Region, strings.Join(r.Actors, " "), mode)
+		if len(r.Schedule) > 0 {
+			c.printf("  schedule: %s\n", strings.Join(r.Schedule, " "))
+		}
+	}
+	return nil
+}
+
 func (c *CLI) printHelp() {
 	c.printf(`Low-level commands:
   continue | step | next | finish        execution control
@@ -336,6 +375,7 @@ Dataflow commands:
   graph                                  dump the reconstructed graph (DOT)
   analyze [json]                         static checks on the reconstructed graph
   regions                                SDF-region clustering (DOT; full analysis only)
+  batch                                  batched-execution mode per SDF region
   filter <f> catch work                  stop when <f>'s WORK fires
   filter <f> catch <if>=<n>,...          stop on received/sent token counts
   filter <f> catch *in=<n> | *out=<n>    wildcard over all interfaces

@@ -271,7 +271,8 @@ func (v Value) IsScalar() bool {
 func (v Value) Truth() bool { return v.I != 0 }
 
 // Clone deep-copies a value (assignment semantics are by value, as in C
-// structs/arrays).
+// structs/arrays). Scalar clones are a plain struct copy and never touch
+// the heap; aggregates allocate a fresh element slice.
 func (v Value) Clone() Value {
 	out := v
 	if v.Elems != nil {
@@ -281,6 +282,27 @@ func (v Value) Clone() Value {
 		}
 	}
 	return out
+}
+
+// CloneInto deep-copies v into *dst, reusing dst's element storage when
+// its capacity suffices. A slot that is cloned into repeatedly (a ring
+// buffer cell, a read-window cache entry) therefore reaches a steady
+// state with zero allocations while preserving Clone's value semantics:
+// dst shares no mutable state with v afterwards.
+func (v Value) CloneInto(dst *Value) {
+	elems := dst.Elems
+	*dst = v
+	if v.Elems == nil {
+		return
+	}
+	if cap(elems) >= len(v.Elems) {
+		dst.Elems = elems[:len(v.Elems)]
+	} else {
+		dst.Elems = make([]Value, len(v.Elems))
+	}
+	for i := range v.Elems {
+		v.Elems[i].CloneInto(&dst.Elems[i])
+	}
 }
 
 // Equal reports deep equality of two values (types compared structurally).

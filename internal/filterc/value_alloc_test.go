@@ -1,0 +1,49 @@
+package filterc
+
+import "testing"
+
+// Scalar Clone must be a plain struct copy: the batched token path
+// budgets 0 allocs/op for scalar transfers (ISSUE 8), and every push on
+// a pedf link clones the pushed value.
+func TestScalarCloneDoesNotAllocate(t *testing.T) {
+	v := Value{Type: Scalar(I32), I: 42}
+	var sink Value
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink = v.Clone()
+	})
+	if allocs != 0 {
+		t.Fatalf("scalar Clone allocated %.1f times per op, want 0", allocs)
+	}
+	if sink.I != 42 {
+		t.Fatalf("clone lost value: %v", sink)
+	}
+}
+
+// CloneInto on a reused destination slot must reach an allocation-free
+// steady state even for aggregates: the first clone sizes the element
+// storage, subsequent clones reuse it.
+func TestCloneIntoSteadyStateDoesNotAllocate(t *testing.T) {
+	at := ArrayOf(Scalar(I32), 16)
+	src := Value{Type: at, Elems: make([]Value, 16)}
+	for i := range src.Elems {
+		src.Elems[i] = Value{Type: Scalar(I32), I: int64(i * 3)}
+	}
+	var slot Value
+	src.CloneInto(&slot) // warm the slot's backing storage
+	allocs := testing.AllocsPerRun(1000, func() {
+		src.CloneInto(&slot)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state CloneInto allocated %.1f times per op, want 0", allocs)
+	}
+	for i := range src.Elems {
+		if slot.Elems[i].I != int64(i*3) {
+			t.Fatalf("elem %d: got %d, want %d", i, slot.Elems[i].I, i*3)
+		}
+	}
+	// Value semantics: mutating the clone must not touch the source.
+	slot.Elems[0].I = -1
+	if src.Elems[0].I != 0 {
+		t.Fatalf("CloneInto aliased source storage")
+	}
+}

@@ -169,6 +169,7 @@ func (d *Debugger) insertBp(bp *Breakpoint) {
 		d.lineBPs[key] = append(d.lineBPs[key], bp)
 		d.armedStmt++
 	}
+	d.armChanged()
 }
 
 func lineKey(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
@@ -210,6 +211,7 @@ func (d *Debugger) removeBp(bp *Breakpoint) {
 		}
 		d.armedStmt--
 	}
+	d.armChanged()
 }
 
 func removeFrom(s []*Breakpoint, bp *Breakpoint) []*Breakpoint {
@@ -270,6 +272,7 @@ func (d *Debugger) Watch(sym string) (*Watchpoint, error) {
 	w := &Watchpoint{ID: d.nextBpID, Sym: sym, Enabled: true, val: v, old: v.Clone()}
 	d.watchpoints = append(d.watchpoints, w)
 	d.armedStmt++
+	d.armChanged()
 	return w, nil
 }
 
@@ -286,6 +289,7 @@ func (d *Debugger) DeleteWatch(id int) error {
 		if w.ID == id {
 			d.watchpoints = append(d.watchpoints[:i], d.watchpoints[i+1:]...)
 			d.armedStmt--
+			d.armChanged()
 			return nil
 		}
 	}

@@ -163,6 +163,13 @@ type Debugger struct {
 	armedFunc int // breakpoints in funcBPs
 	armedStmt int // line breakpoints + watchpoints + pending step request
 
+	// armWatchers run after every armed-surface change (same sites that
+	// maintain the counters above). The batched-execution layer hooks
+	// here to demote proven-SDF regions the instant instrumentation
+	// lands on one of their actors, and to re-promote on removal. All
+	// arming happens world-stopped, so watchers run race-free.
+	armWatchers []func()
+
 	objects map[string]*filterc.Value // registered data objects by symbol
 	interps map[*sim.Proc]*filterc.Interp
 	sources map[string][]string // file → lines, for the `list` command
@@ -222,6 +229,53 @@ func New(k *sim.Kernel, syms *dbginfo.Table) *Debugger {
 			[]float64{100, 1000, 10_000, 100_000, 1_000_000})
 	}
 	return d
+}
+
+// OnArmChange registers fn to run after every change to the armed
+// instrumentation surface (breakpoint, watchpoint or step request added
+// or removed). Watchers fire under a stopped world.
+func (d *Debugger) OnArmChange(fn func()) { d.armWatchers = append(d.armWatchers, fn) }
+
+// armChanged notifies registered arm watchers.
+func (d *Debugger) armChanged() {
+	for _, fn := range d.armWatchers {
+		fn()
+	}
+}
+
+// Armed reports whether any instrumentation is currently armed on
+// either hook surface.
+func (d *Debugger) Armed() bool { return d.armedFunc > 0 || d.armedStmt > 0 }
+
+// ArmedTargets describes the armed instrumentation surface in terms a
+// higher layer can map onto actors: which function symbols carry
+// breakpoints, which source files carry line breakpoints, which data
+// symbols are watched, and which process owns a pending step request.
+type ArmedTargets struct {
+	FuncSyms []string
+	Files    []string
+	DataSyms []string
+	StepProc *sim.Proc
+}
+
+// ArmedTargets snapshots the armed surface (see ArmedTargets type).
+func (d *Debugger) ArmedTargets() ArmedTargets {
+	var t ArmedTargets
+	for sym := range d.funcBPs {
+		t.FuncSyms = append(t.FuncSyms, sym)
+	}
+	for key := range d.lineBPs {
+		if i := strings.LastIndexByte(key, ':'); i >= 0 {
+			t.Files = append(t.Files, key[:i])
+		}
+	}
+	for _, w := range d.watchpoints {
+		t.DataSyms = append(t.DataSyms, w.Sym)
+	}
+	if d.stepKind != stepNone {
+		t.StepProc = d.stepProc
+	}
+	return t
 }
 
 // BpHits returns how many hook crossings ran at least one breakpoint
@@ -397,6 +451,7 @@ func (d *Debugger) stepCommon(p *sim.Proc, mode stepMode) *StopEvent {
 		// the first statement — GDB behaves the same way.
 		d.stepKind = stepInto
 	}
+	d.armChanged()
 	return d.run()
 }
 
@@ -406,6 +461,7 @@ func (d *Debugger) clearStep() {
 	}
 	d.stepProc = nil
 	d.stepKind = stepNone
+	d.armChanged()
 }
 
 // Threads lists the simulation processes (the debugger's thread view).

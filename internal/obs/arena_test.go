@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestSlotCommitEquivalentToRecord checks the in-place reservation path
+// produces the same ring contents and tap sequence as Record.
+func TestSlotCommitEquivalentToRecord(t *testing.T) {
+	a := NewRecorder(8)
+	b := NewRecorder(8)
+	var tapped []uint64
+	b.SetTap(func(ev Event, seq uint64) { tapped = append(tapped, seq) })
+	for i := 0; i < 12; i++ { // wraps the 8-slot ring
+		ev := Event{At: uint64(i), Kind: KPush, Arg: int64(i)}
+		a.Record(ev)
+		*b.Slot() = ev
+		b.Commit()
+	}
+	evA, evB := a.Snapshot(), b.Snapshot()
+	if len(evA) != len(evB) {
+		t.Fatalf("lengths differ: %d vs %d", len(evA), len(evB))
+	}
+	for i := range evA {
+		if evA[i] != evB[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, evA[i], evB[i])
+		}
+	}
+	if len(tapped) != 12 || tapped[0] != 0 || tapped[11] != 11 {
+		t.Fatalf("tap saw %v, want sequences 0..11", tapped)
+	}
+}
+
+// TestSlotCommitDoesNotAllocate pins the point of the reservation API:
+// the ring is the arena, so recording through Slot/Commit is free of
+// per-event heap traffic.
+func TestSlotCommitDoesNotAllocate(t *testing.T) {
+	r := NewRecorder(16)
+	allocs := testing.AllocsPerRun(1000, func() {
+		*r.Slot() = Event{At: 1, Kind: KPop}
+		r.Commit()
+	})
+	if allocs != 0 {
+		t.Errorf("Slot/Commit allocates %.1f objects per event, want 0", allocs)
+	}
+}
+
+// TestScratchReuse verifies the burst-composition arena: it grows to
+// the largest request, is reused without reallocating, and RecordBatch
+// publishes its contents in order.
+func TestScratchReuse(t *testing.T) {
+	r := NewRecorder(32)
+	s1 := r.Scratch(4)
+	if len(s1) != 4 {
+		t.Fatalf("Scratch(4) len = %d", len(s1))
+	}
+	for i := range s1 {
+		s1[i] = Event{At: uint64(i), Kind: KBatchMode, Arg: int64(i)}
+	}
+	r.RecordBatch(s1)
+	evs := r.Snapshot()
+	if len(evs) != 4 || evs[3].Arg != 3 {
+		t.Fatalf("snapshot after RecordBatch = %+v", evs)
+	}
+	// A smaller burst must reuse the same backing array.
+	s2 := r.Scratch(2)
+	if &s1[0] != &s2[0] {
+		t.Error("Scratch(2) did not reuse the arena backing")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s := r.Scratch(3)
+		for i := range s {
+			s[i] = Event{Kind: KBatchMode}
+		}
+		r.RecordBatch(s)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Scratch+RecordBatch allocates %.1f per burst, want 0", allocs)
+	}
+}
+
+// TestBatchModeKindMasking pins KBatchMode's mask placement: it is a
+// simulator-internal kind, excluded from the default mask, so enabling
+// the batched engine cannot perturb a default-mask trace (the
+// differential suite relies on this).
+func TestBatchModeKindMasking(t *testing.T) {
+	r := NewRecorder(8)
+	if r.Wants(KBatchMode) {
+		t.Error("KBatchMode is in the default mask; batched and per-token default traces would differ")
+	}
+	if MaskSim&(1<<KBatchMode) == 0 {
+		t.Error("KBatchMode is not grouped under MaskSim")
+	}
+	r.SetMask(MaskAll)
+	if !r.Wants(KBatchMode) {
+		t.Error("KBatchMode cannot be enabled via MaskAll")
+	}
+	if KBatchMode.String() != "batch" {
+		t.Errorf("KBatchMode renders as %q, want \"batch\"", KBatchMode.String())
+	}
+}

@@ -110,6 +110,14 @@ const (
 	// in ns, Arg2 the number of non-progressing processes.
 	KStall
 
+	// KBatchMode: a proven-SDF region switched between batched and
+	// per-token execution (DESIGN §12). Arg is the region id, Arg2 is 1
+	// for batched / 0 for per-token, Other the demotion reason (empty
+	// when promoting). Grouped under MaskSim: mode flips are scheduler
+	// internals and must not perturb default-mask trace identity between
+	// engines.
+	KBatchMode
+
 	numKinds
 )
 
@@ -122,7 +130,7 @@ func (k Kind) String() string {
 		KPush: "push", KPop: "pop", KBlockBegin: "block+",
 		KBlockEnd: "block-", KTransfer: "xfer", KBpHit: "bphit",
 		KInject: "inject", KDropTok: "droptok", KReplace: "replace",
-		KFault: "fault", KStall: "stall",
+		KFault: "fault", KStall: "stall", KBatchMode: "batch",
 	}
 	if int(k) < len(names) && names[k] != "" {
 		return names[k]
@@ -150,7 +158,7 @@ func Bit(k Kind) Mask { return 1 << k }
 // Predefined masks.
 const (
 	// MaskSim: kernel-level events (very high volume; opt-in).
-	MaskSim Mask = 1<<KDispatch | 1<<KTimeAdvance | 1<<KEventFire
+	MaskSim Mask = 1<<KDispatch | 1<<KTimeAdvance | 1<<KEventFire | 1<<KBatchMode
 	// MaskDataflow: token and scheduling events of the PEDF runtime.
 	MaskDataflow Mask = 1<<KFireBegin | 1<<KFireEnd | 1<<KCtlBegin |
 		1<<KCtlEnd | 1<<KStepBegin | 1<<KStepEnd | 1<<KActorStart |
@@ -197,6 +205,7 @@ type Recorder struct {
 	head     uint64 // total events ever recorded
 	mask     Mask
 	payloads bool
+	scratch  []Event // reusable burst-composition arena (see Scratch)
 
 	// tap, when installed, receives every recorded event (plus its
 	// sequence number) synchronously on the recording goroutine. The
@@ -267,6 +276,50 @@ func (r *Recorder) Record(ev Event) {
 	r.head++
 	if t := r.tap.Load(); t != nil {
 		(*t)(ev, seq)
+	}
+}
+
+// Slot returns in-place storage for the next event: the ring IS the
+// arena. The caller must overwrite the whole slot (struct-literal
+// assignment — slots hold stale events) and publish it with Commit.
+// Nothing is recorded if Commit is never called. Nil-receiver-safe:
+// callers gate on Wants, which returns false for a nil recorder.
+func (r *Recorder) Slot() *Event {
+	return &r.ring[r.head%uint64(len(r.ring))]
+}
+
+// Commit publishes the event written into Slot's storage.
+func (r *Recorder) Commit() {
+	seq := r.head
+	r.head++
+	if t := r.tap.Load(); t != nil {
+		(*t)(r.ring[seq%uint64(len(r.ring))], seq)
+	}
+}
+
+// Scratch returns the recorder's reusable composition arena, at least n
+// events long. A producer that emits a burst (the batched-execution
+// layer flipping every region's mode at once) composes the burst here
+// and hands it to RecordBatch — zero per-event allocations, one arena
+// reused for the recorder's lifetime. Single-writer like the ring.
+func (r *Recorder) Scratch(n int) []Event {
+	if r == nil {
+		return nil
+	}
+	if cap(r.scratch) < n {
+		r.scratch = make([]Event, n)
+	}
+	return r.scratch[:n:n]
+}
+
+// RecordBatch stores a slice of events in order, equivalent to calling
+// Record on each. Nil-safe.
+func (r *Recorder) RecordBatch(evs []Event) {
+	if r == nil {
+		return
+	}
+	for i := range evs {
+		r.Record(evs[i])
 	}
 }
 

@@ -358,11 +358,13 @@ func (rt *Runtime) spawnActors() {
 		col := col
 		proc := rt.M.SpawnOn(rt.M.Host, "env.drain."+col.Port.Name, func(p *sim.Proc) {
 			for {
-				tok, err := col.link.pop(p, nil)
-				if err != nil {
+				// Each collected value is retained forever, so it gets its
+				// own storage (dst declared per iteration).
+				var dst filterc.Value
+				if _, err := col.link.pop(p, nil, &dst); err != nil {
 					panic(err)
 				}
-				col.Values = append(col.Values, tok.Val)
+				col.Values = append(col.Values, dst)
 			}
 		})
 		proc.Daemon = true
@@ -439,6 +441,9 @@ func (rt *Runtime) invokeWork(p *sim.Proc, f *Filter) error {
 	} else {
 		err = f.NativeWork(&WorkCtx{f: f, p: p})
 	}
+	// Settle any lazy compute banked after the last IO of the firing so
+	// the KFireEnd timestamp matches the per-token engine.
+	f.flushLazy()
 	dur := p.Now() - t0
 	if rec.Wants(obs.KFireEnd) {
 		rec.Record(obs.Event{

@@ -181,6 +181,30 @@ type Filter struct {
 	// intra-firing IO windows
 	readCache  map[string][]filterc.Value
 	writeCount map[string]int
+
+	// Batched execution (DESIGN §12). batched marks membership in a
+	// proven-SDF region plan; lazy is the live mode bit, flipped by
+	// Runtime.recomputeBatch whenever the fault/debugger/hold state
+	// changes. While lazy, statement costs accumulate in lazyNS and are
+	// flushed as a single sleep before any externally observable action,
+	// so recorded timestamps match the per-token engine exactly.
+	batched     bool
+	batchRegion int
+	lazy        bool
+	lazyNS      sim.Duration
+}
+
+// flushLazy pays the accumulated lazy compute time in one sleep. Must
+// run before every action whose timestamp or ordering another process
+// can observe: pushing/popping a token, reading link occupancy, or
+// stamping the end of a firing.
+func (f *Filter) flushLazy() {
+	if f.lazyNS == 0 {
+		return
+	}
+	d := f.lazyNS
+	f.lazyNS = 0
+	f.proc.Sleep(d)
 }
 
 // State returns the scheduling state.
@@ -263,10 +287,22 @@ func (f *Filter) setState(s FilterState) {
 	f.Module.stateChange.Notify()
 }
 
-// resetWindows clears the intra-firing IO windows.
+// resetWindows clears the intra-firing IO windows. Maps and slice
+// backings (including cached Value element storage, which CloneInto
+// recycles) are reused across firings, so a steady-state firing performs
+// no window bookkeeping allocations.
 func (f *Filter) resetWindows() {
-	f.readCache = make(map[string][]filterc.Value)
-	f.writeCount = make(map[string]int)
+	if f.readCache == nil {
+		f.readCache = make(map[string][]filterc.Value)
+		f.writeCount = make(map[string]int)
+		return
+	}
+	for k, s := range f.readCache {
+		f.readCache[k] = s[:0]
+	}
+	for k := range f.writeCount {
+		f.writeCount[k] = 0
+	}
 }
 
 // ioRead implements pedf.io.<iface>[idx] reads: tokens are popped from
@@ -282,12 +318,25 @@ func (f *Filter) ioRead(iface string, idx int64) (filterc.Value, error) {
 	if idx < 0 {
 		return filterc.Value{}, fmt.Errorf("pedf: negative io index %d on %s", idx, port.Qualified())
 	}
+	if int64(len(f.readCache[iface])) <= idx {
+		// About to touch the link: settle banked lazy time first so the
+		// pop timestamp (and any blocking) happens at the true instant.
+		f.flushLazy()
+	}
 	for int64(len(f.readCache[iface])) <= idx {
-		tok, err := port.link.pop(f.proc, f)
-		if err != nil {
+		// Pop directly into the next window slot; truncated slots from
+		// earlier firings keep their element storage, so steady-state
+		// reads do not allocate.
+		s := f.readCache[iface]
+		if len(s) < cap(s) {
+			s = s[:len(s)+1]
+		} else {
+			s = append(s, filterc.Value{})
+		}
+		f.readCache[iface] = s
+		if _, err := port.link.pop(f.proc, f, &s[len(s)-1]); err != nil {
 			return filterc.Value{}, err
 		}
-		f.readCache[iface] = append(f.readCache[iface], tok.Val)
 	}
 	return f.readCache[iface][idx].Clone(), nil
 }
@@ -306,6 +355,7 @@ func (f *Filter) ioWrite(iface string, idx int64, v filterc.Value) error {
 		return fmt.Errorf("pedf: non-sequential write index %d on %s (expected %d)",
 			idx, port.Qualified(), f.writeCount[iface])
 	}
+	f.flushLazy()
 	if err := port.link.push(f.proc, f, f.PE, v); err != nil {
 		return err
 	}
@@ -395,6 +445,9 @@ func (e *filterEnv) Intrinsic(name string, args []filterc.Value) (filterc.Value,
 		if !ok || port.link == nil {
 			return filterc.Value{}, true, fmt.Errorf("no bound input interface %q", target)
 		}
+		// Occupancy is observable cross-actor state: settle lazy time so
+		// the value is sampled at the true simulated instant.
+		f.flushLazy()
 		return filterc.Int(filterc.U32, int64(port.link.Occupancy())), true, nil
 	}
 	return filterc.Value{}, false, nil
@@ -407,7 +460,19 @@ type costHooks struct {
 }
 
 func (h *costHooks) OnStmt(fr *filterc.Frame, pos filterc.Pos) {
-	h.f.rt.M.ComputeOn(h.f.proc, h.f.PE, 1)
+	f := h.f
+	if f.lazy {
+		// Batched mode: bank the cycle instead of a kernel round-trip;
+		// flushLazy settles the balance before any observable action.
+		f.lazyNS += f.rt.M.Cfg.CycleTime
+		return
+	}
+	if f.lazyNS > 0 {
+		// Demoted mid-firing: charge the banked backlog before resuming
+		// per-statement accounting, keeping total time identical.
+		f.flushLazy()
+	}
+	f.rt.M.ComputeOn(f.proc, f.PE, 1)
 }
 func (h *costHooks) OnEnter(fr *filterc.Frame)                 {}
 func (h *costHooks) OnExit(fr *filterc.Frame, v filterc.Value) {}

@@ -87,6 +87,12 @@ type Token struct {
 const DefaultLinkCap = 32
 
 // Link is a FIFO binding an output port to an input port.
+//
+// Storage is a ring (DESIGN §12): buf holds the tokens, head indexes the
+// oldest, n counts occupancy. The ring grows to its high-water mark and
+// stays there; a steady-state push clones into a recycled slot
+// (filterc.Value.CloneInto) and a pop copies out into consumer-owned
+// storage, so the per-token transfer path does not allocate.
 type Link struct {
 	ID   int
 	Src  *Port
@@ -95,12 +101,55 @@ type Link struct {
 	Cap  int
 
 	rt       *Runtime
-	fifo     []Token
-	pushes   uint64 // total tokens ever pushed (incl. injected/duplicated)
-	pops     uint64 // total tokens ever popped
-	drops    uint64 // tokens removed without a pop (surgery or drop fault)
+	buf      []Token // ring storage; live tokens are buf[head], buf[head+1], ...
+	head     int     // ring index of the oldest token
+	n        int     // occupancy
+	pushes   uint64  // total tokens ever pushed (incl. injected/duplicated)
+	pops     uint64  // total tokens ever popped
+	drops    uint64  // tokens removed without a pop (surgery or drop fault)
 	notEmpty *sim.Event
 	notFull  *sim.Event
+}
+
+// slot returns the i-th queued token (0 = oldest). The pointer is into
+// ring storage: valid only until the token is popped.
+func (l *Link) slot(i int) *Token { return &l.buf[(l.head+i)%len(l.buf)] }
+
+// reserve returns the slot a new token should be cloned into, growing
+// the ring when full. Growth unwraps the ring so existing slots keep
+// exclusive ownership of their element storage.
+func (l *Link) reserve() *Token {
+	if l.n == len(l.buf) {
+		nb := make([]Token, max(4, 2*len(l.buf)))
+		for i := 0; i < l.n; i++ {
+			nb[i] = *l.slot(i)
+		}
+		l.buf, l.head = nb, 0
+	}
+	return &l.buf[(l.head+l.n)%len(l.buf)]
+}
+
+// prealloc grows the ring to at least slots cells up front, so a region
+// running under a proven buffer bound never grows its rings mid-run.
+func (l *Link) prealloc(slots int) {
+	if slots <= len(l.buf) {
+		return
+	}
+	nb := make([]Token, slots)
+	for i := 0; i < l.n; i++ {
+		nb[i] = *l.slot(i)
+	}
+	l.buf, l.head = nb, 0
+}
+
+// commitSlot fills the reserved slot and accounts the push. The value is
+// cloned into the slot's recycled storage.
+func (l *Link) commitSlot(s *Token, seq uint64, v filterc.Value, at sim.Time) {
+	s.Seq = seq
+	s.PushedAt = at
+	v.CloneInto(&s.Val)
+	l.n++
+	l.pushes++
 }
 
 // Label returns the source-qualified name ("actor::port") that fault
@@ -109,12 +158,12 @@ func (l *Link) Label() string { return l.Src.Qualified() }
 
 func (l *Link) String() string {
 	return fmt.Sprintf("link#%d %s -> %s (%s, %d/%d tokens)",
-		l.ID, l.Src.Qualified(), l.Dst.Qualified(), l.Kind, len(l.fifo), l.Cap)
+		l.ID, l.Src.Qualified(), l.Dst.Qualified(), l.Kind, l.n, l.Cap)
 }
 
 // Occupancy returns the number of tokens currently held (what Figure 4
 // displays on the arcs).
-func (l *Link) Occupancy() int { return len(l.fifo) }
+func (l *Link) Occupancy() int { return l.n }
 
 // Pushes returns the total number of tokens ever pushed.
 func (l *Link) Pushes() uint64 { return l.pushes }
@@ -124,15 +173,18 @@ func (l *Link) Pops() uint64 { return l.pops }
 
 // Drops returns the number of tokens removed without a pop (debugger
 // surgery or an injected drop fault). The occupancy invariant is
-// len(fifo) == Pushes() - Pops() - Drops().
+// Occupancy() == Pushes() - Pops() - Drops().
 func (l *Link) Drops() uint64 { return l.drops }
 
-// Peek returns the i-th queued token without consuming it.
+// Peek returns the i-th queued token without consuming it. The returned
+// token's aggregate payload aliases ring storage; callers must consume
+// it (render, compare) before the simulation advances, as debugger
+// surgery and the CLI/web display paths do under a stopped world.
 func (l *Link) Peek(i int) (Token, bool) {
-	if i < 0 || i >= len(l.fifo) {
+	if i < 0 || i >= l.n {
 		return Token{}, false
 	}
-	return l.fifo[i], true
+	return *l.slot(i), true
 }
 
 // words measures a value's size in 32-bit words for transfer costing.
@@ -195,18 +247,23 @@ func (l *Link) push(p *sim.Proc, producer *Filter, pe *mach.PE, v filterc.Value)
 			v.Type, l.Src.Type, l.Src.Qualified())
 	}
 	seq := l.pushes
-	args := append(l.callArgs(seq), lowdbg.Arg{Name: "value", Val: v})
-	exit := l.rt.hookData(p, l.Src.ActorName, l.pushSym(), args)
+	var exit func(any)
+	if l.rt.Dbg != nil {
+		// Hook argument lists are only materialized when a debugger could
+		// observe them; the undebugged hot path skips the allocation.
+		args := append(l.callArgs(seq), lowdbg.Arg{Name: "value", Val: v})
+		exit = l.rt.hookData(p, l.Src.ActorName, l.pushSym(), args)
+	}
 	rec := l.rt.K.Observer()
 	fi := l.rt.K.Faults()
 	capEff := l.Cap
 	if fi != nil {
 		capEff = fi.LinkCap(uint64(p.Now()), l.Label(), seq, l.Cap)
 	}
-	if len(l.fifo) >= capEff {
+	if l.n >= capEff {
 		reason := "push:" + l.Src.Name
 		t0 := l.blockBegin(rec, p, producer, int32(pe.ID), reason)
-		for len(l.fifo) >= capEff {
+		for l.n >= capEff {
 			if producer != nil {
 				producer.setBlocked(reason)
 			}
@@ -248,14 +305,13 @@ func (l *Link) push(p *sim.Proc, producer *Filter, pe *mach.PE, v filterc.Value)
 		}
 		return nil
 	}
-	l.fifo = append(l.fifo, Token{Seq: seq, Val: v.Clone(), PushedAt: p.Now()})
-	l.pushes++
+	l.commitSlot(l.reserve(), seq, v, p.Now())
 	l.rt.K.NoteProgress()
 	l.notEmpty.Notify()
 	if rec.Wants(obs.KPush) {
 		ev := obs.Event{
 			At: uint64(p.Now()), Kind: obs.KPush, PE: int32(pe.ID),
-			Link: int32(l.ID), Arg: int64(len(l.fifo)), Arg2: int64(seq),
+			Link: int32(l.ID), Arg: int64(l.n), Arg2: int64(seq),
 			Actor: l.Src.ActorName, Other: l.Dst.ActorName, Port: l.Src.Name,
 		}
 		if rec.Payloads() {
@@ -265,13 +321,12 @@ func (l *Link) push(p *sim.Proc, producer *Filter, pe *mach.PE, v filterc.Value)
 	}
 	if act.Dup {
 		dseq := l.pushes
-		l.fifo = append(l.fifo, Token{Seq: dseq, Val: v.Clone(), PushedAt: p.Now()})
-		l.pushes++
+		l.commitSlot(l.reserve(), dseq, v, p.Now())
 		l.notEmpty.Notify()
 		if rec.Wants(obs.KPush) {
 			rec.Record(obs.Event{
 				At: uint64(p.Now()), Kind: obs.KPush, PE: int32(pe.ID),
-				Link: int32(l.ID), Arg: int64(len(l.fifo)), Arg2: int64(dseq),
+				Link: int32(l.ID), Arg: int64(l.n), Arg2: int64(dseq),
 				Actor: l.Src.ActorName, Other: l.Dst.ActorName, Port: l.Src.Name,
 			})
 		}
@@ -312,10 +367,16 @@ func (l *Link) blockEnd(rec *obs.Recorder, p *sim.Proc, f *Filter, pe int32, rea
 }
 
 // pop removes the head token, blocking while the FIFO is empty. consumer
-// is the acting filter (nil for environment sinks).
-func (l *Link) pop(p *sim.Proc, consumer *Filter) (Token, error) {
+// is the acting filter (nil for environment sinks). The token's value is
+// cloned into *dst — the ring retains its slot storage, so a consumer
+// that reuses dst (a read-window cache slot) pops without allocating.
+// The returned Token's Val is *dst.
+func (l *Link) pop(p *sim.Proc, consumer *Filter, dst *filterc.Value) (Token, error) {
 	seq := l.pops
-	exit := l.rt.hookData(p, l.Dst.ActorName, l.popSym(), l.callArgs(seq))
+	var exit func(any)
+	if l.rt.Dbg != nil {
+		exit = l.rt.hookData(p, l.Dst.ActorName, l.popSym(), l.callArgs(seq))
+	}
 	rec := l.rt.K.Observer()
 	dstPE := int32(l.rt.portPE(l.Dst).ID)
 	if fi := l.rt.K.Faults(); fi != nil {
@@ -323,10 +384,10 @@ func (l *Link) pop(p *sim.Proc, consumer *Filter) (Token, error) {
 			p.Sleep(sim.Duration(d)) // injected slow-pop fault
 		}
 	}
-	if len(l.fifo) == 0 {
+	if l.n == 0 {
 		reason := "pop:" + l.Dst.Name
 		t0 := l.blockBegin(rec, p, consumer, dstPE, reason)
-		for len(l.fifo) == 0 {
+		for l.n == 0 {
 			if consumer != nil {
 				consumer.setBlocked(reason)
 			}
@@ -337,8 +398,12 @@ func (l *Link) pop(p *sim.Proc, consumer *Filter) (Token, error) {
 	if consumer != nil {
 		consumer.setBlocked("")
 	}
-	tok := l.fifo[0]
-	l.fifo = l.fifo[1:]
+	s := &l.buf[l.head]
+	tok := Token{Seq: s.Seq, PushedAt: s.PushedAt}
+	s.Val.CloneInto(dst)
+	tok.Val = *dst
+	l.head = (l.head + 1) % len(l.buf)
+	l.n--
 	l.pops++
 	l.rt.K.NoteProgress()
 	l.notFull.Notify()
@@ -347,7 +412,7 @@ func (l *Link) pop(p *sim.Proc, consumer *Filter) (Token, error) {
 	if rec.Wants(obs.KPop) {
 		ev := obs.Event{
 			At: uint64(p.Now()), Kind: obs.KPop, PE: dstPE,
-			Link: int32(l.ID), Arg: int64(len(l.fifo)), Arg2: int64(seq),
+			Link: int32(l.ID), Arg: int64(l.n), Arg2: int64(seq),
 			Actor: l.Dst.ActorName, Other: l.Src.ActorName, Port: l.Dst.Name,
 		}
 		if rec.Payloads() {
@@ -368,14 +433,13 @@ func (l *Link) pop(p *sim.Proc, consumer *Filter) (Token, error) {
 // truthful after manual token surgery.
 func (l *Link) InjectToken(v filterc.Value) {
 	seq := l.pushes
-	l.fifo = append(l.fifo, Token{Seq: seq, Val: v.Clone(), PushedAt: l.rt.K.Now()})
-	l.pushes++
+	l.commitSlot(l.reserve(), seq, v, l.rt.K.Now())
 	l.rt.K.NoteProgress()
 	l.notEmpty.Notify()
 	if rec := l.rt.K.Observer(); rec.Wants(obs.KInject) {
 		ev := obs.Event{
 			At: uint64(l.rt.K.Now()), Kind: obs.KInject, PE: -1,
-			Link: int32(l.ID), Arg: int64(len(l.fifo)), Arg2: int64(seq),
+			Link: int32(l.ID), Arg: int64(l.n), Arg2: int64(seq),
 			Actor: l.Src.ActorName, Other: l.Dst.ActorName, Port: l.Src.Name,
 		}
 		if rec.Payloads() {
@@ -389,17 +453,25 @@ func (l *Link) InjectToken(v filterc.Value) {
 // deletion). It reports whether a token was removed. The removal is
 // accounted in Drops (not Pops) and emits a KDropTok event.
 func (l *Link) DropToken(i int) bool {
-	if i < 0 || i >= len(l.fifo) {
+	if i < 0 || i >= l.n {
 		return false
 	}
-	l.fifo = append(l.fifo[:i], l.fifo[i+1:]...)
+	// Shift the tail down one slot, then park the dropped token's storage
+	// in the vacated slot so every ring cell keeps exclusive ownership of
+	// its element backing (the CloneInto reuse invariant).
+	dropped := *l.slot(i)
+	for j := i; j < l.n-1; j++ {
+		*l.slot(j) = *l.slot(j + 1)
+	}
+	*l.slot(l.n - 1) = dropped
+	l.n--
 	l.drops++
 	l.rt.K.NoteProgress()
 	l.notFull.Notify()
 	if rec := l.rt.K.Observer(); rec.Wants(obs.KDropTok) {
 		rec.Record(obs.Event{
 			At: uint64(l.rt.K.Now()), Kind: obs.KDropTok, PE: -1,
-			Link: int32(l.ID), Arg: int64(len(l.fifo)), Arg2: int64(i),
+			Link: int32(l.ID), Arg: int64(l.n), Arg2: int64(i),
 			Actor: l.Src.ActorName, Other: l.Dst.ActorName, Port: l.Src.Name,
 		})
 	}
@@ -409,14 +481,14 @@ func (l *Link) DropToken(i int) bool {
 // ReplaceToken overwrites the payload of the i-th queued token (debugger
 // token modification), emitting a KReplace event.
 func (l *Link) ReplaceToken(i int, v filterc.Value) bool {
-	if i < 0 || i >= len(l.fifo) {
+	if i < 0 || i >= l.n {
 		return false
 	}
-	l.fifo[i].Val = v.Clone()
+	v.CloneInto(&l.slot(i).Val)
 	if rec := l.rt.K.Observer(); rec.Wants(obs.KReplace) {
 		ev := obs.Event{
 			At: uint64(l.rt.K.Now()), Kind: obs.KReplace, PE: -1,
-			Link: int32(l.ID), Arg: int64(len(l.fifo)), Arg2: int64(i),
+			Link: int32(l.ID), Arg: int64(l.n), Arg2: int64(i),
 			Actor: l.Src.ActorName, Other: l.Dst.ActorName, Port: l.Src.Name,
 		}
 		if rec.Payloads() {

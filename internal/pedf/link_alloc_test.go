@@ -1,0 +1,67 @@
+package pedf
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"dfdbg/internal/filterc"
+	"dfdbg/internal/mach"
+	"dfdbg/internal/sim"
+)
+
+// TestLinkSteadyStateAllocs pins the ring-buffer link's core guarantee:
+// once the ring has reached its working size, a scalar push/pop cycle on
+// the undebugged hot path performs zero heap allocations — index
+// arithmetic and in-place clones only, no append-and-Clone per token.
+func TestLinkSteadyStateAllocs(t *testing.T) {
+	k := sim.NewKernel()
+	m := mach.New(k, mach.Config{})
+	rt := NewRuntime(k, m, nil)
+	u32 := filterc.Scalar(filterc.U32)
+	l := &Link{
+		ID:  1,
+		Src: &Port{ActorName: "a", Name: "o", Dir: Out, Type: u32},
+		Dst: &Port{ActorName: "b", Name: "i", Dir: In, Type: u32},
+		Cap: 8, rt: rt,
+		notEmpty: k.NewEvent("ne"),
+		notFull:  k.NewEvent("nf"),
+	}
+	var perToken float64
+	k.Spawn("bench", func(p *sim.Proc) {
+		var dst filterc.Value
+		push := func(i int) {
+			if err := l.push(p, nil, m.Host, filterc.Int(filterc.U32, int64(i))); err != nil {
+				t.Error(err)
+			}
+		}
+		pop := func() {
+			if _, err := l.pop(p, nil, &dst); err != nil {
+				t.Error(err)
+			}
+		}
+		for i := 0; i < 64; i++ { // warm the ring and the pop destination
+			push(i)
+			pop()
+		}
+		// The simulation is single-threaded here (the kernel goroutine is
+		// parked on the baton) and the GC is paused, so the global malloc
+		// counter delta is exactly this loop's allocations.
+		defer debug.SetGCPercent(debug.SetGCPercent(-1))
+		const n = 1024
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < n; i++ {
+			push(i)
+			pop()
+		}
+		runtime.ReadMemStats(&after)
+		perToken = float64(after.Mallocs-before.Mallocs) / n
+	})
+	if st, err := k.Run(); err != nil || st != sim.RunIdle {
+		t.Fatalf("run = %v %v", st, err)
+	}
+	if perToken != 0 {
+		t.Errorf("steady-state push/pop allocates %.3f objects per token, want 0", perToken)
+	}
+}

@@ -135,6 +135,12 @@ type Runtime struct {
 	// fireHist is the firing-duration histogram, registered by Start when
 	// the kernel has an observer installed (nil otherwise).
 	fireHist *obs.Histogram
+
+	// Batched execution engine state (batch.go / DESIGN §12).
+	batchPlans []BatchPlan
+	batchModes []RegionMode
+	batchHold  string // non-empty demotes every region (e.g. debug client attached)
+	batchWired bool   // arm/fault watchers installed
 }
 
 // NewRuntime creates a runtime. dbg may be nil (undebugged run).
@@ -214,7 +220,7 @@ func (rt *Runtime) registerObsMetrics() {
 		l := l
 		label := l.Src.Qualified() + "->" + l.Dst.Qualified()
 		m.GaugeFunc("pedf_link_occupancy", "tokens currently queued on a link",
-			func() float64 { return float64(len(l.fifo)) }, "link", label)
+			func() float64 { return float64(l.n) }, "link", label)
 		m.CounterFunc("pedf_link_pushes_total", "tokens ever pushed on a link",
 			func() float64 { return float64(l.pushes) }, "link", label)
 		m.CounterFunc("pedf_link_pops_total", "tokens ever popped from a link",

@@ -280,6 +280,18 @@ func buildStack(params SessionParams) (*stack, error) {
 	c.Full = func() (*analysis.Report, *analysis.Graph, error) {
 		return pedfgraph.Analyze(rt, "h264")
 	}
+	// Arm the batched engine, then hold it demoted for the session's
+	// lifetime: a dfserve session exists because an interactive debug
+	// client attached, and an attached client must observe the per-token
+	// execution it would single-step (DESIGN §12). The `batch` command
+	// and /batch endpoint surface the hold.
+	if _, err := pedfgraph.EnableBatch(rt, "h264"); err != nil {
+		return nil, err
+	}
+	rt.SetBatchHold("debug client attached")
+	c.Batch = func() (string, []pedf.RegionMode) {
+		return rt.BatchHold(), rt.RegionModes()
+	}
 	return &stack{cli: c, k: k, rec: orec, rt: rt}, nil
 }
 

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"dfdbg/internal/obs"
+)
 
 // Proc is a simulation process: a goroutine that runs only while it holds
 // the kernel's baton, and yields by blocking on an Event or on time.
@@ -15,6 +19,13 @@ type Proc struct {
 	waitEvent    *Event // set while state == ProcWaitEvent
 	wokenByEvent bool   // set by Event.fire before making the proc runnable
 	wakeAt       Time
+
+	// sleepNote and sleepFn are the reusable timed-note storage for
+	// Sleep's slow path: a process sleeps at most once concurrently, so
+	// one note per process suffices and the per-sleep heap allocation
+	// (note + closure) disappears.
+	sleepNote timedNote
+	sleepFn   func()
 
 	// Tag is an arbitrary user annotation (the platform layer stores the
 	// processing element a process is mapped to; the debugger uses it to
@@ -106,6 +117,11 @@ func (p *Proc) run(fn func(*Proc)) {
 	fn(p)
 }
 
+// Poisoned reports whether the process is being torn down by
+// Kernel.Shutdown. Deferred cleanup on the process stack must not issue
+// blocking operations (Sleep, Wait) once this is set.
+func (p *Proc) Poisoned() bool { return p.poisoned }
+
 // checkCurrent panics if p is not the process holding the baton; blocking
 // operations are only legal on the running process.
 func (p *Proc) checkCurrent(op string) {
@@ -159,19 +175,43 @@ func (p *Proc) WaitTimeout(ev *Event, d Duration) bool {
 }
 
 // Sleep blocks the process for d units of simulated time.
+//
+// Fast path (DESIGN §12): when this process is provably the next — and
+// only — thing the kernel could run at the wakeup instant, the clock is
+// advanced inline without yielding the baton. The resulting schedule is
+// identical to the yield-and-redispatch path: no other process is
+// runnable, no notification fires in (now, wake], the horizon is not
+// crossed, and neither the watchdog nor an armed fault plan could
+// intervene. Every 4096 consecutive inline advances one full scheduler
+// pass is forced so the wall-clock budget check stays live.
 func (p *Proc) Sleep(d Duration) {
 	p.checkCurrent("Sleep")
 	if d == 0 {
 		p.YieldNow()
 		return
 	}
-	p.state = ProcWaitTime
-	p.wakeAt = p.k.now + d
-	p.k.scheduleNote(p.wakeAt, func() {
-		if p.state == ProcWaitTime {
-			p.k.makeRunnable(p)
+	k := p.k
+	wake := k.now + d
+	if k.runHead == len(k.runnable) && !k.paused && k.flt == nil &&
+		k.err == nil && !p.frozen && !p.poisoned &&
+		wake <= k.until &&
+		(k.notes.Len() == 0 || k.notes.peek().at > wake) &&
+		(k.watchLimit == 0 || wake <= k.progressAt+k.watchLimit) &&
+		k.fastSleeps < 4096 {
+		k.fastSleeps++
+		k.advances++
+		if k.obs.Wants(obs.KTimeAdvance) {
+			k.obs.Record(obs.Event{
+				At: uint64(wake), Kind: obs.KTimeAdvance,
+				PE: -1, Arg: int64(d),
+			})
 		}
-	})
+		k.now = wake
+		return
+	}
+	p.state = ProcWaitTime
+	p.wakeAt = wake
+	k.scheduleNoteIn(&p.sleepNote, wake, p.sleepFn)
 	p.yieldAndWait()
 }
 

@@ -215,7 +215,8 @@ type Kernel struct {
 	now      Time
 	seq      uint64
 	procSeq  int
-	runnable []*Proc // FIFO dispatch queue
+	runnable []*Proc // FIFO dispatch queue; live entries are runnable[runHead:]
+	runHead  int     // index of the next process to dispatch
 	notes    noteHeap
 	procs    []*Proc
 	current  *Proc
@@ -223,6 +224,15 @@ type Kernel struct {
 	paused   bool
 	err      error
 	running  bool
+
+	// Batched-execution support (DESIGN §12). RunUntil mirrors its horizon
+	// in `until` so Proc.Sleep can advance the clock inline — no note
+	// allocation, no baton round-trip — when the sleeping process is
+	// provably the only thing the kernel could run next. fastSleeps counts
+	// consecutive inline advances and forces a full scheduler pass every
+	// 4096 so the wall-budget check stays live.
+	until      Time
+	fastSleeps uint
 
 	preRun     []func()
 	preRunDone bool
@@ -242,6 +252,7 @@ type Kernel struct {
 	// progress (NoteProgress call) lands for watchLimit simulated units;
 	// the wall budget bounds real time spent inside one RunUntil call.
 	flt            *fault.Injector
+	onFaults       []func()
 	watchLimit     Duration
 	progressAt     Time
 	wallBudget     time.Duration
@@ -296,7 +307,18 @@ func (k *Kernel) Observer() *obs.Recorder { return k.obs }
 // SetFaults arms (or, with nil, disarms) a fault injector. Like the
 // recorder it is shared down the stack: pedf and mach reach it through
 // Kernel.Faults, so arming one injector covers every injection point.
-func (k *Kernel) SetFaults(in *fault.Injector) { k.flt = in }
+// Registered fault watchers run after the swap (the batched-execution
+// layer demotes proven-SDF regions whenever a plan is armed, so fault
+// trigger indices keep their per-token accounting).
+func (k *Kernel) SetFaults(in *fault.Injector) {
+	k.flt = in
+	for _, fn := range k.onFaults {
+		fn()
+	}
+}
+
+// OnFaultsChange registers fn to run after every SetFaults call.
+func (k *Kernel) OnFaultsChange(fn func()) { k.onFaults = append(k.onFaults, fn) }
 
 // Faults returns the armed injector (nil when fault injection is off).
 func (k *Kernel) Faults() *fault.Injector { return k.flt }
@@ -418,8 +440,13 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 		resume: make(chan struct{}),
 	}
 	k.procSeq++
+	p.sleepFn = func() {
+		if p.state == ProcWaitTime {
+			k.makeRunnable(p)
+		}
+	}
 	k.procs = append(k.procs, p)
-	k.runnable = append(k.runnable, p)
+	k.pushRunnable(p)
 	go p.run(fn)
 	return p
 }
@@ -444,6 +471,7 @@ func (k *Kernel) RunUntil(until Time) (RunStatus, error) {
 		return RunError, fmt.Errorf("sim: RunUntil called reentrantly")
 	}
 	k.running = true
+	k.until = until
 	defer func() { k.running = false }()
 	if !k.preRunDone {
 		k.preRunDone = true
@@ -469,13 +497,19 @@ func (k *Kernel) RunUntil(until Time) (RunStatus, error) {
 		// influences which process runs next, so a run that stays within
 		// budget is bit-identical to one with no budget armed.
 		iter++
+		k.fastSleeps = 0
 		if k.wallBudget > 0 && iter&4095 == 0 && time.Since(wallStart) > k.wallBudget {
 			k.commitStall(k.stallReport(false, true))
 			return RunStalled, nil
 		}
-		if len(k.runnable) > 0 {
-			p := k.runnable[0]
-			k.runnable = k.runnable[1:]
+		if k.runHead < len(k.runnable) {
+			p := k.runnable[k.runHead]
+			k.runnable[k.runHead] = nil
+			k.runHead++
+			if k.runHead == len(k.runnable) {
+				k.runnable = k.runnable[:0]
+				k.runHead = 0
+			}
 			p.queued = false
 			if p.state != ProcReady {
 				// Process was cancelled while queued; skip.
@@ -569,6 +603,7 @@ func (k *Kernel) Shutdown() error {
 	// Poison unwinds are expected; do not surface them as process errors.
 	k.err = nil
 	k.runnable = nil
+	k.runHead = 0
 	return nil
 }
 
@@ -610,6 +645,15 @@ func (k *Kernel) scheduleNote(at Time, fn func()) *timedNote {
 	return n
 }
 
+// scheduleNoteIn is scheduleNote with caller-provided storage, letting a
+// process reuse one note (and one closure) across its sleeps instead of
+// allocating per call. The note must not currently sit in the heap.
+func (k *Kernel) scheduleNoteIn(n *timedNote, at Time, fn func()) {
+	n.at, n.seq, n.fn = at, k.seq, fn
+	k.seq++
+	k.notes.push(n)
+}
+
 // makeRunnable appends p to the dispatch queue (at most once). Frozen
 // processes record the wakeup and queue on Thaw instead.
 func (k *Kernel) makeRunnable(p *Proc) {
@@ -623,5 +667,21 @@ func (k *Kernel) makeRunnable(p *Proc) {
 	}
 	p.state = ProcReady
 	p.queued = true
+	k.pushRunnable(p)
+}
+
+// pushRunnable appends to the dispatch queue, compacting consumed head
+// space first when append would otherwise grow the backing array. The
+// queue therefore stays at its high-water mark instead of crawling
+// through memory one reallocation per wrap.
+func (k *Kernel) pushRunnable(p *Proc) {
+	if k.runHead > 0 && len(k.runnable) == cap(k.runnable) {
+		n := copy(k.runnable, k.runnable[k.runHead:])
+		for i := n; i < len(k.runnable); i++ {
+			k.runnable[i] = nil
+		}
+		k.runnable = k.runnable[:n]
+		k.runHead = 0
+	}
 	k.runnable = append(k.runnable, p)
 }

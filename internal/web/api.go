@@ -559,6 +559,33 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request, h Host) {
 	_, _ = w.Write([]byte(buf.String()))
 }
 
+// handleBatch reports the batched-execution mode of every proven-SDF
+// region (DESIGN §12): whether each region currently runs schedule-
+// driven (batched) or per-token, and why it was demoted. Empty when the
+// batched engine was never enabled on the session.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, h Host) {
+	type resp struct {
+		Hold    string            `json:"hold,omitempty"`
+		Regions []pedf.RegionMode `json:"regions"`
+	}
+	var out resp
+	err := h.Query(func(snap *Snapshot) {
+		if snap.RT == nil {
+			return
+		}
+		out.Hold = snap.RT.BatchHold()
+		out.Regions = snap.RT.RegionModes()
+	})
+	if err != nil {
+		writeErr(w, http.StatusGone, err)
+		return
+	}
+	if out.Regions == nil {
+		out.Regions = []pedf.RegionMode{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 // handleProvenance walks backward from ?token=LINK:SEQ (production
 // sequence) through the retained events. ?depth= and ?fanin= bound the
 // walk.

@@ -159,6 +159,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/sessions/{id}/stall", s.session(s.handleStall))
 	s.mux.HandleFunc("GET /api/sessions/{id}/analyze", s.session(s.handleAnalyze))
 	s.mux.HandleFunc("GET /api/sessions/{id}/provenance", s.session(s.handleProvenance))
+	s.mux.HandleFunc("GET /api/sessions/{id}/batch", s.session(s.handleBatch))
 	s.mux.HandleFunc("GET /api/sessions/{id}/metrics", s.session(s.handleMetrics))
 	s.mux.HandleFunc("GET /api/sessions/{id}/stream", s.session(s.handleStream))
 	s.mux.HandleFunc("POST /api/sessions/{id}/exec", s.session(s.handleExec))
