@@ -1,0 +1,125 @@
+// Checkpoint and restore cost benchmarks (DESIGN §13), pinned in
+// BENCH_ckpt.json and guarded by CI:
+//
+//   - BenchmarkCheckpoint — serializing the full session state (kernel,
+//     machine, PEDF runtime with filterc values, fault injector, obs
+//     ring) into the versioned self-checksummed container.
+//   - BenchmarkRestore — the replay-verified restore: rebuild the whole
+//     stack, replay the command journal, re-capture, byte-compare.
+package dfdbg
+
+import (
+	"io"
+	"testing"
+
+	"dfdbg/internal/ckpt"
+	"dfdbg/internal/cli"
+	"dfdbg/internal/core"
+	"dfdbg/internal/dbginfo"
+	"dfdbg/internal/h264"
+	"dfdbg/internal/lowdbg"
+	"dfdbg/internal/mach"
+	"dfdbg/internal/obs"
+	"dfdbg/internal/pedf"
+	"dfdbg/internal/sim"
+)
+
+// ckptBenchStack mirrors the serve session stack: a full debugger world
+// with a CLI on top, so the journal replays command lines.
+type ckptBenchStack struct {
+	k   *sim.Kernel
+	m   *mach.Machine
+	rt  *pedf.Runtime
+	rec *obs.Recorder
+	c   *cli.CLI
+}
+
+func (s *ckptBenchStack) ReplayExec(line string) { s.c.Dispatch(line) }
+func (s *ckptBenchStack) CaptureState() ([]byte, error) {
+	return ckpt.CaptureStack(s.k, s.m, s.rt, s.rec)
+}
+func (s *ckptBenchStack) Shutdown() { _ = s.k.Shutdown() }
+
+func buildCkptBench() (ckpt.Target, error) {
+	k := sim.NewKernel()
+	rec := obs.NewRecorder(1 << 14)
+	k.SetObserver(rec)
+	low := lowdbg.New(k, dbginfo.NewTable())
+	d := core.Attach(low)
+	m := mach.New(k, mach.Config{})
+	rt := pedf.NewRuntime(k, m, low)
+	p := h264.Params{W: 16, H: 16, QP: 8, Seed: 7}
+	bits, err := h264.Encode(h264.GenerateFrame(p), p)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := h264.Build(rt, p, bits, false); err != nil {
+		return nil, err
+	}
+	if err := rt.Start(); err != nil {
+		return nil, err
+	}
+	c := cli.New(d, io.Discard)
+	c.Obs = rec
+	return &ckptBenchStack{k: k, m: m, rt: rt, rec: rec, c: c}, nil
+}
+
+// BenchmarkCheckpoint measures capturing one checkpoint of a completed
+// 16x16 decode — the worst-case state (full frame assembled, obs ring
+// populated, scheduler drained).
+func BenchmarkCheckpoint(b *testing.B) {
+	mgr := ckpt.NewManager(buildCkptBench)
+	mgr.Limit = 2
+	t, err := mgr.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := t.(*ckptBenchStack)
+	defer st.Shutdown()
+	if res := st.c.Dispatch("continue"); res.Err != nil {
+		b.Fatal(res.Err)
+	}
+	mgr.Note("continue")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var stateBytes int
+	for i := 0; i < b.N; i++ {
+		cp, err := mgr.Capture(st, "bench", uint64(st.k.Now()), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stateBytes = len(cp.State)
+	}
+	b.ReportMetric(float64(stateBytes), "state_bytes")
+}
+
+// BenchmarkRestore measures the full replay-verified restore: rebuild
+// the stack from scratch, replay the journaled decode, re-capture the
+// state, and byte-compare it against the checkpoint.
+func BenchmarkRestore(b *testing.B) {
+	mgr := ckpt.NewManager(buildCkptBench)
+	mgr.Limit = 2
+	t, err := mgr.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := t.(*ckptBenchStack)
+	defer st.Shutdown()
+	if res := st.c.Dispatch("continue"); res.Err != nil {
+		b.Fatal(res.Err)
+	}
+	mgr.Note("continue")
+	cp, err := mgr.Capture(st, "bench", uint64(st.k.Now()), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nt, err := mgr.Restore(mgr.Find(cp.ID))
+		if err != nil {
+			b.Fatal(err)
+		}
+		nt.(*ckptBenchStack).Shutdown()
+	}
+}

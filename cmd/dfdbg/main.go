@@ -17,13 +17,16 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"dfdbg/internal/analysis"
 	"dfdbg/internal/analysis/pedfgraph"
+	"dfdbg/internal/ckpt"
 	"dfdbg/internal/cli"
 	"dfdbg/internal/core"
 	"dfdbg/internal/dbginfo"
@@ -57,7 +60,13 @@ func main() {
 	p := h264.Params{W: *w, H: *h, QP: *qp, Seed: *seed}
 	fo := faultOpts{spec: *flts, seed: *fsd, watchdog: *wdog}
 	if err := run(p, *bug, fo, os.Stdin, os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "dfdbg: %v\n", err)
+		// A fault-plan panic contained by the runtime exits with the
+		// structured crash report, never a raw Go panic.
+		if rep, ok := pedf.CrashReport(err); ok {
+			fmt.Fprintf(os.Stderr, "dfdbg: %s\n", rep)
+		} else {
+			fmt.Fprintf(os.Stderr, "dfdbg: %v\n", err)
+		}
 		os.Exit(1)
 	}
 }
@@ -143,11 +152,36 @@ func armFaults(k *sim.Kernel, rt *pedf.Runtime, fo faultOpts, out io.Writer) err
 	return nil
 }
 
-func run(p h264.Params, bugName string, fo faultOpts, in io.Reader, out io.Writer) error {
-	bug, err := h264.ParseBug(bugName)
-	if err != nil {
-		return err
-	}
+// soloStack is one fully-built debugger world of the REPL. It is the
+// ckpt.Target the checkpoint manager rebuilds during restore and
+// reverse execution, so everything here must come out identical when
+// built twice from the same flags.
+type soloStack struct {
+	k    *sim.Kernel
+	orec *obs.Recorder
+	m    *mach.Machine
+	rt   *pedf.Runtime
+	d    *core.Debugger
+	c    *cli.CLI
+}
+
+func (st *soloStack) ReplayExec(line string) { st.c.Dispatch(line) }
+func (st *soloStack) CaptureState() ([]byte, error) {
+	return ckpt.CaptureStack(st.k, st.m, st.rt, st.orec)
+}
+func (st *soloStack) Shutdown() { _ = st.k.Shutdown() }
+
+// full is the analysis hook of this stack's world.
+func (st *soloStack) full() (*analysis.Report, error) {
+	rep, _, err := pedfgraph.Analyze(st.rt, "h264")
+	return rep, err
+}
+
+// buildSolo boots one REPL world: kernel, machine, PEDF runtime, the
+// H.264 case study with the requested bug, flag-armed faults, batched
+// execution, and a CLI over it all. out receives the boot-time banner
+// and pre-flight warnings; checkpoint rebuilds pass io.Discard.
+func buildSolo(p h264.Params, bug h264.Bug, fo faultOpts, out io.Writer) (*soloStack, error) {
 	k := sim.NewKernel()
 	orec := obs.NewRecorder(4096)
 	k.SetObserver(orec)
@@ -158,16 +192,16 @@ func run(p h264.Params, bugName string, fo faultOpts, in io.Reader, out io.Write
 	rt := pedf.NewRuntime(k, m, low)
 	bits, err := h264.Encode(h264.GenerateFrame(p), p)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if _, err := h264.BuildVariant(rt, p, bits, bug); err != nil {
-		return err
+		return nil, err
 	}
 	if err := rt.Start(); err != nil {
-		return err
+		return nil, err
 	}
 	if err := armFaults(k, rt, fo, out); err != nil {
-		return err
+		return nil, err
 	}
 	// Static pre-flight: warnings surface before the first dispatch (the
 	// run proceeds regardless; `dfdbg analyze` is the gating form).
@@ -175,12 +209,8 @@ func run(p h264.Params, bugName string, fo faultOpts, in io.Reader, out io.Write
 	// Let the framework initialization run so the graph is reconstructed
 	// before the first prompt (the paper's init-phase interception).
 	if _, err := k.RunUntil(0); err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintf(out, "dfdbg: dataflow debugger on the H.264 case study "+
-		"(%dx%d, %d macroblocks, bug=%s)\n", p.W, p.H, p.NumBlocks(), bug)
-	fmt.Fprintf(out, "%d actors and %d links reconstructed; type `help` for commands\n",
-		len(d.Actors()), len(d.Links()))
 	c := cli.New(d, out)
 	c.Rec = rec
 	c.Obs = orec
@@ -193,30 +223,153 @@ func run(p h264.Params, bugName string, fo faultOpts, in io.Reader, out io.Write
 	// and demote to the per-token path the moment one is. `batch` shows
 	// the live per-region mode.
 	if _, err := pedfgraph.EnableBatch(rt, "h264"); err != nil {
-		return err
+		return nil, err
 	}
 	c.Batch = func() (string, []pedf.RegionMode) {
 		return rt.BatchHold(), rt.RegionModes()
 	}
-	// The web UI shares the stack through a solo host: its mutex is the
-	// dispatch guard, so browser queries serialize against commands.
-	host := web.NewSoloHost("dfdbg", orec, k, rt, func() (*analysis.Report, error) {
-		rep, _, err := pedfgraph.Analyze(rt, "h264")
-		return rep, err
-	})
-	c.Guard = host
-	host.SetExec(func(line string) (web.ExecResult, error) {
-		res := c.Dispatch(line)
-		out := web.ExecResult{Output: res.Output, Quit: res.Quit}
-		if res.Err != nil {
-			out.Err = res.Err.Error()
-		}
-		return out, nil
-	})
-	c.StartWeb = func(addr string) (string, error) {
-		url, _, err := host.Serve(addr)
-		return url, err
+	return &soloStack{k: k, orec: orec, m: m, rt: rt, d: d, c: c}, nil
+}
+
+func run(p h264.Params, bugName string, fo faultOpts, in io.Reader, out io.Writer) error {
+	bug, err := h264.ParseBug(bugName)
+	if err != nil {
+		return err
 	}
-	c.Run(in)
-	return nil
+	cur, err := buildSolo(p, bug, fo, out)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "dfdbg: dataflow debugger on the H.264 case study "+
+		"(%dx%d, %d macroblocks, bug=%s)\n", p.W, p.H, p.NumBlocks(), bug)
+	fmt.Fprintf(out, "%d actors and %d links reconstructed; type `help` for commands\n",
+		len(cur.d.Actors()), len(cur.d.Links()))
+
+	// The checkpoint manager journals state-mutating command lines and
+	// rebuilds the whole world (with replay verification) on restore and
+	// reverse execution (DESIGN §13).
+	mgr := ckpt.NewManager(func() (ckpt.Target, error) {
+		st, err := buildSolo(p, bug, fo, io.Discard)
+		if err != nil {
+			return nil, err
+		}
+		return st, nil
+	})
+	var swap *soloStack // staged by a restore-class hook, adopted post-dispatch
+
+	// The web UI shares the stack through a solo host; its mutex is the
+	// dispatch guard, so browser queries serialize against commands and
+	// a restore rebinds the host before anything else runs.
+	host := web.NewSoloHost("dfdbg", cur.orec, cur.k, cur.rt, cur.full)
+
+	// wire installs the checkpoint commands on a (re)built world's CLI.
+	var wire func(st *soloStack)
+	wire = func(st *soloStack) {
+		st.c.StartWeb = func(addr string) (string, error) {
+			url, _, err := host.Serve(addr)
+			return url, err
+		}
+		st.c.Ckpt = &cli.CkptHooks{
+			Save: func(label string) (ckpt.Info, error) {
+				cp, err := mgr.Capture(st, label, uint64(st.k.Now()), time.Now().UnixNano())
+				if err != nil {
+					return ckpt.Info{}, err
+				}
+				return cp.Info(), nil
+			},
+			List: mgr.List,
+			Restore: func(id int) (ckpt.Info, error) {
+				cp := mgr.Latest()
+				if id != 0 {
+					cp = mgr.Find(id)
+				}
+				if cp == nil {
+					return ckpt.Info{}, fmt.Errorf("no such checkpoint (see `checkpoints')")
+				}
+				t, err := mgr.Restore(cp)
+				if err != nil {
+					return ckpt.Info{}, err
+				}
+				swap = t.(*soloStack)
+				return cp.Info(), nil
+			},
+			ReverseStep: func() error {
+				t, err := mgr.ReverseStep()
+				if err != nil {
+					return err
+				}
+				swap = t.(*soloStack)
+				return nil
+			},
+			ReverseContinue: func() (ckpt.Info, error) {
+				cp := mgr.Latest()
+				if cp == nil {
+					return ckpt.Info{}, fmt.Errorf("no checkpoint to reverse-continue to")
+				}
+				t, err := mgr.Restore(cp)
+				if err != nil {
+					return ckpt.Info{}, err
+				}
+				swap = t.(*soloStack)
+				return cp.Info(), nil
+			},
+		}
+	}
+	wire(cur)
+
+	// dispatch runs one command line under the host lock, journals it on
+	// success, and adopts the rebuilt stack a restore-class command
+	// staged. All mutation — REPL and web exec alike — funnels through
+	// here, so the swap is race-free by construction.
+	dispatch := func(line string) cli.Result {
+		host.Lock()
+		defer host.Unlock()
+		res := cur.c.Dispatch(line)
+		if res.Err == nil && ckpt.Journaled(line) {
+			mgr.Note(line)
+		}
+		if ns := swap; ns != nil {
+			swap = nil
+			old := cur
+			cur = ns
+			wire(ns)
+			host.Rebind(ns.orec, ns.k, ns.rt, ns.full)
+			if old != ns {
+				old.Shutdown()
+			}
+		}
+		return res
+	}
+	host.SetExec(func(line string) (web.ExecResult, error) {
+		res := dispatch(line)
+		er := web.ExecResult{Output: res.Output, Quit: res.Quit}
+		if res.Err != nil {
+			er.Err = res.Err.Error()
+		}
+		return er, nil
+	})
+
+	// The birth checkpoint: reverse execution and `restore` always have
+	// a floor to return to. Best effort — a world whose state cannot be
+	// captured still debugs, it just cannot rewind.
+	if _, err := mgr.Capture(cur, "boot", uint64(cur.k.Now()), time.Now().UnixNano()); err != nil {
+		fmt.Fprintf(out, "checkpointing disabled: %v\n", err)
+	}
+
+	sc := bufio.NewScanner(in)
+	for {
+		fmt.Fprintf(out, "(gdb) ")
+		if !sc.Scan() {
+			fmt.Fprintf(out, "\n")
+			return nil
+		}
+		res := dispatch(sc.Text())
+		io.WriteString(out, res.Output)
+		if res.Err != nil {
+			fmt.Fprintf(out, "error: %v\n", res.Err)
+		}
+		if res.Quit {
+			return nil
+		}
+	}
 }

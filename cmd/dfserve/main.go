@@ -7,6 +7,7 @@
 //
 //	dfserve [-addr 127.0.0.1:7788] [-http 127.0.0.1:7789] [-max-sessions 32]
 //	        [-max-conns 64] [-idle-timeout 5m] [-event-queue 256]
+//	        [-checkpoint-every 8] [-checkpoint-interval 30s] [-restart-limit 3]
 //
 // A session is created with {"id":1,"op":"new","params":{...}} and
 // driven with {"id":2,"op":"exec","session":"s1","line":"continue"};
@@ -38,30 +39,48 @@ func main() {
 		maxC  = flag.Int("max-conns", 64, "concurrent connection limit")
 		idle  = flag.Duration("idle-timeout", 5*time.Minute, "reap sessions idle this long (0 = never)")
 		queue = flag.Int("event-queue", 256, "per-client async event queue length")
+		ckptN = flag.Int("checkpoint-every", 8, "auto-checkpoint each N state-mutating commands (0 = off)")
+		ckptT = flag.Duration("checkpoint-interval", 30*time.Second, "auto-checkpoint after this much wall time (0 = off)")
+		rlim  = flag.Int("restart-limit", 3, "crash recoveries per session before it closes (0 = no recovery)")
 	)
 	flag.Parse()
-	if err := run(*addr, *haddr, *maxS, *maxC, *idle, *queue); err != nil {
+	o := serve.Options{
+		MaxSessions:        *maxS,
+		MaxConns:           *maxC,
+		EventQueueLen:      *queue,
+		CheckpointEvery:    *ckptN,
+		CheckpointInterval: *ckptT,
+		RestartLimit:       *rlim,
+	}
+	if err := run(*addr, *haddr, *idle, o); err != nil {
 		fmt.Fprintf(os.Stderr, "dfserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, httpAddr string, maxSessions, maxConns int, idle time.Duration, queue int) error {
+func run(addr, httpAddr string, idle time.Duration, o serve.Options) error {
 	if idle == 0 {
 		idle = -1 // Options treats 0 as "default"; <0 disables reaping
 	}
-	srv := serve.NewServer(serve.Options{
-		MaxSessions:   maxSessions,
-		MaxConns:      maxConns,
-		IdleTimeout:   idle,
-		EventQueueLen: queue,
-	})
+	o.IdleTimeout = idle
+	// Flag zero means "off" for the user; Options uses negatives for that
+	// and treats zero as "default".
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = -1
+	}
+	if o.CheckpointInterval == 0 {
+		o.CheckpointInterval = -1
+	}
+	if o.RestartLimit == 0 {
+		o.RestartLimit = -1
+	}
+	srv := serve.NewServer(o)
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(addr) }()
 	fmt.Fprintf(os.Stderr, "dfserve: listening on %s (max %d sessions, %d conns)\n",
-		addr, maxSessions, maxConns)
+		addr, o.MaxSessions, o.MaxConns)
 
 	var hsrv *http.Server
 	if httpAddr != "" {

@@ -287,7 +287,11 @@ func chaosDecode(k *sim.Kernel, rt *pedf.Runtime, host *web.SoloHost, o decodeOp
 	st, err := runKernel(k, host)
 	switch {
 	case err != nil:
-		fmt.Fprintf(w, "contained crash: %v\n", err)
+		if rep, ok := pedf.CrashReport(err); ok {
+			fmt.Fprintf(w, "%s\n", rep)
+		} else {
+			fmt.Fprintf(w, "contained crash: %v\n", err)
+		}
 	case st == sim.RunStalled:
 		if r := k.LastStall(); r != nil {
 			fmt.Fprintf(w, "%s\n", r)

@@ -34,6 +34,31 @@ type Options struct {
 	// batched chaos run is required to produce the exact same Result as
 	// a non-batched one — the gauntlet asserts that.
 	Batch bool
+
+	// Checkpoint runs the crash-safety gauntlet instead (DESIGN §13):
+	// the run is driven through journaled CLI commands, checkpointed
+	// between rounds, killed at a seeded random round, restored from the
+	// last checkpoint with replay verification, and must end with a
+	// fault trace and final state blob byte-identical to an
+	// uninterrupted run.
+	Checkpoint bool
+}
+
+// withDefaults fills in the zero-value defaults.
+func (o Options) withDefaults() Options {
+	if o.W == 0 {
+		o.W = 16
+	}
+	if o.H == 0 {
+		o.H = 16
+	}
+	if o.Watchdog == 0 {
+		o.Watchdog = sim.Duration(2_000_000) // 2ms simulated
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 50
+	}
+	return o
 }
 
 // Result is the verdict of one seeded chaos run.
@@ -44,6 +69,7 @@ type Result struct {
 	Crashes     int      // contained filter crashes observed
 	Unsticks    int      // recovery actions applied
 	Rounds      int      // continue cycles consumed
+	Restores    int      // checkpoint restores survived (Checkpoint mode)
 	FinalStatus string   // "completed" | "crashed-contained" | "gave-up"
 	Trace       []string // deterministic fault trace
 }
@@ -58,17 +84,9 @@ func (r *Result) String() string {
 // stall, a recovery that does not restore progress — returns an error;
 // an escaped panic propagates to the caller's test harness by design.
 func Run(seed int64, o Options) (*Result, error) {
-	if o.W == 0 {
-		o.W = 16
-	}
-	if o.H == 0 {
-		o.H = 16
-	}
-	if o.Watchdog == 0 {
-		o.Watchdog = sim.Duration(2_000_000) // 2ms simulated
-	}
-	if o.Rounds == 0 {
-		o.Rounds = 50
+	o = o.withDefaults()
+	if o.Checkpoint {
+		return RunCheckpoint(seed, o)
 	}
 
 	k := sim.NewKernel()

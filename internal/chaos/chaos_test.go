@@ -115,3 +115,47 @@ func TestChaosStallsExplained(t *testing.T) {
 		t.Error("no stall induced in seeds 1..10 — fault generator too tame for the watchdog test")
 	}
 }
+
+// TestChaosCheckpoint is the crash-safety gauntlet (DESIGN §13): each
+// seed's fault run is driven through journaled CLI commands, killed at
+// a seeded random round (full stack teardown), restored from the last
+// checkpoint with replay verification, and must end with the same final
+// status, the same fault trace, and a byte-identical final state blob
+// as an uninterrupted run. RunCheckpoint enforces all of that and
+// errors on the first divergence.
+func TestChaosCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("checkpoint gauntlet is long; run without -short")
+	}
+	const seeds = 120
+	byStatus := map[string]int{}
+	for seed := int64(1); seed <= seeds; seed++ {
+		res, err := Run(seed, Options{Checkpoint: true})
+		if err != nil {
+			t.Fatalf("seed %d violated the crash-safety contract: %v", seed, err)
+		}
+		if res.Restores != 1 {
+			t.Errorf("seed %d: %d restores, want exactly 1", seed, res.Restores)
+		}
+		byStatus[res.FinalStatus]++
+	}
+	if byStatus["completed"] == 0 {
+		t.Error("no seed completed — the gauntlet never exercises the happy path")
+	}
+	t.Logf("outcomes over %d kill/restore runs: %v", seeds, byStatus)
+}
+
+// TestChaosCheckpointSmoke keeps a handful of kill/restore/replay-verify
+// runs in the -short tier so every `go test` exercises the crash-safety
+// path.
+func TestChaosCheckpointSmoke(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		res, err := Run(seed, Options{Checkpoint: true})
+		if err != nil {
+			t.Fatalf("seed %d violated the crash-safety contract: %v", seed, err)
+		}
+		if res.Restores != 1 {
+			t.Errorf("seed %d: %d restores, want exactly 1", seed, res.Restores)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Checkpoint-mode chaos (DESIGN §13): the same seeded fault gauntlet,
+// but driven through the CLI so every state-mutating action — arming
+// the watchdog, generating the plan, each continue, each token-surgery
+// recovery — is a journaled command a rebuilt stack can replay. The
+// run is checkpointed between rounds, killed (full stack teardown) at
+// a seeded random round, restored from the last checkpoint with replay
+// verification, and must finish with the final status, fault trace and
+// complete state blob byte-identical to an uninterrupted run.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"dfdbg/internal/analysis/pedfgraph"
+	"dfdbg/internal/ckpt"
+	"dfdbg/internal/cli"
+	"dfdbg/internal/core"
+	"dfdbg/internal/dbginfo"
+	"dfdbg/internal/fault"
+	"dfdbg/internal/h264"
+	"dfdbg/internal/lowdbg"
+	"dfdbg/internal/mach"
+	"dfdbg/internal/obs"
+	"dfdbg/internal/pedf"
+	"dfdbg/internal/sim"
+)
+
+// ckptStack is the chaos harness's ckpt.Target: a full debugger stack
+// with a CLI on top, so the checkpoint journal replays command lines.
+type ckptStack struct {
+	k   *sim.Kernel
+	m   *mach.Machine
+	rt  *pedf.Runtime
+	rec *obs.Recorder
+	c   *cli.CLI
+}
+
+func (s *ckptStack) ReplayExec(line string) { s.c.Dispatch(line) }
+func (s *ckptStack) CaptureState() ([]byte, error) {
+	return ckpt.CaptureStack(s.k, s.m, s.rt, s.rec)
+}
+func (s *ckptStack) Shutdown() { _ = s.k.Shutdown() }
+
+// buildCkptStack boots the chaos recipe — no fault plan or watchdog
+// yet; those arrive as journaled commands so replay re-creates them.
+func buildCkptStack(o Options) (*ckptStack, error) {
+	k := sim.NewKernel()
+	rec := obs.NewRecorder(1 << 14)
+	k.SetObserver(rec)
+	low := lowdbg.New(k, dbginfo.NewTable())
+	d := core.Attach(low)
+	m := mach.New(k, mach.Config{})
+	rt := pedf.NewRuntime(k, m, low)
+	p := h264.Params{W: o.W, H: o.H, QP: 8, Seed: 7}
+	bits, err := h264.Encode(h264.GenerateFrame(p), p)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := h264.Build(rt, p, bits, false); err != nil {
+		return nil, err
+	}
+	if err := rt.Start(); err != nil {
+		return nil, err
+	}
+	if o.Batch {
+		if _, err := pedfgraph.EnableBatch(rt, "h264"); err != nil {
+			return nil, err
+		}
+	}
+	c := cli.New(d, io.Discard)
+	c.Obs = rec
+	c.Targets = rt.FaultTargets()
+	return &ckptStack{k: k, m: m, rt: rt, rec: rec, c: c}, nil
+}
+
+// step executes one command line and journals it on success
+// (journal-after-success, same policy as the serve supervisor).
+func step(mgr *ckpt.Manager, st *ckptStack, line string) cli.Result {
+	res := st.c.Dispatch(line)
+	if res.Err == nil && ckpt.Journaled(line) {
+		mgr.Note(line)
+	}
+	return res
+}
+
+// runJournaled drives one CLI-journaled gauntlet. killAt > 0 tears the
+// whole stack down at the start of that round and restores from the
+// last checkpoint (rebuild + replay + byte-verification); 0 runs
+// uninterrupted. Returns the verdict, the final state blob, and how
+// many restores happened.
+func runJournaled(seed int64, o Options, killAt int) (*Result, []byte, error) {
+	mgr := ckpt.NewManager(func() (ckpt.Target, error) {
+		st, err := buildCkptStack(o)
+		if err != nil {
+			return nil, err
+		}
+		return st, nil
+	})
+	mgr.Limit = 4
+	t, err := mgr.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	st := t.(*ckptStack)
+	defer func() { st.Shutdown() }()
+
+	res := &Result{Seed: seed, FinalStatus: "gave-up"}
+	res.Plan = fault.Generate(seed, st.rt.FaultTargets())
+	if r := step(mgr, st, fmt.Sprintf("watchdog %d", uint64(o.Watchdog))); r.Err != nil {
+		return res, nil, r.Err
+	}
+	if r := step(mgr, st, fmt.Sprintf("fault gen %d", seed)); r.Err != nil {
+		return res, nil, r.Err
+	}
+	if _, err := mgr.Capture(st, "boot", uint64(st.k.Now()), 0); err != nil {
+		return res, nil, err
+	}
+
+	finish := func(status string) (*Result, []byte, error) {
+		res.FinalStatus = status
+		if inj := st.k.Faults(); inj != nil {
+			res.Trace = inj.TraceStrings()
+		}
+		state, err := st.CaptureState()
+		return res, state, err
+	}
+
+	// Rounds re-executed after a restore count again, so the loop bound
+	// gets headroom for the replayed tail.
+	for res.Rounds = 1; res.Rounds <= o.Rounds+ckptEveryRounds; res.Rounds++ {
+		if res.Rounds == killAt {
+			st.Shutdown()
+			nt, err := mgr.Restore(mgr.Latest())
+			if err != nil {
+				return res, nil, fmt.Errorf("restore after kill at round %d: %w", killAt, err)
+			}
+			st = nt.(*ckptStack)
+			res.Restores++
+		}
+		r := step(mgr, st, "continue")
+		if r.Err != nil {
+			return res, nil, fmt.Errorf("round %d: %v", res.Rounds, r.Err)
+		}
+		switch {
+		case r.Stop == nil || r.Stop.Done:
+			return finish("completed")
+		case r.Stop.Crash != nil:
+			res.Crashes++
+			return finish("crashed-contained")
+		case r.Stop.Stalled || r.Stop.Deadlock:
+			res.Stalls++
+			if u := step(mgr, st, "unstick apply"); u.Err != nil {
+				return res, nil, fmt.Errorf("round %d: unstick: %v", res.Rounds, u.Err)
+			}
+			res.Unsticks++
+		}
+		if res.Rounds%ckptEveryRounds == 0 {
+			if _, err := mgr.Capture(st, "auto", uint64(st.k.Now()), 0); err != nil {
+				return res, nil, err
+			}
+		}
+	}
+	return res, nil, fmt.Errorf("seed %d: gave up after %d rounds (%d stalls)", seed, res.Rounds-1, res.Stalls)
+}
+
+// ckptEveryRounds is the checkpoint cadence of the journaled gauntlet.
+const ckptEveryRounds = 2
+
+// RunCheckpoint executes seed's gauntlet twice — once uninterrupted and
+// once killed at a seeded random round, restored, and replay-verified —
+// and fails unless final status, fault trace, and the complete state
+// blob agree byte-for-byte.
+func RunCheckpoint(seed int64, o Options) (*Result, error) {
+	o = o.withDefaults()
+	ref, refState, err := runJournaled(seed, o, 0)
+	if err != nil {
+		return nil, fmt.Errorf("seed %d (reference): %w", seed, err)
+	}
+	killAt := 1 + int(rand.New(rand.NewSource(seed)).Int63n(int64(ref.Rounds)))
+	got, gotState, err := runJournaled(seed, o, killAt)
+	if err != nil {
+		return nil, fmt.Errorf("seed %d (killed at round %d): %w", seed, killAt, err)
+	}
+	if got.Restores != 1 {
+		return nil, fmt.Errorf("seed %d: %d restores, want exactly 1 (kill at round %d of %d)",
+			seed, got.Restores, killAt, ref.Rounds)
+	}
+	if got.FinalStatus != ref.FinalStatus {
+		return nil, fmt.Errorf("seed %d: interrupted run ended %q, uninterrupted %q",
+			seed, got.FinalStatus, ref.FinalStatus)
+	}
+	if strings.Join(got.Trace, "\n") != strings.Join(ref.Trace, "\n") {
+		return nil, fmt.Errorf("seed %d: fault trace diverged after kill/restore:\n--- uninterrupted\n%s\n--- restored\n%s",
+			seed, strings.Join(ref.Trace, "\n"), strings.Join(got.Trace, "\n"))
+	}
+	if !bytes.Equal(gotState, refState) {
+		return nil, fmt.Errorf("seed %d: final state diverged after kill/restore: %v",
+			seed, ckpt.Diff(refState, gotState))
+	}
+	return got, nil
+}

@@ -1,0 +1,198 @@
+// Package ckpt implements deterministic checkpoint/restore for a debug
+// session (DESIGN §13).
+//
+// A Go kernel stack cannot serialize its goroutine stacks, so a
+// checkpoint is not a load image. Instead it records the two things
+// that, under the kernel's determinism guarantee, reconstruct the exact
+// state: the recipe that built the stack (held by the owner as a
+// BuildFunc) and the journal of state-mutating commands executed since
+// birth. The captured state blob is *verification evidence*: restore
+// rebuilds a fresh stack, replays the journal, re-captures the state
+// and byte-compares it against the blob — a restore that cannot prove
+// it reproduced the original state fails loudly with a DivergenceError
+// instead of continuing from a silently different world.
+//
+// On-disk/wire form: a versioned, self-checksummed container ("DFCK")
+// with independently CRC-guarded sections for metadata, the journal,
+// and the state blob.
+package ckpt
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"dfdbg/internal/ckpt/wire"
+)
+
+// Magic is the 4-byte container signature.
+const Magic = "DFCK"
+
+// Version is the current container format version.
+const Version = 1
+
+// Entry is one journaled command line. Ctl marks control-flow commands
+// (continue/step/...) that advance simulated time; reverse execution is
+// defined in terms of undoing the most recent Ctl entry.
+type Entry struct {
+	Line string `json:"line"`
+	Ctl  bool   `json:"ctl,omitempty"`
+}
+
+// Checkpoint is one captured point in a session's execution.
+type Checkpoint struct {
+	ID     int    // session-unique, monotonically increasing
+	Label  string // user label or auto-label ("boot", "auto")
+	TimeNS uint64 // virtual clock at capture
+	Wall   int64  // wall-clock unix nanos at capture (metadata only)
+
+	// Journal is the prefix of state-mutating commands that, replayed
+	// over a freshly built stack, reproduces this checkpoint's state.
+	Journal []Entry
+
+	// State is the captured state blob (see CaptureState implementations)
+	// used to verify a restore byte-for-byte.
+	State []byte
+}
+
+// Info is the JSON-friendly summary of a checkpoint.
+type Info struct {
+	ID      int    `json:"id"`
+	Label   string `json:"label,omitempty"`
+	TimeNS  uint64 `json:"time_ns"`
+	Bytes   int    `json:"bytes"`
+	Journal int    `json:"journal"`
+}
+
+// Info summarizes the checkpoint.
+func (c *Checkpoint) Info() Info {
+	return Info{ID: c.ID, Label: c.Label, TimeNS: c.TimeNS,
+		Bytes: len(c.State), Journal: len(c.Journal)}
+}
+
+func (c *Checkpoint) String() string {
+	return fmt.Sprintf("#%d %q t=%dns journal=%d state=%dB",
+		c.ID, c.Label, c.TimeNS, len(c.Journal), len(c.State))
+}
+
+// section names inside the container.
+const (
+	secMeta    = "meta"
+	secJournal = "journal"
+	secState   = "state"
+)
+
+func (c *Checkpoint) encodeMeta() []byte {
+	w := wire.NewWriter()
+	w.U32(uint32(c.ID))
+	w.Str(c.Label)
+	w.U64(c.TimeNS)
+	w.I64(c.Wall)
+	return w.Data()
+}
+
+func (c *Checkpoint) encodeJournal() []byte {
+	w := wire.NewWriter()
+	w.U32(uint32(len(c.Journal)))
+	for _, e := range c.Journal {
+		w.Str(e.Line)
+		w.Bool(e.Ctl)
+	}
+	return w.Data()
+}
+
+// Encode serializes the checkpoint in container form.
+func (c *Checkpoint) Encode() []byte {
+	w := wire.NewWriter()
+	w.Raw([]byte(Magic))
+	w.U32(Version)
+	sections := []struct {
+		name string
+		body []byte
+	}{
+		{secMeta, c.encodeMeta()},
+		{secJournal, c.encodeJournal()},
+		{secState, c.State},
+	}
+	w.U32(uint32(len(sections)))
+	for _, s := range sections {
+		w.Str(s.name)
+		w.Bytes(s.body)
+		w.U32(crc32.ChecksumIEEE(s.body))
+	}
+	return w.Data()
+}
+
+// WriteTo serializes the checkpoint in container form.
+func (c *Checkpoint) WriteTo(out io.Writer) (int64, error) {
+	n, err := out.Write(c.Encode())
+	return int64(n), err
+}
+
+// EncodedSize returns the serialized container size in bytes, the
+// figure exported as the checkpoint_bytes metric.
+func (c *Checkpoint) EncodedSize() int { return len(c.Encode()) }
+
+// Decode parses a container produced by Encode, verifying the magic,
+// version, and every section checksum.
+func Decode(b []byte) (*Checkpoint, error) {
+	if len(b) < 4 || string(b[:4]) != Magic {
+		return nil, fmt.Errorf("ckpt: bad magic (not a %s container)", Magic)
+	}
+	r := wire.NewReader(b[4:])
+	if v := r.U32(); v != Version {
+		return nil, fmt.Errorf("ckpt: unsupported container version %d (want %d)", v, Version)
+	}
+	c := &Checkpoint{}
+	nsec := int(r.U32())
+	for i := 0; i < nsec; i++ {
+		name := r.Str()
+		body := r.Bytes()
+		sum := r.U32()
+		if r.Err() != nil {
+			return nil, fmt.Errorf("ckpt: corrupt container: %w", r.Err())
+		}
+		if got := crc32.ChecksumIEEE(body); got != sum {
+			return nil, fmt.Errorf("ckpt: section %q checksum mismatch: %#x != %#x", name, got, sum)
+		}
+		switch name {
+		case secMeta:
+			mr := wire.NewReader(body)
+			c.ID = int(mr.U32())
+			c.Label = mr.Str()
+			c.TimeNS = mr.U64()
+			c.Wall = mr.I64()
+			if mr.Err() != nil {
+				return nil, fmt.Errorf("ckpt: corrupt meta section: %w", mr.Err())
+			}
+		case secJournal:
+			jr := wire.NewReader(body)
+			n := int(jr.U32())
+			for j := 0; j < n; j++ {
+				e := Entry{Line: jr.Str(), Ctl: jr.Bool()}
+				if jr.Err() != nil {
+					return nil, fmt.Errorf("ckpt: corrupt journal section: %w", jr.Err())
+				}
+				c.Journal = append(c.Journal, e)
+			}
+		case secState:
+			c.State = append([]byte(nil), body...)
+		default:
+			// Forward compatibility: unknown checksummed sections are
+			// skipped.
+		}
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("ckpt: corrupt container: %w", r.Err())
+	}
+	return c, nil
+}
+
+// ReadCheckpoint reads and decodes one container from r.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(b)
+}

@@ -1,0 +1,277 @@
+package ckpt_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"dfdbg/internal/ckpt"
+	"dfdbg/internal/cli"
+	"dfdbg/internal/core"
+	"dfdbg/internal/dbginfo"
+	"dfdbg/internal/h264"
+	"dfdbg/internal/lowdbg"
+	"dfdbg/internal/mach"
+	"dfdbg/internal/obs"
+	"dfdbg/internal/pedf"
+	"dfdbg/internal/sim"
+)
+
+// stack is the Target adapter over a full debugger stack, the same
+// shape the serve session, the dfdbg REPL and the chaos harness use.
+type stack struct {
+	k   *sim.Kernel
+	m   *mach.Machine
+	rt  *pedf.Runtime
+	rec *obs.Recorder
+	c   *cli.CLI
+}
+
+func (s *stack) ReplayExec(line string) { s.c.Dispatch(line) }
+func (s *stack) CaptureState() ([]byte, error) {
+	return ckpt.CaptureStack(s.k, s.m, s.rt, s.rec)
+}
+func (s *stack) Shutdown() { s.k.Shutdown() }
+
+// buildStack boots the H.264 case study with an observer installed —
+// the birth recipe the manager replays journals over.
+func buildStack() (ckpt.Target, error) {
+	k := sim.NewKernel()
+	rec := obs.NewRecorder(1 << 14)
+	k.SetObserver(rec)
+	low := lowdbg.New(k, dbginfo.NewTable())
+	d := core.Attach(low)
+	m := mach.New(k, mach.Config{})
+	rt := pedf.NewRuntime(k, m, low)
+	p := h264.Params{W: 16, H: 16, QP: 8, Seed: 7}
+	bits, err := h264.Encode(h264.GenerateFrame(p), p)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := h264.Build(rt, p, bits, false); err != nil {
+		return nil, err
+	}
+	if err := rt.Start(); err != nil {
+		return nil, err
+	}
+	if st, err := k.RunUntil(0); err != nil || st != sim.RunHorizon {
+		return nil, err
+	}
+	return &stack{k: k, m: m, rt: rt, rec: rec, c: cli.New(d, io.Discard)}, nil
+}
+
+// run dispatches a line on the stack and journals it on success,
+// applying the journal-after-success policy.
+func run(t *testing.T, m *ckpt.Manager, st ckpt.Target, line string) {
+	t.Helper()
+	res := st.(*stack).c.Dispatch(line)
+	if res.Err != nil {
+		t.Fatalf("%q: %v", line, res.Err)
+	}
+	if ckpt.Journaled(line) {
+		m.Note(line)
+	}
+}
+
+func capture(t *testing.T, m *ckpt.Manager, st ckpt.Target, label string) *ckpt.Checkpoint {
+	t.Helper()
+	cp, err := m.Capture(st, label, uint64(st.(*stack).k.Now()), 0)
+	if err != nil {
+		t.Fatalf("capture %q: %v", label, err)
+	}
+	return cp
+}
+
+func TestRestoreReplayVerified(t *testing.T) {
+	m := ckpt.NewManager(buildStack)
+	st, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { st.Shutdown() }()
+
+	run(t, m, st, "filter pipe catch work")
+	run(t, m, st, "continue")
+	run(t, m, st, "continue")
+	mid := capture(t, m, st, "mid")
+
+	run(t, m, st, "continue")
+	run(t, m, st, "continue")
+	late := capture(t, m, st, "late")
+
+	// Restore the mid checkpoint: rebuild + journal replay + verify.
+	nst, err := m.Restore(mid)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	st.Shutdown()
+	st = nst
+	if got := m.JournalLen(); got != len(mid.Journal) {
+		t.Fatalf("journal len after restore = %d, want %d", got, len(mid.Journal))
+	}
+
+	// The restored world must deterministically reproduce the original
+	// future: two more continues land exactly on the late state.
+	run(t, m, st, "continue")
+	run(t, m, st, "continue")
+	state, err := st.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(state, late.State) {
+		t.Fatalf("replayed future diverged from the original: %v", ckpt.Diff(late.State, state))
+	}
+}
+
+func TestRestoreDetectsDivergence(t *testing.T) {
+	m := ckpt.NewManager(buildStack)
+	st, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { st.Shutdown() }()
+
+	run(t, m, st, "filter pipe catch work")
+	run(t, m, st, "continue")
+	cp := capture(t, m, st, "good")
+
+	// Tamper with the captured evidence: verification must fail loudly.
+	tampered := *cp
+	tampered.State = append([]byte(nil), cp.State...)
+	tampered.State[len(tampered.State)/2] ^= 0x40
+	if _, err := m.Restore(&tampered); err == nil {
+		t.Fatal("restore of a tampered checkpoint verified cleanly")
+	} else {
+		var de *ckpt.DivergenceError
+		if !errors.As(err, &de) {
+			t.Fatalf("err = %v, want DivergenceError", err)
+		}
+		if de.Chunk == "" {
+			t.Fatalf("divergence does not name a chunk: %v", de)
+		}
+	}
+}
+
+func TestReverseStep(t *testing.T) {
+	m := ckpt.NewManager(buildStack)
+	st, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { st.Shutdown() }()
+
+	run(t, m, st, "filter pipe catch work")
+	run(t, m, st, "continue")
+	one := capture(t, m, st, "after-one")
+	run(t, m, st, "continue")
+
+	// reverse-step undoes the second continue; the rebuilt world must
+	// byte-match the checkpoint taken after the first.
+	nst, err := m.ReverseStep()
+	if err != nil {
+		t.Fatalf("reverse-step: %v", err)
+	}
+	st.Shutdown()
+	st = nst
+	state, err := st.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(state, one.State) {
+		t.Fatalf("reverse-step state diverged: %v", ckpt.Diff(one.State, state))
+	}
+	if m.JournalLen() != len(one.Journal) {
+		t.Fatalf("journal len = %d, want %d", m.JournalLen(), len(one.Journal))
+	}
+}
+
+func TestReverseContinue(t *testing.T) {
+	m := ckpt.NewManager(buildStack)
+	st, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { st.Shutdown() }()
+
+	run(t, m, st, "filter pipe catch work")
+	run(t, m, st, "continue")
+	cp := capture(t, m, st, "anchor")
+	run(t, m, st, "continue")
+	run(t, m, st, "continue")
+
+	nst, err := m.ReverseContinue()
+	if err != nil {
+		t.Fatalf("reverse-continue: %v", err)
+	}
+	st.Shutdown()
+	st = nst
+	state, err := st.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(state, cp.State) {
+		t.Fatalf("reverse-continue state diverged: %v", ckpt.Diff(cp.State, state))
+	}
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	cp := &ckpt.Checkpoint{
+		ID: 3, Label: "x", TimeNS: 12345, Wall: 99,
+		Journal: []ckpt.Entry{{Line: "continue", Ctl: true}, {Line: "fault add drop link a::b @ 1"}},
+		State:   []byte{1, 2, 3, 4, 5},
+	}
+	var buf bytes.Buffer
+	if _, err := cp.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ckpt.ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != cp.ID || got.Label != cp.Label || got.TimeNS != cp.TimeNS || got.Wall != cp.Wall {
+		t.Fatalf("meta round trip: %+v", got)
+	}
+	if len(got.Journal) != 2 || got.Journal[0] != cp.Journal[0] || got.Journal[1] != cp.Journal[1] {
+		t.Fatalf("journal round trip: %+v", got.Journal)
+	}
+	if !bytes.Equal(got.State, cp.State) {
+		t.Fatalf("state round trip: %v", got.State)
+	}
+
+	// Flip one state byte: the section checksum must catch it.
+	enc := cp.Encode()
+	enc[len(enc)-6] ^= 0x01
+	if _, err := ckpt.Decode(enc); err == nil {
+		t.Fatal("decode of a corrupted container succeeded")
+	}
+}
+
+func TestJournalClassification(t *testing.T) {
+	cases := []struct {
+		line      string
+		journaled bool
+		ctl       bool
+	}{
+		{"continue", true, true},
+		{"s", true, true},
+		{"break decode_mb", true, false},
+		{"fault add panic filter pipe @ 3", true, false},
+		{"fault disarm panic filter pipe @ 3", true, false},
+		{"set data-breakpoints on", true, false},
+		{"info filters", false, false},
+		{"print x", false, false},
+		{"checkpoint save-me", false, false},
+		{"restore 3", false, false},
+		{"reverse-step", false, false},
+		{"", false, false},
+	}
+	for _, tc := range cases {
+		if got := ckpt.Journaled(tc.line); got != tc.journaled {
+			t.Errorf("Journaled(%q) = %v, want %v", tc.line, got, tc.journaled)
+		}
+		if got := ckpt.Ctl(tc.line); got != tc.ctl {
+			t.Errorf("Ctl(%q) = %v, want %v", tc.line, got, tc.ctl)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package ckpt
+
+import (
+	"bytes"
+	"fmt"
+
+	"dfdbg/internal/ckpt/wire"
+)
+
+// DivergenceError reports the first point at which a replayed state
+// blob differs from the checkpointed one — the replay-verification
+// failure that makes a restore untrustworthy. Chunk names the state
+// layer ("sim", "pedf", "obs", ...); Record is the index of the first
+// diverging length-prefixed record inside the chunk when the chunk is
+// record-structured (the obs event stream), or -1.
+type DivergenceError struct {
+	Chunk  string
+	Offset int // byte offset of the first difference within the chunk
+	Record int // record index for record-structured chunks, else -1
+	Detail string
+}
+
+func (e *DivergenceError) Error() string {
+	where := fmt.Sprintf("chunk %q offset %d", e.Chunk, e.Offset)
+	if e.Record >= 0 {
+		where = fmt.Sprintf("chunk %q record %d", e.Chunk, e.Record)
+	}
+	return fmt.Sprintf("ckpt: replay diverged at %s: %s", where, e.Detail)
+}
+
+// chunks parses a state blob into its (name, payload) sequence.
+func chunks(state []byte) ([]string, map[string][]byte, error) {
+	r := wire.NewReader(state)
+	var order []string
+	byName := map[string][]byte{}
+	for r.Rest() > 0 {
+		name := r.Str()
+		body := r.Bytes()
+		if r.Err() != nil {
+			return nil, nil, fmt.Errorf("ckpt: corrupt state blob: %w", r.Err())
+		}
+		order = append(order, name)
+		byName[name] = body
+	}
+	return order, byName, nil
+}
+
+// firstDiff returns the byte offset of the first difference.
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// recordIndex locates the record containing byte offset off when the
+// payload parses as (u32 count, count × length-prefixed records) — the
+// convention used by the obs event chunk. Returns -1 when the payload
+// is not record-structured.
+func recordIndex(payload []byte, off int) int {
+	r := wire.NewReader(payload)
+	n := int(r.U32())
+	if r.Err() != nil || n < 0 {
+		return -1
+	}
+	for i := 0; i < n; i++ {
+		start := r.Offset()
+		r.Bytes()
+		if r.Err() != nil {
+			return -1
+		}
+		if off >= start && off < r.Offset() {
+			return i
+		}
+	}
+	if r.Rest() != 0 {
+		return -1 // trailing bytes: not purely record-structured
+	}
+	return n - 1
+}
+
+// Diff compares a checkpointed state blob against a re-captured one and
+// returns nil when byte-identical, or a *DivergenceError naming the
+// first diverging layer (and event record, for the obs stream).
+func Diff(want, got []byte) error {
+	if bytes.Equal(want, got) {
+		return nil
+	}
+	wOrder, wChunks, werr := chunks(want)
+	_, gChunks, gerr := chunks(got)
+	if werr != nil || gerr != nil {
+		return &DivergenceError{Chunk: "?", Offset: firstDiff(want, got), Record: -1,
+			Detail: "state blobs differ and at least one is structurally corrupt"}
+	}
+	for _, name := range wOrder {
+		wb := wChunks[name]
+		gb, ok := gChunks[name]
+		if !ok {
+			return &DivergenceError{Chunk: name, Record: -1,
+				Detail: "chunk missing from replayed state"}
+		}
+		if bytes.Equal(wb, gb) {
+			continue
+		}
+		off := firstDiff(wb, gb)
+		rec := recordIndex(wb, off)
+		detail := fmt.Sprintf("payload differs (%d vs %d bytes)", len(wb), len(gb))
+		return &DivergenceError{Chunk: name, Offset: off, Record: rec, Detail: detail}
+	}
+	for name := range gChunks {
+		if _, ok := wChunks[name]; !ok {
+			return &DivergenceError{Chunk: name, Record: -1,
+				Detail: "extra chunk present only in replayed state"}
+		}
+	}
+	return &DivergenceError{Chunk: "?", Offset: firstDiff(want, got), Record: -1,
+		Detail: "blobs differ outside any chunk payload"}
+}

@@ -1,0 +1,59 @@
+package ckpt
+
+import (
+	"dfdbg/internal/ckpt/wire"
+	"dfdbg/internal/mach"
+	"dfdbg/internal/obs"
+	"dfdbg/internal/pedf"
+	"dfdbg/internal/sim"
+)
+
+// CaptureStack serializes the full kernel stack into the chunked state
+// blob the manager verifies against: sim (clock, procs, schedule),
+// mach (memory/DMA counters), fault (trigger state, present only when
+// a plan is armed), pedf (actor FSMs, link rings, collectors), and obs
+// (the recorded event stream). m, rt and rec may be nil for partial
+// stacks; the corresponding chunks are omitted.
+//
+// Must be called from the driver goroutine while the kernel is stopped
+// — the same discipline as every kernel method.
+func CaptureStack(k *sim.Kernel, m *mach.Machine, rt *pedf.Runtime, rec *obs.Recorder) ([]byte, error) {
+	w := wire.NewWriter()
+
+	chunk := wire.NewWriter()
+	k.EncodeState(chunk)
+	w.Str("sim")
+	w.Bytes(chunk.Data())
+
+	if m != nil {
+		chunk = wire.NewWriter()
+		m.EncodeState(chunk)
+		w.Str("mach")
+		w.Bytes(chunk.Data())
+	}
+
+	if inj := k.Faults(); inj != nil {
+		chunk = wire.NewWriter()
+		inj.EncodeState(chunk)
+		w.Str("fault")
+		w.Bytes(chunk.Data())
+	}
+
+	if rt != nil {
+		chunk = wire.NewWriter()
+		if err := rt.EncodeState(chunk); err != nil {
+			return nil, err
+		}
+		w.Str("pedf")
+		w.Bytes(chunk.Data())
+	}
+
+	if rec != nil {
+		chunk = wire.NewWriter()
+		rec.EncodeState(chunk)
+		w.Str("obs")
+		w.Bytes(chunk.Data())
+	}
+
+	return w.Data(), nil
+}

@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.U8(7)
+	w.U32(0xDEADBEEF)
+	w.U64(1 << 62)
+	w.I64(-42)
+	w.Bool(true)
+	w.Bool(false)
+	w.Str("hello, wire")
+	w.Bytes([]byte{1, 2, 3})
+	w.Str("")
+	w.Bytes(nil)
+
+	r := NewReader(w.Data())
+	if got := r.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 1<<62 {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Errorf("Bool round trip broken")
+	}
+	if got := r.Str(); got != "hello, wire" {
+		t.Errorf("Str = %q", got)
+	}
+	if got := r.Bytes(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Bytes = %v", got)
+	}
+	if got := r.Str(); got != "" {
+		t.Errorf("empty Str = %q", got)
+	}
+	if got := r.Bytes(); len(got) != 0 {
+		t.Errorf("empty Bytes = %v", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("Err = %v", r.Err())
+	}
+	if r.Rest() != 0 {
+		t.Fatalf("Rest = %d after full decode", r.Rest())
+	}
+}
+
+func TestTruncatedSticky(t *testing.T) {
+	w := NewWriter()
+	w.U64(99)
+	r := NewReader(w.Data()[:4])
+	if got := r.U64(); got != 0 {
+		t.Errorf("truncated U64 = %d, want 0", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("expected error after truncated read")
+	}
+	if !strings.Contains(r.Err().Error(), "truncated") {
+		t.Errorf("err = %v", r.Err())
+	}
+	// Error is sticky: further reads stay zero and keep the first error.
+	first := r.Err()
+	if got := r.Str(); got != "" {
+		t.Errorf("post-error Str = %q", got)
+	}
+	if r.Err() != first {
+		t.Errorf("error not sticky: %v", r.Err())
+	}
+}
+
+func TestStrLengthOverflow(t *testing.T) {
+	// A length prefix larger than the remaining buffer must error, not
+	// panic or over-read.
+	w := NewWriter()
+	w.U32(1 << 30)
+	r := NewReader(w.Data())
+	if got := r.Str(); got != "" {
+		t.Errorf("overflow Str = %q", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("expected error for oversized length prefix")
+	}
+}

@@ -74,6 +74,9 @@ type CLI struct {
 	// batched-execution mode of every proven-SDF region (hold reason plus
 	// per-region batched/per-token state, pedf.Runtime.RegionModes).
 	Batch func() (hold string, regions []pedf.RegionMode)
+	// Ckpt, when set, enables the checkpoint/restore/reverse-execution
+	// commands (DESIGN §13). See CkptHooks.
+	Ckpt *CkptHooks
 
 	lastStop *lowdbg.StopEvent
 	curProc  *sim.Proc
@@ -111,6 +114,18 @@ type StopInfo struct {
 	Stalled  bool   `json:"stalled,omitempty"`
 	Deadlock bool   `json:"deadlock,omitempty"`
 	Done     bool   `json:"done,omitempty"`
+	// Crash is set when the stop was caused by a contained actor crash
+	// (a pedf.CrashError behind the kernel's panic recovery) — the
+	// session supervisor keys its recovery path on it.
+	Crash *CrashInfo `json:"crash,omitempty"`
+}
+
+// CrashInfo is the structured form of a contained actor crash.
+type CrashInfo struct {
+	Actor     string   `json:"actor"`
+	Firing    uint64   `json:"firing"`
+	Cause     string   `json:"cause"`
+	Backtrace []string `json:"backtrace,omitempty"`
 }
 
 // New creates a session writing its output to out.
@@ -264,6 +279,16 @@ func (c *CLI) Execute(line string) error {
 		return c.profileCmd(rest)
 	case "timeline":
 		return c.timelineCmd(rest)
+	case "checkpoint":
+		return c.ckptSaveCmd(rest)
+	case "checkpoints":
+		return c.ckptListCmd(rest)
+	case "restore":
+		return c.ckptRestoreCmd(rest)
+	case "reverse-step":
+		return c.reverseStepCmd(rest)
+	case "reverse-continue":
+		return c.reverseContinueCmd(rest)
 	case "fault":
 		return c.faultCmd(rest)
 	case "unstick":
@@ -407,8 +432,15 @@ Fault injection & recovery:
   fault status|list|trace|clear          inspect / disarm the fault plan
   fault load <file> | add <spec...>      arm deterministic faults
   fault gen <seed>                       arm a seeded random plan
+  fault disarm <spec...>                 defuse one pending fault by spec
   watchdog <dur>|off                     progress watchdog (stall detector)
   unstick [apply]                        propose / apply deadlock token surgery
+Checkpoint & reverse execution:
+  checkpoint [<label>]                   capture a replay-verified checkpoint
+  checkpoints                            list retained checkpoints
+  restore [<id>]                         restore a checkpoint (default latest)
+  reverse-step                           undo the last control command
+  reverse-continue                       rewind to the latest checkpoint
 `)
 }
 
@@ -456,6 +488,14 @@ func stopInfo(ev *lowdbg.StopEvent, now uint64) *StopInfo {
 	}
 	if ev.Proc != nil {
 		si.Proc = ev.Proc.Name()
+	}
+	if ce := pedf.AsCrash(ev.Err); ce != nil {
+		si.Crash = &CrashInfo{
+			Actor:     ce.Actor,
+			Firing:    ce.Firing,
+			Cause:     fmt.Sprintf("%v", ce.Value),
+			Backtrace: append([]string(nil), ce.Backtrace...),
+		}
 	}
 	return si
 }
@@ -1240,12 +1280,13 @@ func (c *CLI) webCmd(rest []string) error {
 // commandWords is the command vocabulary CompleteLine draws on when the
 // cursor is still on the first word of the line.
 var commandWords = []string{
-	"analyze", "backtrace", "break", "catchpoints", "continue", "delete",
-	"disable", "drop", "enable", "fault", "filter", "finish", "graph",
-	"help", "iface", "info", "inject", "list", "metrics", "module", "next",
-	"peek", "print", "profile", "quit", "regions", "replace", "set", "step",
-	"step_both", "tbreak", "thread", "timeline", "trace", "unstick",
-	"watch", "watchdog", "web",
+	"analyze", "backtrace", "break", "catchpoints", "checkpoint",
+	"checkpoints", "continue", "delete", "disable", "drop", "enable",
+	"fault", "filter", "finish", "graph", "help", "iface", "info",
+	"inject", "list", "metrics", "module", "next", "peek", "print",
+	"profile", "quit", "regions", "replace", "restore", "reverse-continue",
+	"reverse-step", "set", "step", "step_both", "tbreak", "thread",
+	"timeline", "trace", "unstick", "watch", "watchdog", "web",
 }
 
 // CompleteLine offers completions for the last word of a partial command

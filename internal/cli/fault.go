@@ -4,6 +4,7 @@
 //	fault load <file>
 //	fault add <spec...>
 //	fault gen <seed>
+//	fault disarm <spec...>
 //	unstick [apply]
 //	watchdog <dur>|off
 //
@@ -77,6 +78,20 @@ func (c *CLI) faultCmd(rest []string) error {
 			in.Add(f)
 			c.printf("armed: %s\n", f)
 		}
+		return nil
+	case "disarm":
+		if len(args) == 0 {
+			return fmt.Errorf("usage: fault disarm <spec...> (canonical form, see fault list)")
+		}
+		in := c.Low.K.Faults()
+		if in == nil {
+			return fmt.Errorf("no fault plan armed (use fault load|add|gen)")
+		}
+		spec := strings.Join(args, " ")
+		if !in.Disarm(spec) {
+			return fmt.Errorf("fault disarm: no pending fault matches %q", spec)
+		}
+		c.printf("disarmed: %s\n", spec)
 		return nil
 	case "gen":
 		if len(args) != 1 {

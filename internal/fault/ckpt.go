@@ -1,0 +1,80 @@
+package fault
+
+import (
+	"sort"
+
+	"dfdbg/internal/ckpt/wire"
+)
+
+// EncodeState serializes the injector's deterministic trigger state for
+// checkpoint capture (DESIGN §13): every armed fault with its fired
+// flag, the per-proc dispatch and per-PE compute counters, the DMA
+// counter, and the fired-fault trace. Two injectors armed with the same
+// plan that have seen the same execution encode identically.
+func (in *Injector) EncodeState(w *wire.Writer) {
+	w.U32(uint32(len(in.faults)))
+	for _, a := range in.faults {
+		w.Str(a.f.String())
+		w.Bool(a.fired)
+	}
+
+	procs := make([]string, 0, len(in.dispatchN))
+	for p := range in.dispatchN {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	w.U32(uint32(len(procs)))
+	for _, p := range procs {
+		w.Str(p)
+		w.U64(in.dispatchN[p])
+	}
+
+	pes := make([]int, 0, len(in.computeN))
+	for pe := range in.computeN {
+		pes = append(pes, pe)
+	}
+	sort.Ints(pes)
+	w.U32(uint32(len(pes)))
+	for _, pe := range pes {
+		w.I64(int64(pe))
+		w.U64(in.computeN[pe])
+	}
+
+	w.U64(in.dmaN)
+	w.U64(in.injected)
+	w.U32(uint32(len(in.trace)))
+	for _, s := range in.trace {
+		w.U64(s.At)
+		w.Str(s.Desc)
+	}
+}
+
+// Disarm defuses the first armed, un-fired fault whose canonical form
+// (Fault.String) equals spec, marking it fired without a trace entry.
+// It reports whether a fault was disarmed. The session supervisor uses
+// this — as a journaled debugger command — to defuse a pending panic
+// plan before resuming a recovered session, so replaying the journal
+// reproduces the disarm deterministically.
+func (in *Injector) Disarm(spec string) bool {
+	for _, a := range in.faults {
+		if !a.fired && a.f.String() == spec {
+			a.fired = true
+			return true
+		}
+	}
+	return false
+}
+
+// PendingCrashSpecs returns the canonical specs of armed, un-fired
+// faults that would crash the session when triggered (filter panics and
+// PE failures), sorted for stable reporting.
+func (in *Injector) PendingCrashSpecs() []string {
+	var out []string
+	for _, a := range in.faults {
+		if !a.fired && (a.f.Kind == KPanic || a.f.Kind == KFailPE) {
+			out = append(out, a.f.String())
+		}
+	}
+	sort.Strings(out)
+	return out
+}

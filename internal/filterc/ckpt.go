@@ -1,0 +1,31 @@
+package filterc
+
+import "dfdbg/internal/ckpt/wire"
+
+// EncodeValue serializes a runtime value for checkpoint state capture
+// (DESIGN §13). The encoding is canonical — two Equal values encode to
+// identical bytes — so replay verification can byte-compare captured
+// dataflow state (module data/attribute objects, link ring tokens).
+func EncodeValue(w *wire.Writer, v Value) {
+	if v.Type == nil {
+		w.U8(0xFF)
+		return
+	}
+	w.U8(uint8(v.Type.Kind))
+	switch v.Type.Kind {
+	case KScalar:
+		w.U8(uint8(v.Type.Base))
+		switch v.Type.Base {
+		case Str:
+			w.Str(v.S)
+		case Void:
+		default:
+			w.I64(v.I)
+		}
+	default: // KArray, KStruct: payload is the element sequence
+		w.U32(uint32(len(v.Elems)))
+		for _, e := range v.Elems {
+			EncodeValue(w, e)
+		}
+	}
+}

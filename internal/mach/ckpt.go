@@ -1,0 +1,20 @@
+package mach
+
+import "dfdbg/internal/ckpt/wire"
+
+// EncodeState serializes the platform model's deterministic counters
+// for checkpoint capture (DESIGN §13): per-memory access counts in
+// MemStats order (L1 per cluster, then L2, L3), DMA totals, and the
+// round-robin placement cursor.
+func (m *Machine) EncodeState(w *wire.Writer) {
+	mems := m.MemStats()
+	w.U32(uint32(len(mems)))
+	for _, mem := range mems {
+		w.Str(mem.Name)
+		w.U64(mem.Reads)
+		w.U64(mem.Writes)
+	}
+	w.U64(m.DMA.Transfers)
+	w.U64(m.DMA.Words)
+	w.U32(uint32(m.nextPE))
+}

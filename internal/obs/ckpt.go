@@ -1,0 +1,90 @@
+package obs
+
+import "dfdbg/internal/ckpt/wire"
+
+// ckptSlack bounds how many checkpoint-lifecycle events can appear in
+// one ring window without breaking replay verification on a wrapped
+// ring (see EncodeState).
+const ckptSlack = 1024
+
+// stateSkip reports whether an event is excluded from checkpoint state
+// capture. KCheckpoint/KRestore record supervisor policy (when a
+// snapshot was taken), not simulated behaviour: a replayed-from-birth
+// session never captures checkpoints, so including them would make
+// every verification fail on the first auto-checkpoint.
+func stateSkip(k Kind) bool { return k == KCheckpoint || k == KRestore }
+
+// EncodeState serializes the recorded event stream for checkpoint
+// capture (DESIGN §13), as a record-structured chunk (u32 count, then
+// one length-prefixed record per event) so the replay differ can name
+// the first diverging event.
+//
+// Normalizations that keep the encoding replay-deterministic:
+//   - checkpoint-lifecycle events are skipped (see stateSkip);
+//   - KBpHit's Arg (wall-clock handler cost, experiment P1's live
+//     intrusiveness figure) is zeroed — it is real time, not simulated;
+//   - on a wrapped ring only the newest capacity−ckptSlack events are
+//     encoded, so the eviction skew introduced by skipped checkpoint
+//     events cannot shift the comparison window;
+//   - the raw head/dropped counters are omitted (they count skipped
+//     events too).
+func (r *Recorder) EncodeState(w *wire.Writer) {
+	var evs []Event
+	r.Range(func(ev Event) bool {
+		if !stateSkip(ev.Kind) {
+			evs = append(evs, ev)
+		}
+		return true
+	})
+	if r.head > uint64(len(r.ring)) { // wrapped: normalize the window
+		limit := len(r.ring) - ckptSlack
+		if limit < 0 {
+			limit = 0
+		}
+		if len(evs) > limit {
+			evs = evs[len(evs)-limit:]
+		}
+	}
+	w.U32(uint32(len(evs)))
+	for _, ev := range evs {
+		rec := wire.NewWriter()
+		encodeEvent(rec, ev)
+		w.Bytes(rec.Data())
+	}
+}
+
+func encodeEvent(w *wire.Writer, ev Event) {
+	arg := ev.Arg
+	if ev.Kind == KBpHit {
+		arg = 0
+	}
+	w.U64(ev.At)
+	w.U8(uint8(ev.Kind))
+	w.I64(int64(ev.PE))
+	w.I64(int64(ev.Link))
+	w.I64(arg)
+	w.I64(ev.Arg2)
+	w.Str(ev.Actor)
+	w.Str(ev.Other)
+	w.Str(ev.Port)
+	w.Str(ev.Val)
+}
+
+// DecodeEvent parses one record produced by EncodeState, for rendering
+// divergence reports.
+func DecodeEvent(b []byte) (Event, error) {
+	r := wire.NewReader(b)
+	ev := Event{
+		At:   r.U64(),
+		Kind: Kind(r.U8()),
+		PE:   int32(r.I64()),
+		Link: int32(r.I64()),
+		Arg:  r.I64(),
+		Arg2: r.I64(),
+	}
+	ev.Actor = r.Str()
+	ev.Other = r.Str()
+	ev.Port = r.Str()
+	ev.Val = r.Str()
+	return ev, r.Err()
+}

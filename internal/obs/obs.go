@@ -118,6 +118,20 @@ const (
 	// engines.
 	KBatchMode
 
+	// Checkpoint lifecycle events (DESIGN §13). Grouped under
+	// MaskDefault so recovery is visible in the default trace, but
+	// skipped by the obs state encoder: when a checkpoint is taken (or
+	// a session is restored) is supervisor policy, not simulated
+	// behaviour, so it must not participate in replay verification.
+
+	// KCheckpoint: a session checkpoint was captured. Arg is the
+	// checkpoint id, Arg2 the journal length, Other the label.
+	KCheckpoint
+	// KRestore: the session was restored from a checkpoint. Arg is the
+	// checkpoint id, Other the reason ("restore", "reverse-step",
+	// "recovery", ...).
+	KRestore
+
 	numKinds
 )
 
@@ -131,6 +145,7 @@ func (k Kind) String() string {
 		KBlockEnd: "block-", KTransfer: "xfer", KBpHit: "bphit",
 		KInject: "inject", KDropTok: "droptok", KReplace: "replace",
 		KFault: "fault", KStall: "stall", KBatchMode: "batch",
+		KCheckpoint: "ckpt", KRestore: "restore",
 	}
 	if int(k) < len(names) && names[k] != "" {
 		return names[k]

@@ -37,6 +37,34 @@ func (e *CrashError) Unwrap() error {
 	return nil
 }
 
+// AsCrash extracts the CrashError behind an arbitrary error chain
+// (typically a sim.PanicError wrapping a contained filter crash). It
+// returns nil when the error does not stem from a contained crash.
+func AsCrash(err error) *CrashError {
+	var ce *CrashError
+	if errors.As(err, &ce) {
+		return ce
+	}
+	return nil
+}
+
+// CrashReport renders a structured report for an error caused by a
+// contained actor crash: the actor, firing index, panic value,
+// filterc backtrace, and nothing else. ok is false when the error is
+// not a contained crash.
+func CrashReport(err error) (report string, ok bool) {
+	ce := AsCrash(err)
+	if ce == nil {
+		return "", false
+	}
+	s := fmt.Sprintf("contained crash report\n  actor:  %s\n  firing: %d\n  cause:  %v",
+		ce.Actor, ce.Firing, ce.Value)
+	for i, fr := range ce.Backtrace {
+		s += fmt.Sprintf("\n  #%d %s", i, fr)
+	}
+	return s, true
+}
+
 // wrapCrash builds a CrashError for a panic recovered in f's process,
 // capturing the filterc call stack while it is still intact.
 func (rt *Runtime) wrapCrash(f *Filter, r any) *CrashError {

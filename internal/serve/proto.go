@@ -19,13 +19,22 @@
 //	← {"id":2,"ok":true,"session":"s1","output":"...","stop":{...}}
 //	← {"event":"stop","session":"s1","stop":{...}}        (async, attached clients)
 //
-// Ops: new, attach, detach, exec, complete, list, kill, metrics, ping.
-// Responses carry the request id; asynchronous events carry an "event"
-// key instead. Commands on one connection are handled in order; open
-// more connections for client-side concurrency.
+// Ops: new, attach, detach, exec, complete, list, kill, metrics, ping,
+// checkpoint, checkpoints, restore. The checkpoint ops are sugar over
+// exec ("checkpoint [label]" / "restore [id]"); "checkpoints" returns
+// the structured list. Responses carry the request id; asynchronous
+// events carry an "event" key instead. Commands on one connection are
+// handled in order; open more connections for client-side concurrency.
+//
+// Crash-safe supervision (DESIGN §13): a session that crashes — an
+// induced `fault panic`, or a Go panic inside a command — is restored
+// from its last good checkpoint with replay verification; attached
+// clients see a "session-recovered" event naming the checkpoint. A
+// manual restore/reverse-step/reverse-continue emits "restored".
 package serve
 
 import (
+	"dfdbg/internal/ckpt"
 	"dfdbg/internal/cli"
 	"dfdbg/internal/obs"
 )
@@ -36,6 +45,7 @@ type Request struct {
 	Op      string         `json:"op"`
 	Session string         `json:"session,omitempty"`
 	Line    string         `json:"line,omitempty"`
+	Label   string         `json:"label,omitempty"` // checkpoint op: checkpoint label
 	Params  *SessionParams `json:"params,omitempty"`
 }
 
@@ -85,16 +95,22 @@ type Response struct {
 	Sessions    []SessionInfo     `json:"sessions,omitempty"`    // list
 	Metrics     []obs.MetricValue `json:"metrics,omitempty"`     // metrics
 	Completions []string          `json:"completions,omitempty"` // complete
+	Checkpoints []ckpt.Info       `json:"checkpoints,omitempty"` // checkpoints
 }
 
 // Event is one asynchronous server → client message, delivered to every
 // client attached to the session it concerns.
 type Event struct {
-	Event   string        `json:"event"` // hello, stop, session-closed, dropped, goodbye
+	// Event names the kind: hello, stop, restored, session-recovered,
+	// session-closed, dropped, goodbye.
+	Event   string        `json:"event"`
 	Session string        `json:"session,omitempty"`
 	Stop    *cli.StopInfo `json:"stop,omitempty"`
 	Reason  string        `json:"reason,omitempty"`
 	Dropped uint64        `json:"dropped,omitempty"` // events lost to backpressure
+	// Checkpoint names the checkpoint a session-recovered event was
+	// restored from.
+	Checkpoint *ckpt.Info `json:"checkpoint,omitempty"`
 }
 
 // SessionInfo is one session's row in a list response.

@@ -18,6 +18,11 @@ type Options struct {
 	MaxConns      int           // concurrent client connections (default 64)
 	IdleTimeout   time.Duration // reap sessions idle this long (default 5m, <0 disables)
 	EventQueueLen int           // per-client async event queue (default 256)
+
+	// Session supervision (DESIGN §13).
+	CheckpointEvery    int           // auto-checkpoint every N state-mutating commands (default 8, <0 disables)
+	CheckpointInterval time.Duration // auto-checkpoint after this much wall time (default 30s, <0 disables)
+	RestartLimit       int           // crash recoveries per session before crash-loop close (default 3, <0 disables)
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +72,7 @@ func NewServer(opts Options) *Server {
 		mgr:      NewManager(opts.MaxSessions, opts.IdleTimeout),
 		stopReap: make(chan struct{}),
 	}
+	s.mgr.SetCheckpointPolicy(opts.CheckpointEvery, opts.CheckpointInterval, opts.RestartLimit)
 	reg := s.mgr.Registry()
 	reg.GaugeFunc("conns_active", "client connections currently open",
 		func() float64 { return float64(s.connsActive.Load()) })
@@ -364,18 +370,51 @@ func (cl *client) handle(req Request) {
 			fail(err)
 			return
 		}
-		res, err := s.Exec(req.Line)
+		if err := execInto(s, req.Line, &resp); err != nil {
+			fail(err)
+			return
+		}
+	case "checkpoint":
+		s, err := cl.srv.mgr.Get(req.Session)
 		if err != nil {
 			fail(err)
 			return
 		}
-		resp.OK = res.Err == nil
-		if res.Err != nil {
-			resp.Error = res.Err.Error()
+		line := "checkpoint"
+		if req.Label != "" {
+			line += " " + req.Label
 		}
-		resp.Output = res.Output
-		resp.Stop = res.Stop
-		resp.Done = res.Quit
+		if err := execInto(s, line, &resp); err != nil {
+			fail(err)
+			return
+		}
+	case "restore":
+		s, err := cl.srv.mgr.Get(req.Session)
+		if err != nil {
+			fail(err)
+			return
+		}
+		line := "restore"
+		if req.Line != "" {
+			line += " " + req.Line
+		}
+		if err := execInto(s, line, &resp); err != nil {
+			fail(err)
+			return
+		}
+	case "checkpoints":
+		s, err := cl.srv.mgr.Get(req.Session)
+		if err != nil {
+			fail(err)
+			return
+		}
+		infos, err := s.Checkpoints()
+		if err != nil {
+			fail(err)
+			return
+		}
+		resp.OK = true
+		resp.Checkpoints = infos
 	case "complete":
 		s, err := cl.srv.mgr.Get(req.Session)
 		if err != nil {
@@ -424,6 +463,22 @@ func (cl *client) handle(req Request) {
 		return
 	}
 	cl.respond(resp)
+}
+
+// execInto runs one command line on s and renders the result into resp.
+func execInto(s *Session, line string, resp *Response) error {
+	res, err := s.Exec(line)
+	if err != nil {
+		return err
+	}
+	resp.OK = res.Err == nil
+	if res.Err != nil {
+		resp.Error = res.Err.Error()
+	}
+	resp.Output = res.Output
+	resp.Stop = res.Stop
+	resp.Done = res.Quit
+	return nil
 }
 
 // attach subscribes the client to s.

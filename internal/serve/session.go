@@ -11,6 +11,7 @@ import (
 
 	"dfdbg/internal/analysis"
 	"dfdbg/internal/analysis/pedfgraph"
+	"dfdbg/internal/ckpt"
 	"dfdbg/internal/cli"
 	"dfdbg/internal/core"
 	"dfdbg/internal/dbginfo"
@@ -45,15 +46,22 @@ type Manager struct {
 	maxSessions int
 	idleTimeout time.Duration
 
+	// session supervision policy (SetCheckpointPolicy)
+	ckptEvery    int
+	ckptInterval time.Duration
+	restartLimit int
+
 	mu       sync.Mutex
 	sessions map[string]*Session
 	seq      int
 
-	reg            *obs.Registry
-	sessionsOpened *obs.Counter
-	sessionsReaped *obs.Counter
-	commandsTotal  *obs.Counter
-	eventsDropped  *obs.Counter
+	reg               *obs.Registry
+	sessionsOpened    *obs.Counter
+	sessionsReaped    *obs.Counter
+	sessionsRecovered *obs.Counter
+	commandsTotal     *obs.Counter
+	eventsDropped     *obs.Counter
+	checkpointBytes   *obs.Gauge
 }
 
 // NewManager returns a manager admitting up to maxSessions concurrent
@@ -75,9 +83,40 @@ func NewManager(maxSessions int, idleTimeout time.Duration) *Manager {
 		})
 	m.sessionsOpened = m.reg.Counter("sessions_opened_total", "debug sessions ever created")
 	m.sessionsReaped = m.reg.Counter("sessions_reaped_total", "sessions closed by the idle reaper")
+	m.sessionsRecovered = m.reg.Counter("sessions_recovered_total", "sessions auto-restored from a checkpoint after a crash")
 	m.commandsTotal = m.reg.Counter("commands_total", "debugger commands dispatched across all sessions")
 	m.eventsDropped = m.reg.Counter("events_dropped_total", "events lost to per-client backpressure")
+	m.checkpointBytes = m.reg.Gauge("checkpoint_bytes", "size of the most recently captured checkpoint state blob")
+	m.ckptEvery = defaultCkptEvery
+	m.ckptInterval = defaultCkptInterval
+	m.restartLimit = defaultRestartLimit
 	return m
+}
+
+// SetCheckpointPolicy configures session supervision: auto-checkpoint
+// every `every` journaled commands (<0 disables), auto-checkpoint when
+// `interval` wall time passed since the last one (<0 disables), and
+// allow up to restartLimit crash recoveries per session (<0 allows
+// none). Zero values keep the defaults. Call before creating sessions.
+func (m *Manager) SetCheckpointPolicy(every int, interval time.Duration, restartLimit int) {
+	switch {
+	case every < 0:
+		m.ckptEvery = 0
+	case every > 0:
+		m.ckptEvery = every
+	}
+	switch {
+	case interval < 0:
+		m.ckptInterval = 0
+	case interval > 0:
+		m.ckptInterval = interval
+	}
+	switch {
+	case restartLimit < 0:
+		m.restartLimit = 0
+	case restartLimit > 0:
+		m.restartLimit = restartLimit
+	}
 }
 
 // Registry returns the server-level metrics registry.
@@ -196,8 +235,11 @@ func (m *Manager) remove(s *Session) {
 
 // sessionCmd is one unit of work executed on the session goroutine. The
 // closure receives the session's stack, so every kernel access happens
-// on the goroutine that owns it.
+// on the goroutine that owns it. line carries the debugger command line
+// for exec commands ("" for internal queries) — the supervisor journals
+// it on success and re-executes it after crash recovery.
 type sessionCmd struct {
+	line  string
 	run   func(*stack) any
 	reply chan any
 }
@@ -207,6 +249,7 @@ type sessionCmd struct {
 type stack struct {
 	cli *cli.CLI
 	k   *sim.Kernel
+	m   *mach.Machine
 	rec *obs.Recorder
 	rt  *pedf.Runtime
 }
@@ -292,7 +335,7 @@ func buildStack(params SessionParams) (*stack, error) {
 	c.Batch = func() (string, []pedf.RegionMode) {
 		return rt.BatchHold(), rt.RegionModes()
 	}
-	return &stack{cli: c, k: k, rec: orec, rt: rt}, nil
+	return &stack{cli: c, k: k, m: m, rec: orec, rt: rt}, nil
 }
 
 // loop is the session goroutine: it builds the stack (so the kernel is
@@ -309,6 +352,8 @@ func (s *Session) loop(ready chan<- error) {
 	}
 	s.kPtr.Store(st.k)
 	s.recPtr.Store(st.rec)
+	sup := newSupervisor(s)
+	sup.boot(st)
 	s.touch()
 	for {
 		select {
@@ -317,24 +362,78 @@ func (s *Session) loop(ready chan<- error) {
 			return
 		case cmd := <-s.cmds:
 			s.busy.Store(true)
-			out := cmd.run(st)
+			out := runShielded(cmd, st)
 			s.busy.Store(false)
 			s.touch()
 			cmd.reply <- out
-			if res, ok := out.(cli.Result); ok {
+			switch v := out.(type) {
+			case cli.Result:
 				s.ncmds.Add(1)
 				s.mgr.commandsTotal.Inc()
-				if res.Stop != nil {
-					s.publish(Event{Event: "stop", Session: s.ID, Stop: res.Stop})
+				if cmd.line != "" && v.Err == nil && ckpt.Journaled(cmd.line) {
+					sup.note(cmd.line)
 				}
-				if res.Quit {
+				if v.Stop != nil {
+					s.publish(Event{Event: "stop", Session: s.ID, Stop: v.Stop})
+				}
+				if v.Quit {
 					s.markClosed("quit")
 					s.teardown(st, "quit")
 					return
 				}
+				if ns := sup.adopt(); ns != nil {
+					// A checkpoint command (restore, reverse-step,
+					// reverse-continue) staged a rebuilt stack: swap it in.
+					st = s.swapStack(st, ns, sup)
+					s.publish(Event{Event: "restored", Session: s.ID})
+				} else if v.Stop != nil && v.Stop.Crash != nil {
+					// A contained crash (induced `fault panic`) killed the
+					// world: restore, disarm, re-execute.
+					ns := sup.recoverFrom(cmd.line, "crash: "+v.Stop.Crash.Cause)
+					if ns == nil {
+						s.markClosed("crash-loop")
+						s.teardown(st, "crash-loop")
+						return
+					}
+					st = s.swapStack(st, ns, sup)
+				}
+			case panicReply:
+				// A genuine Go panic unwound the command closure; the old
+				// stack may be wedged. Recover or close.
+				ns := sup.recoverFrom(cmd.line, v.err.Error())
+				if ns == nil {
+					s.markClosed("crash-loop")
+					s.teardown(st, "crash-loop")
+					return
+				}
+				st = s.swapStack(st, ns, sup)
 			}
+			sup.maybeAuto()
 		}
 	}
+}
+
+// swapStack retires old and installs ns as the session's live stack:
+// live web streams are closed (clients reattach against the new world),
+// the lock-free pointers flip, and the old kernel is unwound. Runs on
+// the session goroutine.
+func (s *Session) swapStack(old, ns *stack, sup *supervisor) *stack {
+	// Detach before flipping recPtr: the broadcaster's attach closure
+	// resolves the recorder through recPtr, so this clears the tap on
+	// the old recorder.
+	s.webMu.Lock()
+	if s.webBC != nil {
+		s.webBC.Detach()
+		s.webBC = nil
+	}
+	s.webMu.Unlock()
+	s.kPtr.Store(ns.k)
+	s.recPtr.Store(ns.rec)
+	if old != nil && old != ns {
+		_ = old.k.Shutdown()
+	}
+	sup.wire(ns)
+	return ns
 }
 
 // teardown unwinds the kernel's processes, removes the session and
@@ -384,11 +483,25 @@ func (s *Session) Close(reason string) {
 // Exec dispatches one debugger command line on the session goroutine
 // and returns its structured result.
 func (s *Session) Exec(line string) (cli.Result, error) {
-	out, err := s.do(func(st *stack) any { return st.cli.Dispatch(line) })
+	out, err := s.doCmd(line, func(st *stack) any { return st.cli.Dispatch(line) })
 	if err != nil {
 		return cli.Result{}, err
 	}
 	return out.(cli.Result), nil
+}
+
+// Checkpoints lists the session's retained checkpoints, oldest first.
+func (s *Session) Checkpoints() ([]ckpt.Info, error) {
+	out, err := s.do(func(st *stack) any {
+		if st.cli.Ckpt == nil || st.cli.Ckpt.List == nil {
+			return []ckpt.Info(nil)
+		}
+		return st.cli.Ckpt.List()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out.([]ckpt.Info), nil
 }
 
 // Complete returns command-line completions for a partial line.
@@ -411,8 +524,13 @@ func (s *Session) Metrics() ([]obs.MetricValue, error) {
 }
 
 // do runs fn on the session goroutine.
-func (s *Session) do(fn func(*stack) any) (any, error) {
-	cmd := sessionCmd{run: fn, reply: make(chan any, 1)}
+func (s *Session) do(fn func(*stack) any) (any, error) { return s.doCmd("", fn) }
+
+// doCmd runs fn on the session goroutine, tagged with the command line
+// it executes (for the supervisor's journal). A panic inside fn comes
+// back as an error, not a dead session.
+func (s *Session) doCmd(line string, fn func(*stack) any) (any, error) {
+	cmd := sessionCmd{line: line, run: fn, reply: make(chan any, 1)}
 	select {
 	case s.cmds <- cmd:
 	case <-s.done:
@@ -420,6 +538,9 @@ func (s *Session) do(fn func(*stack) any) (any, error) {
 	}
 	select {
 	case out := <-cmd.reply:
+		if pr, ok := out.(panicReply); ok {
+			return nil, pr.err
+		}
 		return out, nil
 	case <-s.done:
 		return nil, ErrSessionClosed

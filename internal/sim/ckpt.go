@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"sort"
+
+	"dfdbg/internal/ckpt/wire"
+)
+
+// EncodeState serializes the kernel's deterministic state for
+// checkpoint capture (DESIGN §13): the virtual clock, scheduler
+// counters, watchdog state, every process's lifecycle state (with wait
+// target), the runnable FIFO order, and the pending timed-note
+// schedule. Must be called from the driver goroutine while the kernel
+// is not running (between RunUntil calls) — the same discipline as
+// every other kernel method.
+//
+// The encoding covers exactly the state that determinism promises to
+// reproduce under command-journal replay; two kernels built from the
+// same recipe that executed the same journal encode identically, which
+// is what replay verification byte-compares.
+func (k *Kernel) EncodeState(w *wire.Writer) {
+	w.U64(uint64(k.now))
+	w.Bool(k.paused)
+	if k.err != nil {
+		w.Str(k.err.Error())
+	} else {
+		w.Str("")
+	}
+
+	w.U64(k.dispatches)
+	w.U64(k.advances)
+	w.U64(k.eventFires)
+	w.U64(k.deltaWakes)
+
+	w.U64(uint64(k.watchLimit))
+	w.U64(uint64(k.progressAt))
+	w.U64(k.watchdogStalls)
+
+	w.U32(uint32(len(k.procs)))
+	for _, p := range k.procs {
+		w.Str(p.name)
+		w.U8(uint8(p.state))
+		w.Bool(p.frozen)
+		w.Bool(p.thawPending)
+		w.Bool(p.Daemon)
+		switch {
+		case p.state == ProcWaitTime:
+			w.U64(uint64(p.wakeAt))
+		case p.state == ProcWaitEvent && p.waitEvent != nil:
+			w.Str(p.waitEvent.name)
+		}
+	}
+
+	live := k.runnable[k.runHead:]
+	w.U32(uint32(len(live)))
+	for _, p := range live {
+		w.Str(p.name)
+	}
+
+	// Pending timed notes, by firing time. Sequence numbers are omitted:
+	// they count note allocations, which the batched fast-sleep path
+	// elides, so they are an execution-strategy detail rather than
+	// semantic state.
+	ats := make([]uint64, len(k.notes.items))
+	for i, n := range k.notes.items {
+		ats[i] = uint64(n.at)
+	}
+	sort.Slice(ats, func(i, j int) bool { return ats[i] < ats[j] })
+	w.U32(uint32(len(ats)))
+	for _, at := range ats {
+		w.U64(at)
+	}
+}

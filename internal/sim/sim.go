@@ -136,6 +136,16 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("sim: process %q panicked: %v", e.Proc, e.Value)
 }
 
+// Unwrap exposes the recovered panic value when it was an error, so
+// errors.As can find layer-specific crash wrappers (pedf.CrashError)
+// behind the kernel's recovery.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // DeadlockInfo describes processes blocked forever when the kernel went idle.
 type DeadlockInfo struct {
 	Time  Time

@@ -33,8 +33,7 @@ type SoloHost struct {
 	// web layer answers 403).
 	exec func(line string) (ExecResult, error)
 
-	bcOnce sync.Once
-	bc     *Broadcaster
+	bc *Broadcaster // lazily created; guarded by the host lock
 }
 
 // NewSoloHost builds a host over one stack. full may be nil (no
@@ -71,8 +70,26 @@ func (h *SoloHost) StallSnapshot() *sim.StallReport { return h.k.StallSnapshot()
 // Stream implements Host via a lazily-created broadcaster over the
 // recorder tap.
 func (h *SoloHost) Stream(st *Stream) (func(), error) {
-	h.bcOnce.Do(func() { h.bc = NewBroadcaster(h.rec.SetTap) })
-	return h.bc.Subscribe(st), nil
+	h.Lock()
+	if h.bc == nil {
+		h.bc = NewBroadcaster(h.rec.SetTap)
+	}
+	bc := h.bc
+	h.Unlock()
+	return bc.Subscribe(st), nil
+}
+
+// Rebind points the host at a rebuilt stack (a checkpoint restore or
+// reverse-execution step in the owning REPL). The caller must hold the
+// host — Rebind is a state mutation like any other. Live event streams
+// are detached; reconnecting browsers see the restored world.
+func (h *SoloHost) Rebind(rec *obs.Recorder, k *sim.Kernel, rt *pedf.Runtime,
+	full func() (*analysis.Report, error)) {
+	if h.bc != nil {
+		h.bc.Detach()
+		h.bc = nil
+	}
+	h.rec, h.k, h.rt, h.full = rec, k, rt, full
 }
 
 // Exec implements Host; read-only unless SetExec was called.
