@@ -1,0 +1,115 @@
+// Command dfrouter is the stateless fleet tier: it speaks the same
+// newline-delimited JSON wire protocol as a single dfserve, but shards
+// sessions across multiple workers by rendezvous hashing and empties
+// draining workers via checkpoint-based live migration (see
+// internal/router and DESIGN §14).
+//
+// Usage:
+//
+//	dfrouter -workers w1=127.0.0.1:7788,w2=127.0.0.1:7798 \
+//	         [-addr 127.0.0.1:7700] [-http 127.0.0.1:7701] \
+//	         [-ping-interval 2s] [-event-queue 256]
+//
+// Clients connect exactly as they would to one dfserve:
+//
+//	nc 127.0.0.1 7700
+//	{"id":1,"op":"new","params":{"width":64,"height":64,"frames":2}}
+//	{"id":2,"op":"exec","session":"r1","line":"continue"}
+//
+// An admin drains a worker with {"id":3,"op":"drain","worker":"w1"};
+// every session it owned is live-migrated to a peer and the response
+// lists the moved ids. SIGTERM stops the router itself — worker
+// sessions keep running and a restarted dfrouter re-adopts them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dfdbg/internal/router"
+)
+
+// workerList collects repeated -workers flags, each a comma-separated
+// list of "name=addr" (or bare "addr") specs.
+type workerList []string
+
+func (w *workerList) String() string { return strings.Join(*w, ",") }
+
+func (w *workerList) Set(v string) error {
+	for _, spec := range strings.Split(v, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec != "" {
+			*w = append(*w, spec)
+		}
+	}
+	return nil
+}
+
+func main() {
+	var workers workerList
+	var (
+		addr  = flag.String("addr", "127.0.0.1:7700", "client-facing listen address")
+		haddr = flag.String("http", "", "serve /api/fleet and /metrics on this address (empty = off)")
+		ping  = flag.Duration("ping-interval", 2*time.Second, "worker health-check cadence")
+		queue = flag.Int("event-queue", 256, "per-client async event queue length")
+	)
+	flag.Var(&workers, "workers", "dfserve workers, name=addr comma-separated (repeatable)")
+	flag.Parse()
+	if len(workers) == 0 {
+		fmt.Fprintln(os.Stderr, "dfrouter: -workers is required (e.g. -workers w1=127.0.0.1:7788,w2=127.0.0.1:7798)")
+		os.Exit(2)
+	}
+	if err := run(*addr, *haddr, router.Options{
+		Workers:       workers,
+		PingInterval:  *ping,
+		EventQueueLen: *queue,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "dfrouter: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, httpAddr string, o router.Options) error {
+	r := router.New(o)
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- r.ListenAndServe(addr) }()
+	fmt.Fprintf(os.Stderr, "dfrouter: listening on %s (%d workers)\n", addr, len(o.Workers))
+
+	var hsrv *http.Server
+	if httpAddr != "" {
+		ln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			_ = r.Close()
+			return fmt.Errorf("http listen: %w", err)
+		}
+		hsrv = &http.Server{Handler: r.HTTPHandler()}
+		go func() {
+			if err := hsrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				errc <- fmt.Errorf("http: %w", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "dfrouter: fleet API on http://%s/api/fleet\n", ln.Addr())
+	}
+	defer func() {
+		if hsrv != nil {
+			_ = hsrv.Close()
+		}
+	}()
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "dfrouter: %v, shutting down (worker sessions keep running)\n", sig)
+		return r.Close()
+	case err := <-errc:
+		return err
+	}
+}

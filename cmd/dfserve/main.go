@@ -5,9 +5,11 @@
 //
 // Usage:
 //
-//	dfserve [-addr 127.0.0.1:7788] [-http 127.0.0.1:7789] [-max-sessions 32]
-//	        [-max-conns 64] [-idle-timeout 5m] [-event-queue 256]
-//	        [-checkpoint-every 8] [-checkpoint-interval 30s] [-restart-limit 3]
+//	dfserve [-addr 127.0.0.1:7788] [-http 127.0.0.1:7789] [-name w1]
+//	        [-max-sessions 32] [-max-conns 64] [-idle-timeout 5m]
+//	        [-event-queue 256] [-checkpoint-every 8]
+//	        [-checkpoint-interval 30s] [-restart-limit 3]
+//	        [-drain-timeout 30s] [-drain-dir d] [-restore-dir d]
 //
 // A session is created with {"id":1,"op":"new","params":{...}} and
 // driven with {"id":2,"op":"exec","session":"s1","line":"continue"};
@@ -16,18 +18,34 @@
 // With -http, dfserve additionally serves the web observability layer
 // (JSON APIs, live SSE event stream, and the embedded timeline /
 // dataflow-graph UI — see internal/web) over the same sessions.
+//
+// As a fleet member behind dfrouter, give each worker a unique -name
+// (session ids are prefixed with it, keeping them fleet-unique). On
+// SIGTERM the worker drains instead of dying abruptly: admission stops,
+// a "draining" event asks the routing tier to live-migrate the sessions
+// away, and the worker waits up to -drain-timeout for its session table
+// to empty. Sessions still present after the timeout (no router, or
+// nowhere to go) are spilled to -drain-dir as one DFCK container file
+// each; a later dfserve started with -restore-dir revives them by
+// replaying their journals with byte-compare verification, the same
+// discipline a live migration uses.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"dfdbg/internal/ckpt"
 	"dfdbg/internal/serve"
 )
 
@@ -35,6 +53,7 @@ func main() {
 	var (
 		addr  = flag.String("addr", "127.0.0.1:7788", "listen address")
 		haddr = flag.String("http", "", "serve the web UI / JSON API on this address (empty = off)")
+		name  = flag.String("name", "", "worker fleet name; prefixes generated session ids")
 		maxS  = flag.Int("max-sessions", 32, "concurrent session limit")
 		maxC  = flag.Int("max-conns", 64, "concurrent connection limit")
 		idle  = flag.Duration("idle-timeout", 5*time.Minute, "reap sessions idle this long (0 = never)")
@@ -42,9 +61,13 @@ func main() {
 		ckptN = flag.Int("checkpoint-every", 8, "auto-checkpoint each N state-mutating commands (0 = off)")
 		ckptT = flag.Duration("checkpoint-interval", 30*time.Second, "auto-checkpoint after this much wall time (0 = off)")
 		rlim  = flag.Int("restart-limit", 3, "crash recoveries per session before it closes (0 = no recovery)")
+		dtime = flag.Duration("drain-timeout", 30*time.Second, "SIGTERM: wait this long for sessions to migrate away")
+		ddir  = flag.String("drain-dir", "", "spill undrained sessions here as DFCK files on shutdown")
+		rdir  = flag.String("restore-dir", "", "revive spilled sessions from this directory at boot")
 	)
 	flag.Parse()
 	o := serve.Options{
+		Name:               *name,
 		MaxSessions:        *maxS,
 		MaxConns:           *maxC,
 		EventQueueLen:      *queue,
@@ -52,13 +75,13 @@ func main() {
 		CheckpointInterval: *ckptT,
 		RestartLimit:       *rlim,
 	}
-	if err := run(*addr, *haddr, *idle, o); err != nil {
+	if err := run(*addr, *haddr, *idle, *dtime, *ddir, *rdir, o); err != nil {
 		fmt.Fprintf(os.Stderr, "dfserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, httpAddr string, idle time.Duration, o serve.Options) error {
+func run(addr, httpAddr string, idle, drainTimeout time.Duration, drainDir, restoreDir string, o serve.Options) error {
 	if idle == 0 {
 		idle = -1 // Options treats 0 as "default"; <0 disables reaping
 	}
@@ -75,7 +98,16 @@ func run(addr, httpAddr string, idle time.Duration, o serve.Options) error {
 		o.RestartLimit = -1
 	}
 	srv := serve.NewServer(o)
-	sigc := make(chan os.Signal, 1)
+	if restoreDir != "" {
+		n, err := restoreSpilled(srv.Manager(), restoreDir)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "dfserve: restored %d spilled session(s) from %s\n", n, restoreDir)
+		}
+	}
+	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(addr) }()
@@ -105,9 +137,157 @@ func run(addr, httpAddr string, idle time.Duration, o serve.Options) error {
 
 	select {
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "dfserve: %v, shutting down\n", sig)
+		if sig == syscall.SIGTERM {
+			drain(srv, sigc, drainTimeout, drainDir)
+		} else {
+			fmt.Fprintf(os.Stderr, "dfserve: %v, shutting down\n", sig)
+		}
 		return srv.Close()
 	case err := <-errc:
 		return err
 	}
+}
+
+// drain is the graceful half of SIGTERM: stop admitting sessions, tell
+// the routing tier (via the "draining" broadcast) to migrate the live
+// ones away, and wait for the session table to empty. Whatever is still
+// here at the deadline — standalone deployments have no router to
+// rescue them — is spilled to disk if a drain dir is configured. A
+// second signal cuts the wait short.
+func drain(srv *serve.Server, sigc <-chan os.Signal, timeout time.Duration, dir string) {
+	mgr := srv.Manager()
+	fmt.Fprintf(os.Stderr, "dfserve: SIGTERM, draining %d session(s) (up to %v)\n",
+		len(mgr.List()), timeout)
+	srv.StartDrain()
+	deadline := time.After(timeout)
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+wait:
+	for len(mgr.List()) > 0 {
+		select {
+		case <-deadline:
+			break wait
+		case sig := <-sigc:
+			fmt.Fprintf(os.Stderr, "dfserve: %v, abandoning drain\n", sig)
+			break wait
+		case <-tick.C:
+		}
+	}
+	left := mgr.List()
+	if len(left) == 0 {
+		fmt.Fprintln(os.Stderr, "dfserve: drained, shutting down")
+		return
+	}
+	if dir == "" {
+		fmt.Fprintf(os.Stderr, "dfserve: %d session(s) undrained (no -drain-dir), closing them\n", len(left))
+		return
+	}
+	n := 0
+	for _, si := range left {
+		if err := spillSession(mgr, si.ID, dir); err != nil {
+			fmt.Fprintf(os.Stderr, "dfserve: spill %s: %v\n", si.ID, err)
+			continue
+		}
+		n++
+	}
+	fmt.Fprintf(os.Stderr, "dfserve: spilled %d/%d session(s) to %s\n", n, len(left), dir)
+}
+
+// spillHeader is the first line of a spill file: the identity a
+// container alone does not carry.
+type spillHeader struct {
+	ID     string              `json:"id"`
+	Params serve.SessionParams `json:"params"`
+}
+
+// spillSession exports one session — sealing it at a command boundary,
+// exactly like a live migration — and writes it as a JSON header line
+// followed by one DFCK frame.
+func spillSession(mgr *serve.Manager, id, dir string) error {
+	s, err := mgr.Get(id)
+	if err != nil {
+		return err
+	}
+	params, container, err := s.Export()
+	if err != nil {
+		return err
+	}
+	cp, err := ckpt.Decode(container)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".dfck"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	hdr, err := json.Marshal(spillHeader{ID: id, Params: params})
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(hdr, '\n')); err != nil {
+		return err
+	}
+	if err := ckpt.Send(f, cp); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// restoreSpilled imports every .dfck spill file in dir under its
+// original session id (rebuild + journal replay + byte-compare — a
+// spill that cannot prove state equivalence fails loudly rather than
+// resuming a different world). Files restore and are removed one by
+// one; a bad file is kept and reported but does not block the rest.
+func restoreSpilled(mgr *serve.Manager, dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("restore dir: %w", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".dfck") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		if err := restoreFile(mgr, path); err != nil {
+			fmt.Fprintf(os.Stderr, "dfserve: restore %s: %v\n", e.Name(), err)
+			continue
+		}
+		os.Remove(path)
+		n++
+	}
+	return n, nil
+}
+
+func restoreFile(mgr *serve.Manager, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return fmt.Errorf("header: %w", err)
+	}
+	var hdr spillHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return fmt.Errorf("header: %w", err)
+	}
+	if hdr.ID == "" {
+		return fmt.Errorf("header: missing session id")
+	}
+	cp, err := ckpt.Receive(r)
+	if err != nil {
+		return err
+	}
+	_, err = mgr.Import(hdr.ID, hdr.Params, cp.Encode())
+	return err
 }

@@ -1,0 +1,319 @@
+// Command fleetcheck is the fleet CI smoke driver: it runs many
+// concurrent scripted debug sessions through a dfrouter, drains one
+// worker mid-run so a slice of the sessions live-migrate, and then
+// verifies the fleet's correctness contract end to end:
+//
+//   - every session's trace is byte-identical to a solo in-process run
+//     of the same script (migration is observable only as an event,
+//     never as divergent output),
+//   - every command got its response (no drops, no hangs),
+//   - every session the drain moved announced exactly one
+//     "session-migrated" event and no "session-closed".
+//
+// It exits 0 on success and 1 with a diagnostic on any violation, so a
+// CI job can gate on it directly:
+//
+//	fleetcheck -router 127.0.0.1:7700 -drain w1 [-sessions 16]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dfdbg/internal/serve"
+)
+
+// script is the deterministic per-session command list: every command's
+// output is a pure function of the session params, so traces compare
+// byte-for-byte across workers and across migrations.
+var script = []string{
+	"info filters",
+	"filter pipe catch work",
+	"continue",
+	"filter pipe info last_token",
+	"catchpoints",
+	"delete catch 1",
+	"continue",
+	"info filters",
+	"info links",
+	"trace 30",
+	"graph",
+	"fault status",
+	"analyze",
+}
+
+var params = &serve.SessionParams{W: 16, H: 16, QP: 8, Seed: 7}
+
+func main() {
+	var (
+		router   = flag.String("router", "127.0.0.1:7700", "dfrouter client address")
+		sessions = flag.Int("sessions", 16, "concurrent scripted sessions")
+		drain    = flag.String("drain", "w1", "worker to drain mid-run (empty = no drain)")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	)
+	flag.Parse()
+	ok := make(chan bool, 1)
+	go func() { ok <- check(*router, *sessions, *drain) }()
+	select {
+	case passed := <-ok:
+		if !passed {
+			os.Exit(1)
+		}
+		fmt.Println("fleetcheck: PASS")
+	case <-time.After(*timeout):
+		fmt.Fprintln(os.Stderr, "fleetcheck: FAIL: deadline exceeded (dropped response?)")
+		os.Exit(1)
+	}
+}
+
+func check(addr string, nSessions int, drainWorker string) bool {
+	golden, err := goldenTrace()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetcheck: golden run: %v\n", err)
+		return false
+	}
+
+	admin, err := dial(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetcheck: %v\n", err)
+		return false
+	}
+	defer admin.close()
+
+	totalCmds := int64(nSessions * len(script))
+	var cmdCount atomic.Int64
+	var drainOnce sync.Once
+	var drainResp serve.Response
+	fireDrain := func() {
+		drainOnce.Do(func() {
+			drainResp = admin.roundTrip(serve.Request{Op: "drain", Worker: drainWorker})
+		})
+	}
+
+	var wg sync.WaitGroup
+	failed := atomic.Bool{}
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "fleetcheck: FAIL: "+format+"\n", args...)
+		failed.Store(true)
+	}
+	sids := make([]string, nSessions)
+	conns := make([]*wire, nSessions)
+	for i := 0; i < nSessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, err := dial(addr)
+			if err != nil {
+				fail("session %d: %v", i, err)
+				return
+			}
+			conns[i] = cl
+			r := cl.roundTrip(serve.Request{Op: "new", Params: params})
+			if !r.OK {
+				fail("session %d: new: %s", i, r.Error)
+				return
+			}
+			sids[i] = r.Session
+			var b strings.Builder
+			for _, line := range script {
+				r := cl.roundTrip(serve.Request{Op: "exec", Session: sids[i], Line: line})
+				render(&b, line, r)
+				// Drain mid-run, from whichever session crosses the
+				// halfway line of the fleet-wide command volume.
+				if drainWorker != "" && cmdCount.Add(1) == totalCmds/2 {
+					go fireDrain()
+				}
+			}
+			if got := b.String(); got != golden {
+				fail("session %s trace diverged:\n%s", sids[i], firstDiff(golden, got))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if drainWorker != "" {
+		fireDrain() // tiny fleets can finish before the halfway trigger
+		if !drainResp.OK {
+			fail("drain %s: %s", drainWorker, drainResp.Error)
+		}
+	}
+
+	// Event accounting: each session the drain moved must have produced
+	// exactly one session-migrated and no session-closed on its creator
+	// connection.
+	moved := map[string]bool{}
+	for _, si := range drainResp.Sessions {
+		moved[si.ID] = true
+	}
+	nMigrated := 0
+	for i, cl := range conns {
+		if cl == nil {
+			continue
+		}
+		migrated, closed := cl.eventCounts(sids[i])
+		if moved[sids[i]] && migrated != 1 {
+			fail("session %s: %d session-migrated events, want 1", sids[i], migrated)
+		}
+		if !moved[sids[i]] && migrated != 0 {
+			fail("session %s: unexpected session-migrated", sids[i])
+		}
+		if closed != 0 {
+			fail("session %s: saw session-closed", sids[i])
+		}
+		nMigrated += migrated
+		cl.close()
+	}
+	if drainWorker != "" && len(drainResp.Sessions) == 0 {
+		fail("drain of %s moved no sessions (fleet too small or worker empty?)", drainWorker)
+	}
+	if failed.Load() {
+		return false
+	}
+	fmt.Printf("fleetcheck: %d sessions, %d commands, %d migrated off %s, traces byte-identical\n",
+		nSessions, cmdCount.Load(), nMigrated, drainWorker)
+	return true
+}
+
+// goldenTrace runs the script against an in-process single-session
+// manager: no server, no router, no migration.
+func goldenTrace() (string, error) {
+	mgr := serve.NewManager(1, 0)
+	defer mgr.CloseAll()
+	s, err := mgr.Create(*params)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, line := range script {
+		res, err := s.Exec(line)
+		if err != nil {
+			return "", fmt.Errorf("%q: %w", line, err)
+		}
+		r := serve.Response{Output: res.Output, Stop: res.Stop}
+		if res.Err != nil {
+			r.Error = res.Err.Error()
+		}
+		render(&b, line, r)
+	}
+	return b.String(), nil
+}
+
+// render appends one exec response to a trace in canonical form.
+func render(b *strings.Builder, line string, r serve.Response) {
+	fmt.Fprintf(b, ">>> %s\n%s", line, r.Output)
+	if r.Error != "" {
+		fmt.Fprintf(b, "error: %v\n", r.Error)
+	}
+	if r.Stop != nil {
+		fmt.Fprintf(b, "[stop %s @%d]\n", r.Stop.Reason, r.Stop.TimeNS)
+	}
+}
+
+func firstDiff(golden, got string) string {
+	gl, ol := strings.Split(golden, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(gl) && i < len(ol); i++ {
+		if gl[i] != ol[i] {
+			return fmt.Sprintf("line %d:\n  golden: %q\n  fleet:  %q", i+1, gl[i], ol[i])
+		}
+	}
+	return fmt.Sprintf("length %d vs %d lines", len(gl), len(ol))
+}
+
+// wire is a minimal JSON-line protocol client: synchronous round trips
+// matched by id, asynchronous events tallied on the side.
+type wire struct {
+	conn net.Conn
+	enc  *json.Encoder
+
+	mu      sync.Mutex
+	seq     int64
+	pending map[int64]chan serve.Response
+	events  []serve.Event
+}
+
+func dial(addr string) (*wire, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	w := &wire{conn: conn, enc: json.NewEncoder(conn), pending: make(map[int64]chan serve.Response)}
+	go w.readLoop()
+	return w, nil
+}
+
+func (w *wire) readLoop() {
+	sc := bufio.NewScanner(w.conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<26)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Event string `json:"event"`
+		}
+		if json.Unmarshal(line, &probe) != nil {
+			continue
+		}
+		if probe.Event != "" {
+			var ev serve.Event
+			if json.Unmarshal(line, &ev) == nil {
+				w.mu.Lock()
+				w.events = append(w.events, ev)
+				w.mu.Unlock()
+			}
+			continue
+		}
+		var resp serve.Response
+		if json.Unmarshal(line, &resp) != nil {
+			continue
+		}
+		w.mu.Lock()
+		ch := w.pending[resp.ID]
+		delete(w.pending, resp.ID)
+		w.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+func (w *wire) roundTrip(req serve.Request) serve.Response {
+	w.mu.Lock()
+	w.seq++
+	req.ID = w.seq
+	ch := make(chan serve.Response, 1)
+	w.pending[req.ID] = ch
+	w.mu.Unlock()
+	if err := w.enc.Encode(req); err != nil {
+		return serve.Response{ID: req.ID, Error: err.Error()}
+	}
+	return <-ch
+}
+
+// eventCounts tallies the migration-relevant events seen for a session.
+func (w *wire) eventCounts(sid string) (migrated, closed int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, ev := range w.events {
+		if ev.Session != sid {
+			continue
+		}
+		switch ev.Event {
+		case "session-migrated":
+			migrated++
+		case "session-closed":
+			closed++
+		}
+	}
+	return
+}
+
+func (w *wire) close() { w.conn.Close() }

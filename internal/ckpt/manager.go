@@ -155,6 +155,23 @@ func (m *Manager) Restore(cp *Checkpoint) (Target, error) {
 	return t, nil
 }
 
+// Adopt restores a checkpoint that was captured by some other manager
+// (a migrated-in container): the usual rebuild + replay + byte-compare
+// discipline applies, and on success the container is retained as this
+// manager's recovery floor with its identity intact, with the id
+// sequence advanced past it so later captures stay monotonic.
+func (m *Manager) Adopt(cp *Checkpoint) (Target, error) {
+	t, err := m.Restore(cp)
+	if err != nil {
+		return nil, err
+	}
+	if cp.ID > m.seq {
+		m.seq = cp.ID
+	}
+	m.cps = append(m.cps, cp)
+	return t, nil
+}
+
 // rewind truncates the live journal to the restored prefix and drops
 // checkpoints that belong to the discarded future.
 func (m *Manager) rewind(journal []Entry) {

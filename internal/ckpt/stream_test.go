@@ -1,0 +1,95 @@
+package ckpt
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+)
+
+func streamFixture() *Checkpoint {
+	return &Checkpoint{
+		ID:     7,
+		Label:  "migrate",
+		TimeNS: 123456,
+		Wall:   99,
+		Journal: []Entry{
+			{Line: "watchdog 1000000"},
+			{Line: "continue", Ctl: true},
+		},
+		State: bytes.Repeat([]byte{0xAB, 0x00, 0x42}, 4096),
+	}
+}
+
+// TestStreamOverConn ships a container through a live connection (no
+// EOF to delimit the container) and verifies the round trip.
+func TestStreamOverConn(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	want := streamFixture()
+	errc := make(chan error, 1)
+	go func() { errc <- Send(a, want) }()
+	got, err := Receive(b)
+	if err != nil {
+		t.Fatalf("receive: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if got.ID != want.ID || got.Label != want.Label || got.TimeNS != want.TimeNS {
+		t.Errorf("meta round trip: got %+v", got.Info())
+	}
+	if len(got.Journal) != len(want.Journal) || got.Journal[1] != want.Journal[1] {
+		t.Errorf("journal round trip: %+v", got.Journal)
+	}
+	if !bytes.Equal(got.State, want.State) {
+		t.Errorf("state round trip: %d bytes vs %d", len(got.State), len(want.State))
+	}
+
+	// The conn stays usable: a second frame follows the first.
+	go func() { errc <- Send(a, want) }()
+	if _, err := Receive(b); err != nil {
+		t.Fatalf("second frame: %v", err)
+	}
+	<-errc
+}
+
+// TestStreamTornTransfer cuts the stream mid-body: the receiver must
+// report a torn transfer, not a truncated checkpoint.
+func TestStreamTornTransfer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Send(&buf, streamFixture()); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	whole := buf.Bytes()
+	for _, cut := range []int{4, 8, len(whole) / 2, len(whole) - 2} {
+		if _, err := Receive(bytes.NewReader(whole[:cut])); err == nil {
+			t.Errorf("cut at %d bytes: torn transfer not detected", cut)
+		}
+	}
+}
+
+// TestStreamCorruptBody flips a body byte: the frame CRC must catch it
+// before Decode runs.
+func TestStreamCorruptBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Send(&buf, streamFixture()); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	b := buf.Bytes()
+	b[len(b)/2] ^= 0x40
+	if _, err := Receive(bytes.NewReader(b)); err == nil ||
+		!strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corrupt body: err = %v, want frame checksum mismatch", err)
+	}
+}
+
+// TestStreamBadMagic rejects a stream that is not a checkpoint frame.
+func TestStreamBadMagic(t *testing.T) {
+	if _, err := Receive(strings.NewReader("{\"id\":1,\"op\":\"ping\"}\n")); err == nil ||
+		!strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic: err = %v", err)
+	}
+}

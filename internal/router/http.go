@@ -1,0 +1,38 @@
+package router
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"dfdbg/internal/serve"
+)
+
+// fleetView is the /api/fleet response body.
+type fleetView struct {
+	Workers        []serve.WorkerInfo  `json:"workers"`
+	Sessions       []serve.SessionInfo `json:"sessions"`
+	Routed         uint64              `json:"sessions_routed_total"`
+	Migrations     uint64              `json:"migrations_total"`
+	MigrationBytes uint64              `json:"migration_bytes_total"`
+}
+
+// HTTPHandler serves the router's operator surface:
+//
+//	GET /api/fleet — worker rows + merged session list + migration totals
+//	GET /metrics   — the router registry in Prometheus text format
+func (r *Router) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/fleet", func(w http.ResponseWriter, req *http.Request) {
+		view := fleetView{
+			Workers:        r.fleet(),
+			Sessions:       r.listFleet(),
+			Routed:         r.sessionsRouted.Value(),
+			Migrations:     r.migrations.Value(),
+			MigrationBytes: r.migrationBytes.Value(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(view)
+	})
+	mux.Handle("/metrics", r.reg.Handler())
+	return mux
+}

@@ -26,6 +26,13 @@
 // events carry an "event" key instead. Commands on one connection are
 // handled in order; open more connections for client-side concurrency.
 //
+// Fleet ops (DESIGN §14) speak the same protocol: "new" accepts an
+// explicit session id (the router assigns fleet-unique ids), "export"
+// seals a session into a DFCK migration container and retires it,
+// "import" revives a container under its original id with replay
+// verification, and "drain" stops session admission and returns the
+// live sessions a router should migrate off this worker.
+//
 // Crash-safe supervision (DESIGN §13): a session that crashes — an
 // induced `fault panic`, or a Go panic inside a command — is restored
 // from its last good checkpoint with replay verification; attached
@@ -47,6 +54,12 @@ type Request struct {
 	Line    string         `json:"line,omitempty"`
 	Label   string         `json:"label,omitempty"` // checkpoint op: checkpoint label
 	Params  *SessionParams `json:"params,omitempty"`
+
+	// Fleet ops. Worker names the drain target on a router's "drain"
+	// op; Container carries the DFCK migration container (base64 on the
+	// wire) on "import".
+	Worker    string `json:"worker,omitempty"`
+	Container []byte `json:"container,omitempty"`
 }
 
 // SessionParams configures the application a new session debugs (the
@@ -92,17 +105,36 @@ type Response struct {
 	Done   bool          `json:"done,omitempty"` // the session quit
 
 	// op-specific payloads
-	Sessions    []SessionInfo     `json:"sessions,omitempty"`    // list
+	Sessions    []SessionInfo     `json:"sessions,omitempty"`    // list, drain
 	Metrics     []obs.MetricValue `json:"metrics,omitempty"`     // metrics
 	Completions []string          `json:"completions,omitempty"` // complete
 	Checkpoints []ckpt.Info       `json:"checkpoints,omitempty"` // checkpoints
+
+	// Fleet payloads: ping and drain identify the worker by its fleet
+	// name, export returns the session's recipe and DFCK migration
+	// container, and the router's fleet op returns worker rows.
+	Worker    string         `json:"worker,omitempty"`    // ping, drain
+	Params    *SessionParams `json:"params,omitempty"`    // export
+	Container []byte         `json:"container,omitempty"` // export
+	Workers   []WorkerInfo   `json:"workers,omitempty"`   // fleet (router)
+}
+
+// WorkerInfo is one dfserve worker's row in a router fleet summary.
+type WorkerInfo struct {
+	Name     string `json:"name"`
+	Addr     string `json:"addr"`
+	Healthy  bool   `json:"healthy"`
+	Draining bool   `json:"draining"`
+	Sessions int    `json:"sessions"`
 }
 
 // Event is one asynchronous server → client message, delivered to every
 // client attached to the session it concerns.
 type Event struct {
 	// Event names the kind: hello, stop, restored, session-recovered,
-	// session-closed, dropped, goodbye.
+	// session-closed, dropped, goodbye, draining (worker-wide: SIGTERM
+	// asked this worker to shed its sessions), session-migrated (router:
+	// the session now lives on another worker; Reason is "old -> new").
 	Event   string        `json:"event"`
 	Session string        `json:"session,omitempty"`
 	Stop    *cli.StopInfo `json:"stop,omitempty"`

@@ -14,6 +14,7 @@ import (
 
 // Options configures a Server. Zero values take the listed defaults.
 type Options struct {
+	Name          string        // worker fleet name; prefixes generated session ids ("" = standalone)
 	MaxSessions   int           // concurrent sessions admitted (default 32)
 	MaxConns      int           // concurrent client connections (default 64)
 	IdleTimeout   time.Duration // reap sessions idle this long (default 5m, <0 disables)
@@ -56,6 +57,7 @@ type Server struct {
 	mu       sync.Mutex
 	ln       net.Listener
 	closed   bool
+	clients  map[*client]struct{}
 	stopReap chan struct{}
 	wg       sync.WaitGroup
 
@@ -70,8 +72,10 @@ func NewServer(opts Options) *Server {
 	s := &Server{
 		opts:     opts,
 		mgr:      NewManager(opts.MaxSessions, opts.IdleTimeout),
+		clients:  make(map[*client]struct{}),
 		stopReap: make(chan struct{}),
 	}
+	s.mgr.SetName(opts.Name)
 	s.mgr.SetCheckpointPolicy(opts.CheckpointEvery, opts.CheckpointInterval, opts.RestartLimit)
 	reg := s.mgr.Registry()
 	reg.GaugeFunc("conns_active", "client connections currently open",
@@ -158,12 +162,42 @@ func (s *Server) Serve(ln net.Listener) error {
 			continue
 		}
 		cl := newClient(s, conn)
+		s.mu.Lock()
+		s.clients[cl] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			cl.serve()
+			s.mu.Lock()
+			delete(s.clients, cl)
+			s.mu.Unlock()
 			s.connsActive.Add(-1)
 		}()
+	}
+}
+
+// StartDrain begins a graceful drain (SIGTERM, or the "drain" wire
+// op): session admission stops and every connected client — the
+// routing tier above all — is told via a "draining" event that this
+// worker wants its sessions migrated away.
+func (s *Server) StartDrain() {
+	s.mgr.StartDrain()
+	s.Broadcast(Event{Event: "draining", Reason: s.mgr.Name()})
+}
+
+// Broadcast queues an event on every connected client (worker-wide
+// notices like "draining"; per-session events go through the session's
+// subscriber fan-out instead).
+func (s *Server) Broadcast(ev Event) {
+	s.mu.Lock()
+	clients := make([]*client, 0, len(s.clients))
+	for cl := range s.clients {
+		clients = append(clients, cl)
+	}
+	s.mu.Unlock()
+	for _, cl := range clients {
+		cl.deliver(ev)
 	}
 }
 
@@ -177,10 +211,19 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	ln := s.ln
+	clients := make([]*client, 0, len(s.clients))
+	for cl := range s.clients {
+		clients = append(clients, cl)
+	}
 	close(s.stopReap)
 	s.mu.Unlock()
 	if ln != nil {
 		ln.Close()
+	}
+	// Sever live connections: a closed server must look dead to its
+	// clients (the router's health checks included), not half-alive.
+	for _, cl := range clients {
+		cl.conn.Close()
 	}
 	s.mgr.CloseAll()
 	s.wg.Wait()
@@ -222,8 +265,10 @@ func (cl *client) serve() {
 	}()
 	cl.deliver(Event{Event: "hello", Reason: "dfserve/1"})
 
+	// The max line must hold an "import" request carrying a base64 DFCK
+	// migration container (hundreds of KB for the case-study decoder).
 	sc := bufio.NewScanner(cl.conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<26)
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -335,12 +380,16 @@ func (cl *client) handle(req Request) {
 	switch req.Op {
 	case "ping":
 		resp.OK = true
+		resp.Worker = cl.srv.mgr.Name()
 	case "new":
 		var p SessionParams
 		if req.Params != nil {
 			p = *req.Params
 		}
-		s, err := cl.srv.mgr.Create(p)
+		// A request-supplied session id pins the id (the router assigns
+		// fleet-unique ids up front so rendezvous placement can be
+		// computed from the id alone); empty generates one.
+		s, err := cl.srv.mgr.CreateWithID(req.Session, p)
 		if err != nil {
 			fail(err)
 			return
@@ -350,6 +399,39 @@ func (cl *client) handle(req Request) {
 		cl.attach(s)
 		resp.OK = true
 		resp.Session = s.ID
+	case "export":
+		s, err := cl.srv.mgr.Get(req.Session)
+		if err != nil {
+			fail(err)
+			return
+		}
+		params, container, err := s.Export()
+		if err != nil {
+			fail(err)
+			return
+		}
+		delete(cl.attached, req.Session)
+		resp.OK = true
+		resp.Params = &params
+		resp.Container = container
+	case "import":
+		var p SessionParams
+		if req.Params != nil {
+			p = *req.Params
+		}
+		s, err := cl.srv.mgr.Import(req.Session, p, req.Container)
+		if err != nil {
+			fail(err)
+			return
+		}
+		cl.attach(s)
+		resp.OK = true
+		resp.Session = s.ID
+	case "drain":
+		cl.srv.StartDrain()
+		resp.OK = true
+		resp.Worker = cl.srv.mgr.Name()
+		resp.Sessions = cl.srv.mgr.List()
 	case "attach":
 		s, err := cl.srv.mgr.Get(req.Session)
 		if err != nil {

@@ -30,6 +30,8 @@ var (
 	ErrSessionLimit  = errors.New("serve: session limit reached")
 	ErrSessionClosed = errors.New("serve: session closed")
 	ErrNoSession     = errors.New("serve: no such session")
+	ErrDraining      = errors.New("serve: worker draining")
+	ErrDuplicateID   = errors.New("serve: session id already in use")
 )
 
 // subscriber receives a session's asynchronous events. Implementations
@@ -50,6 +52,11 @@ type Manager struct {
 	ckptEvery    int
 	ckptInterval time.Duration
 	restartLimit int
+
+	// name is the worker's fleet name (SetName); non-empty names prefix
+	// generated session ids so two workers never mint the same id.
+	name     string
+	draining atomic.Bool
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -125,21 +132,80 @@ func (m *Manager) Registry() *obs.Registry { return m.reg }
 // IdleTimeout returns the configured idle-session timeout.
 func (m *Manager) IdleTimeout() time.Duration { return m.idleTimeout }
 
+// SetName records the worker's fleet name. Generated session ids are
+// prefixed "name-" so ids stay globally unique across a fleet even for
+// sessions created directly against one worker. Call before creating
+// sessions.
+func (m *Manager) SetName(name string) { m.name = name }
+
+// Name returns the worker's fleet name ("" outside a fleet).
+func (m *Manager) Name() string { return m.name }
+
+// StartDrain puts the manager into draining mode: new sessions —
+// created, imported, or migrated in — are refused with ErrDraining.
+// Existing sessions keep serving until they are exported or closed.
+func (m *Manager) StartDrain() { m.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (m *Manager) Draining() bool { return m.draining.Load() }
+
 // Create builds a new session for params and starts its goroutine. It
 // returns once the session booted (graph reconstructed, first prompt
 // reachable) or failed to.
 func (m *Manager) Create(params SessionParams) (*Session, error) {
-	params = params.withDefaults()
+	return m.CreateWithID("", params)
+}
+
+// CreateWithID builds a new session under an explicit id (the router
+// assigns fleet-unique ids so placement can be computed from the id
+// alone). An empty id generates one; a taken id fails with
+// ErrDuplicateID.
+func (m *Manager) CreateWithID(id string, params SessionParams) (*Session, error) {
+	return m.newSession(id, params.withDefaults(), nil)
+}
+
+// Import revives a migrated session from its DFCK container under its
+// original id: the stack is rebuilt from params, the container's
+// journal is replayed, and the replayed state is byte-compared against
+// the container's state blob (a restore that cannot prove equivalence
+// fails with a DivergenceError instead of resuming a different world).
+// The adopted container becomes the session's recovery floor.
+func (m *Manager) Import(id string, params SessionParams, container []byte) (*Session, error) {
+	cp, err := ckpt.Decode(container)
+	if err != nil {
+		return nil, fmt.Errorf("serve: import: %w", err)
+	}
+	if id == "" {
+		return nil, fmt.Errorf("serve: import needs the session's id")
+	}
+	return m.newSession(id, params.withDefaults(), cp)
+}
+
+// newSession admits and boots one session (fresh or imported).
+func (m *Manager) newSession(id string, params SessionParams, boot *ckpt.Checkpoint) (*Session, error) {
+	if m.draining.Load() {
+		return nil, ErrDraining
+	}
 	m.mu.Lock()
 	if m.maxSessions > 0 && len(m.sessions) >= m.maxSessions {
 		m.mu.Unlock()
 		return nil, fmt.Errorf("%w (%d active)", ErrSessionLimit, len(m.sessions))
 	}
-	m.seq++
+	if id == "" {
+		m.seq++
+		id = fmt.Sprintf("s%d", m.seq)
+		if m.name != "" {
+			id = m.name + "-" + id
+		}
+	} else if _, taken := m.sessions[id]; taken {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateID, id)
+	}
 	s := &Session{
-		ID:     fmt.Sprintf("s%d", m.seq),
+		ID:     id,
 		Params: params,
 		mgr:    m,
+		bootCP: boot,
 		cmds:   make(chan sessionCmd),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
@@ -194,6 +260,15 @@ func (m *Manager) List() []SessionInfo {
 // none arriving) for longer than the idle timeout. It returns how many
 // were reaped. The server calls this periodically; tests call it
 // directly.
+//
+// The busy/lastUsed atomics are only a cheap pre-filter: they can
+// flicker idle for an instant between a command finishing and the
+// supervisor journaling it, so the actual reap decision runs as a
+// probe on the session goroutine itself. There the world is settled —
+// the previous command's journal entry and auto-checkpoint are written
+// — and the idle clock is re-checked before the session tears down. A
+// session mid-command never even receives the probe (the send would
+// block, and blocked sends are skipped).
 func (m *Manager) ReapIdle() int {
 	if m.idleTimeout <= 0 {
 		return 0
@@ -206,11 +281,14 @@ func (m *Manager) ReapIdle() int {
 		}
 	}
 	m.mu.Unlock()
+	n := 0
 	for _, s := range victims {
-		s.Close("idle-timeout")
-		m.sessionsReaped.Inc()
+		if s.tryReap(m.idleTimeout) {
+			n++
+			m.sessionsReaped.Inc()
+		}
 	}
-	return len(victims)
+	return n
 }
 
 // CloseAll tears down every session (server shutdown).
@@ -265,6 +343,13 @@ type Session struct {
 	cmds chan sessionCmd
 	stop chan struct{} // closed by Close: tear down
 	done chan struct{} // closed by loop on exit
+
+	// bootCP is the migrated-in container an imported session restores
+	// from instead of a fresh buildStack; cleared once adopted. sup is
+	// the session's supervisor — set by loop before the first command
+	// and only ever touched on the session goroutine.
+	bootCP *ckpt.Checkpoint
+	sup    *supervisor
 
 	closeOnce   sync.Once
 	closeReason atomic.Value // string
@@ -345,15 +430,34 @@ func buildStack(params SessionParams) (*stack, error) {
 // manager's atomic counters.
 func (s *Session) loop(ready chan<- error) {
 	defer close(s.done)
-	st, err := buildStack(s.Params)
+	sup := newSupervisor(s)
+	s.sup = sup
+	var st *stack
+	var err error
+	if cp := s.bootCP; cp != nil {
+		// Imported session: rebuild + replay + byte-compare against the
+		// migrated-in container (the same DivergenceError discipline as
+		// a restore), and keep the container as the recovery floor.
+		var t ckpt.Target
+		if t, err = sup.mgr.Adopt(cp); err == nil {
+			st = t.(*stack)
+		}
+	} else {
+		st, err = buildStack(s.Params)
+	}
 	ready <- err
 	if err != nil {
 		return
 	}
 	s.kPtr.Store(st.k)
 	s.recPtr.Store(st.rec)
-	sup := newSupervisor(s)
-	sup.boot(st)
+	if cp := s.bootCP; cp != nil {
+		s.bootCP = nil
+		sup.wire(st)
+		st.rec.Record(obs.Event{At: uint64(st.k.Now()), Kind: obs.KRestore, Arg: int64(cp.ID)})
+	} else {
+		sup.boot(st)
+	}
 	s.touch()
 	for {
 		select {
@@ -407,6 +511,22 @@ func (s *Session) loop(ready chan<- error) {
 					return
 				}
 				st = s.swapStack(st, ns, sup)
+			case exportReply:
+				// The session's state left for a peer: this copy dies so
+				// at most one live instance of the session ever exists.
+				if v.err == nil {
+					s.markClosed("migrated")
+					s.teardown(st, "migrated")
+					return
+				}
+			case reapVerdict:
+				// The idle reaper's probe, decided here on the session
+				// goroutine where the journal and checkpoints are settled.
+				if v.reap {
+					s.markClosed("idle-timeout")
+					s.teardown(st, "idle-timeout")
+					return
+				}
 			}
 			sup.maybeAuto()
 		}
@@ -478,6 +598,63 @@ func (s *Session) Close(reason string) {
 		close(s.stop)
 	})
 	<-s.done
+}
+
+// exportReply carries a migration container out of the session
+// goroutine. On success the loop tears the session down right after
+// the reply, so the exported container is the session's final word.
+type exportReply struct {
+	params    SessionParams
+	container []byte
+	err       error
+}
+
+// reapVerdict is the idle reaper's on-goroutine decision.
+type reapVerdict struct{ reap bool }
+
+// Export captures the session into a migration container — the full
+// command journal since birth plus the current state blob, sealed in
+// DFCK container form — and closes the session with reason "migrated".
+// It runs at a command boundary on the session goroutine, so an
+// in-flight command finishes (and is journaled) before the capture.
+func (s *Session) Export() (SessionParams, []byte, error) {
+	out, err := s.doCmd("", func(st *stack) any {
+		cp, err := s.sup.mgr.Capture(st, "migrate", uint64(st.k.Now()), time.Now().UnixNano())
+		if err != nil {
+			return exportReply{err: fmt.Errorf("serve: export: %w", err)}
+		}
+		return exportReply{params: s.Params, container: cp.Encode()}
+	})
+	if err != nil {
+		return SessionParams{}, nil, err
+	}
+	rep := out.(exportReply)
+	return rep.params, rep.container, rep.err
+}
+
+// tryReap asks the session goroutine to retire the session if it is
+// still idle. The probe is sent non-blocking: a session that is busy —
+// or already has a command queued — is skipped, never interrupted.
+func (s *Session) tryReap(timeout time.Duration) bool {
+	cmd := sessionCmd{
+		run: func(*stack) any {
+			idle := time.Since(time.Unix(0, s.lastUsed.Load()))
+			return reapVerdict{reap: idle > timeout}
+		},
+		reply: make(chan any, 1),
+	}
+	select {
+	case s.cmds <- cmd:
+	default:
+		return false
+	}
+	select {
+	case out := <-cmd.reply:
+		v, ok := out.(reapVerdict)
+		return ok && v.reap
+	case <-s.done:
+		return false
+	}
 }
 
 // Exec dispatches one debugger command line on the session goroutine
